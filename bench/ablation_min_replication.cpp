@@ -1,0 +1,123 @@
+// Ablation A7: the privacy view — minimum replication degree per target.
+//
+// The paper's privacy requirement (Sec II-B2) wants the replication degree
+// *minimized*: every replica is potential exposure. Its conclusion states
+// a "low replication degree (~40% of friends)" suffices for high
+// availability-on-demand under realistic online-time models. This harness
+// computes, per cohort user, the smallest MaxAv prefix achieving an
+// AoD-time target, and reports the distribution — the paper's claim in
+// distributional form.
+#include "common.hpp"
+
+#include <algorithm>
+
+#include "graph/degree_stats.hpp"
+#include "onlinetime/model.hpp"
+#include "sim/evaluate.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "ablationA7", "Minimum replication degree for an AoD-time target",
+      "roughly 40-50% of friends suffice for high availability-on-demand "
+      "under Sporadic/RandomLength/Fixed(8h); Fixed(2h) cannot reach it");
+  const auto env = bench::load_env("facebook");
+
+  struct ModelRow {
+    const char* label;
+    onlinetime::ModelKind kind;
+    onlinetime::ModelParams params;
+  };
+  const std::vector<ModelRow> models{
+      {"Sporadic(20min)", onlinetime::ModelKind::kSporadic, {}},
+      {"RandomLength", onlinetime::ModelKind::kRandomLength, {}},
+      {"FixedLength(8h)",
+       onlinetime::ModelKind::kFixedLength,
+       {.window_hours = 8.0}},
+      {"FixedLength(2h)",
+       onlinetime::ModelKind::kFixedLength,
+       {.window_hours = 2.0}},
+  };
+  const std::vector<double> targets{0.90, 0.95, 0.99};
+
+  const auto cohort =
+      graph::users_with_degree(env.dataset.graph, env.cohort_degree);
+  const auto policy = placement::make_policy(placement::PolicyKind::kMaxAv);
+
+  util::TextTable table({"model", "target", "median k", "P90 k",
+                         "% needing <=40% of friends", "% unreachable"});
+  util::CsvWriter csv(bench::csv_path("ablationA7_min_replication"));
+  csv.raw_row(std::vector<std::string>{"model", "target", "median_k", "p90_k",
+                                       "pct_le_40pct", "pct_unreachable"});
+
+  for (const auto& row : models) {
+    const auto model = onlinetime::make_model(row.kind, row.params);
+    util::Rng mrng(util::mix64(env.seed, 0xa71));
+    const auto schedules = model->schedules(env.dataset, mrng);
+
+    // For each user: MaxAv selection once, then the smallest prefix
+    // reaching each target.
+    std::vector<std::vector<double>> min_k(targets.size());
+    std::vector<std::size_t> unreachable(targets.size(), 0);
+    for (graph::UserId u : cohort) {
+      placement::PlacementContext ctx;
+      ctx.user = u;
+      ctx.candidates = env.dataset.graph.contacts(u);
+      ctx.schedules = schedules;
+      ctx.trace = &env.dataset.trace;
+      ctx.connectivity = placement::Connectivity::kConRep;
+      ctx.max_replicas = env.cohort_degree;
+      util::Rng prng(util::mix64(env.seed, 0xa72 + u));
+      const auto selected = policy->select(ctx, prng);
+
+      for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+        bool reached = false;
+        for (std::size_t k = 0; k <= selected.size(); ++k) {
+          const std::span<const graph::UserId> prefix{selected.data(), k};
+          const auto m = sim::evaluate_user(env.dataset, schedules, u, prefix,
+                                            placement::Connectivity::kConRep);
+          if (m.aod_time >= targets[ti]) {
+            min_k[ti].push_back(static_cast<double>(k));
+            reached = true;
+            break;
+          }
+        }
+        if (!reached) ++unreachable[ti];
+      }
+    }
+
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      const double total = static_cast<double>(cohort.size());
+      const double pct_unreach =
+          100.0 * static_cast<double>(unreachable[ti]) / total;
+      double median = 0, p90 = 0, pct40 = 0;
+      if (!min_k[ti].empty()) {
+        median = util::percentile(min_k[ti], 0.5);
+        p90 = util::percentile(min_k[ti], 0.9);
+        const double threshold =
+            0.4 * static_cast<double>(env.cohort_degree);
+        const auto count40 = std::count_if(
+            min_k[ti].begin(), min_k[ti].end(),
+            [&](double k) { return k <= threshold; });
+        pct40 = 100.0 * static_cast<double>(count40) / total;
+      }
+      table.add_row(std::string(row.label) + " @" +
+                        util::format("%.2f", targets[ti]),
+                    {targets[ti], median, p90, pct40, pct_unreach});
+      csv.raw_row(std::vector<std::string>{
+          row.label, util::format("%.2f", targets[ti]),
+          util::format("%.1f", median), util::format("%.1f", p90),
+          util::format("%.1f", pct40), util::format("%.1f", pct_unreach)});
+    }
+  }
+
+  std::printf("MaxAv / ConRep, degree-%zu cohort (%zu users):\n\n",
+              env.cohort_degree, cohort.size());
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("\nwrote %s\n",
+              bench::csv_path("ablationA7_min_replication").c_str());
+  return 0;
+}

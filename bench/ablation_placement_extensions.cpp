@@ -1,0 +1,116 @@
+// Ablation A3: the extension policies against the paper's three — the
+// availability / freshness / fairness triangle.
+//
+//   * CoreGroup (delay-aware greedy, Sec V-C's "core group" idea) should
+//     cut the propagation delay versus MaxAv at a modest availability cost;
+//   * Hybrid(alpha) spans MostActive (alpha=1) .. MaxAv-like (alpha=0);
+//   * the fairness load cap bounds hosting load with small metric impact.
+#include "common.hpp"
+
+#include "core/replica_manager.hpp"
+#include "onlinetime/model.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "ablationA3", "Extension policies: availability vs delay vs fairness",
+      "CoreGroup trades availability for delay; Hybrid interpolates between "
+      "MostActive and MaxAv; a load cap flattens hosting-load inequality");
+  const auto env = bench::load_env("facebook");
+  sim::Study study(env.dataset, env.seed);
+
+  // --- sweep with all five policies -----------------------------------
+  auto opts = env.options();
+  opts.policies = {placement::PolicyKind::kMaxAv,
+                   placement::PolicyKind::kMostActive,
+                   placement::PolicyKind::kRandom,
+                   placement::PolicyKind::kCoreGroup,
+                   placement::PolicyKind::kHybrid};
+  const auto sweep = study.replication_sweep(
+      onlinetime::ModelKind::kSporadic, {}, placement::Connectivity::kConRep,
+      opts);
+  bench::report_metric("ablationA3_availability",
+                       "Ablation A3: availability, all policies", sweep,
+                       sim::Metric::kAvailability);
+  bench::report_metric("ablationA3_delay",
+                       "Ablation A3: update delay, all policies", sweep,
+                       sim::Metric::kDelayActualH);
+  bench::report_metric("ablationA3_replicas",
+                       "Ablation A3: replicas actually used", sweep,
+                       sim::Metric::kReplicasUsed);
+
+  // --- hybrid alpha sweep ----------------------------------------------
+  {
+    std::vector<util::Series> availability, delay;
+    std::string x_label;
+    for (double alpha : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+      auto aopts = env.options();
+      aopts.policies = {placement::PolicyKind::kHybrid};
+      aopts.policy_params.hybrid_alpha = alpha;
+      const auto s = study.replication_sweep(
+          onlinetime::ModelKind::kSporadic, {},
+          placement::Connectivity::kConRep, aopts);
+      auto a = s.series(sim::Metric::kAvailability).front();
+      a.name = s.policies[0].policy_name;
+      availability.push_back(std::move(a));
+      auto d = s.series(sim::Metric::kDelayActualH).front();
+      d.name = s.policies[0].policy_name;
+      delay.push_back(std::move(d));
+      x_label = s.x_label;
+    }
+    util::ChartOptions copts;
+    copts.title = "Ablation A3: Hybrid alpha sweep (availability)";
+    copts.x_label = x_label;
+    copts.y_label = "availability";
+    copts.y_min = 0.0;
+    copts.y_max = 1.0;
+    std::fputs(util::render_chart(availability, copts).c_str(), stdout);
+    util::write_series_csv(bench::csv_path("ablationA3_hybrid_availability"),
+                           x_label, availability);
+    util::write_series_csv(bench::csv_path("ablationA3_hybrid_delay"),
+                           x_label, delay);
+    std::printf("wrote %s and %s\n\n",
+                bench::csv_path("ablationA3_hybrid_availability").c_str(),
+                bench::csv_path("ablationA3_hybrid_delay").c_str());
+  }
+
+  // --- fairness: load caps over the whole network -----------------------
+  {
+    const auto model =
+        onlinetime::make_model(onlinetime::ModelKind::kSporadic);
+    util::Rng mrng(util::mix64(env.seed, 0xfa12));
+    const auto schedules = model->schedules(env.dataset, mrng);
+
+    util::TextTable table({"load cap", "mean load", "max load", "gini",
+                           "avg replicas placed"});
+    std::vector<std::string> header{"load_cap", "mean", "max", "gini",
+                                    "avg_replicas"};
+    util::CsvWriter csv(bench::csv_path("ablationA3_load_fairness"));
+    csv.header(header);
+    for (std::size_t cap : {std::size_t{0}, std::size_t{20}, std::size_t{10},
+                            std::size_t{5}, std::size_t{3}}) {
+      core::AssignmentConfig cfg;
+      cfg.policy = placement::PolicyKind::kMaxAv;
+      cfg.connectivity = placement::Connectivity::kConRep;
+      cfg.max_replicas = 5;
+      cfg.load_cap = cap;
+      util::Rng rng(util::mix64(env.seed, 0xfa13));
+      const auto assignment =
+          core::assign_replicas(env.dataset, schedules, cfg, rng);
+      const auto stats = core::load_stats(assignment.host_load);
+      const std::string label = cap == 0 ? "none" : std::to_string(cap);
+      table.add_row(label,
+                    {stats.mean, static_cast<double>(stats.max), stats.gini,
+                     assignment.average_replication_degree()});
+      csv.row(std::vector<double>{static_cast<double>(cap), stats.mean,
+                                  static_cast<double>(stats.max), stats.gini,
+                                  assignment.average_replication_degree()});
+    }
+    std::printf("Hosting-load fairness under MaxAv/ConRep, k = 5:\n");
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("wrote %s\n", bench::csv_path("ablationA3_load_fairness").c_str());
+  }
+  return 0;
+}

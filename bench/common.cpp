@@ -1,0 +1,145 @@
+#include "common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/degree_stats.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::bench {
+namespace {
+
+double env_scale() {
+  if (const char* s = std::getenv("DOSN_BENCH_SCALE"))
+    return util::parse_f64(s);
+  return 1.0;
+}
+
+std::uint64_t env_seed() {
+  if (const char* s = std::getenv("DOSN_BENCH_SEED"))
+    return static_cast<std::uint64_t>(util::parse_i64(s));
+  return 20120618;  // ICDCS'12 week
+}
+
+}  // namespace
+
+sim::Study::Options FigureEnv::options(std::size_t k_max) const {
+  sim::Study::Options o;
+  o.cohort_degree = cohort_degree;
+  o.k_max = std::min(k_max, cohort_degree);
+  o.repetitions = repetitions;
+  return o;
+}
+
+FigureEnv load_env(const std::string& dataset_name) {
+  FigureEnv env;
+  env.scale = env_scale();
+  env.seed = env_seed();
+
+  auto preset = dataset_name == "twitter" ? synth::twitter_preset()
+                                          : synth::facebook_preset();
+  preset = synth::scaled(preset, env.scale);
+
+  util::Rng rng(util::mix64(env.seed, dataset_name == "twitter" ? 2 : 1));
+  env.dataset = synth::generate_study_dataset(preset, rng);
+
+  const auto s = trace::stats_of(env.dataset);
+  std::printf(
+      "dataset %-8s (scale %.2f, seed %llu): %zu users, %zu edges, "
+      "%zu activities, avg degree %.1f, avg activities %.1f\n",
+      env.dataset.name.c_str(), env.scale,
+      static_cast<unsigned long long>(env.seed), s.users, s.edges,
+      s.activities, s.average_degree, s.average_activities);
+
+  // The paper's cohort is degree 10; fall back to the best-populated
+  // nearby degree when a scaled-down dataset leaves it too thin.
+  env.cohort_degree = 10;
+  const auto cohort = graph::users_with_degree(env.dataset.graph, 10);
+  if (cohort.size() < 30) {
+    env.cohort_degree = graph::most_populated_degree(env.dataset.graph, 5, 15);
+    std::printf("cohort: degree-10 too thin (%zu users); using degree %zu\n",
+                cohort.size(), env.cohort_degree);
+  }
+  std::printf(
+      "cohort: %zu users of degree %zu\n\n",
+      graph::users_with_degree(env.dataset.graph, env.cohort_degree).size(),
+      env.cohort_degree);
+  return env;
+}
+
+std::string csv_path(const std::string& name) {
+  return "results/" + name + ".csv";
+}
+
+void figure_banner(const std::string& figure_id, const std::string& title,
+                   const std::string& paper_expectation) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure_id.c_str(), title.c_str());
+  std::printf("paper expectation: %s\n", paper_expectation.c_str());
+  std::printf("==============================================================\n");
+}
+
+void report_metric(const std::string& figure_id, const std::string& title,
+                   const sim::SweepResult& sweep, sim::Metric metric,
+                   bool log_x) {
+  const auto series = sweep.series(metric);
+
+  util::ChartOptions opts;
+  opts.title = title + " [" + sweep.dataset_name + ", " + sweep.model_name +
+               ", " + sweep.connectivity_name + "]";
+  opts.x_label = sweep.x_label;
+  opts.y_label = sim::to_string(metric);
+  opts.log_x = log_x;
+  const bool fraction_metric = metric != sim::Metric::kDelayActualH &&
+                               metric != sim::Metric::kDelayObservedH &&
+                               metric != sim::Metric::kReplicasUsed;
+  if (fraction_metric) {
+    opts.y_min = 0.0;
+    opts.y_max = 1.0;
+  }
+  std::fputs(util::render_chart(series, opts).c_str(), stdout);
+
+  // Numeric table.
+  std::printf("\n%-12s", sweep.x_label.c_str());
+  for (const auto& s : series) std::printf("  %12s", s.name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < sweep.xs.size(); ++i) {
+    std::printf("%-12g", sweep.xs[i]);
+    for (const auto& s : series) std::printf("  %12.4f", s.y[i]);
+    std::printf("\n");
+  }
+
+  const auto path = csv_path(figure_id);
+  util::write_series_csv(path, sweep.x_label, series);
+  std::printf("\nwrote %s\n\n", path.c_str());
+}
+
+void run_model_panels(const FigureEnv& env, const std::string& figure_id,
+                      const std::string& title, sim::Metric metric,
+                      placement::Connectivity connectivity) {
+  struct Panel {
+    const char* suffix;
+    onlinetime::ModelKind kind;
+    onlinetime::ModelParams params;
+  };
+  const std::vector<Panel> panels{
+      {"a_sporadic", onlinetime::ModelKind::kSporadic, {}},
+      {"b_randomlength", onlinetime::ModelKind::kRandomLength, {}},
+      {"c_fixed2h",
+       onlinetime::ModelKind::kFixedLength,
+       {.window_hours = 2.0}},
+      {"d_fixed8h",
+       onlinetime::ModelKind::kFixedLength,
+       {.window_hours = 8.0}},
+  };
+
+  sim::Study study(env.dataset, env.seed);
+  for (const auto& panel : panels) {
+    const auto sweep = study.replication_sweep(panel.kind, panel.params,
+                                               connectivity, env.options());
+    report_metric(figure_id + panel.suffix, title, sweep, metric);
+  }
+}
+
+}  // namespace dosn::bench

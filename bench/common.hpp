@@ -1,0 +1,55 @@
+// Shared scaffolding for the figure-reproduction harnesses.
+//
+// Every `figNN_*` binary regenerates one figure of the paper: it builds the
+// (synthetic stand-in) dataset, runs the corresponding Study sweep, prints
+// the series as an ASCII chart plus a table, and writes
+// `results/<figure>.csv`. Binaries take no arguments; environment knobs:
+//
+//   DOSN_BENCH_SCALE  — user-count scale factor (default 1.0 = paper scale;
+//                       e.g. 0.05 for a quick smoke run)
+//   DOSN_BENCH_SEED   — RNG seed (default 20120618 — ICDCS'12 week)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "util/ascii_chart.hpp"
+
+namespace dosn::bench {
+
+struct FigureEnv {
+  trace::Dataset dataset;
+  std::uint64_t seed = 0;
+  double scale = 1.0;
+  std::size_t cohort_degree = 10;
+  std::size_t repetitions = 5;
+
+  sim::Study::Options options(std::size_t k_max = 10) const;
+};
+
+/// Builds the filtered study dataset for "facebook" or "twitter".
+FigureEnv load_env(const std::string& dataset_name);
+
+/// Prints one metric of a sweep as chart + table and writes its CSV.
+void report_metric(const std::string& figure_id, const std::string& title,
+                   const sim::SweepResult& sweep, sim::Metric metric,
+                   bool log_x = false);
+
+/// Prints the figure header with the paper's expectation for comparison.
+void figure_banner(const std::string& figure_id, const std::string& title,
+                   const std::string& paper_expectation);
+
+/// results/<name>.csv under the current working directory.
+std::string csv_path(const std::string& name);
+
+/// Runs the replication-degree sweep for the paper's four online-time
+/// model panels (Sporadic 20min, RandomLength 2-8h, FixedLength 2h,
+/// FixedLength 8h) and reports `metric` for each — the layout of
+/// Figs 3, 5, 6, 7, 10 and 11.
+void run_model_panels(const FigureEnv& env, const std::string& figure_id,
+                      const std::string& title, sim::Metric metric,
+                      placement::Connectivity connectivity);
+
+}  // namespace dosn::bench

@@ -1,0 +1,16 @@
+// Figure 3: Facebook, ConRep — availability vs replication degree for the
+// four online-time model panels.
+#include "common.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "fig03", "Facebook-ConRep: Availability",
+      "availability rises with k and flattens after k ~ 4-6; MaxAv >= "
+      "MostActive >= Random at every k; FixedLength(2h) stays low");
+  const auto env = bench::load_env("facebook");
+  bench::run_model_panels(env, "fig03", "Fig 3: FB ConRep availability",
+                          sim::Metric::kAvailability,
+                          placement::Connectivity::kConRep);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 5: Facebook, ConRep — availability-on-demand-time vs replication
+// degree for the four online-time model panels.
+#include "common.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "fig05", "Facebook-ConRep: Availability-on-Demand-Time",
+      "AoD-time approaches 1.0 with ~5 MaxAv replicas (Sporadic); "
+      "MostActive and Random need more replicas for the same level");
+  const auto env = bench::load_env("facebook");
+  bench::run_model_panels(env, "fig05", "Fig 5: FB ConRep AoD-time",
+                          sim::Metric::kAodTime,
+                          placement::Connectivity::kConRep);
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Figure 6: Facebook, ConRep — availability-on-demand-activity vs
+// replication degree for the four online-time model panels.
+#include "common.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "fig06", "Facebook-ConRep: Availability-on-Demand-Activity",
+      "AoD-activity is even higher than AoD-time: a small replication "
+      "degree makes profiles highly available at friends' activity times");
+  const auto env = bench::load_env("facebook");
+  bench::run_model_panels(env, "fig06", "Fig 6: FB ConRep AoD-activity",
+                          sim::Metric::kAodActivity,
+                          placement::Connectivity::kConRep);
+  return 0;
+}

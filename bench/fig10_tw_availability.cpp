@@ -1,0 +1,16 @@
+// Figure 10: Twitter, ConRep — availability vs replication degree for the
+// four online-time model panels (replicas on followers).
+#include "common.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "fig10", "Twitter-ConRep: Availability",
+      "same trends as Facebook: availability rises and flattens; MaxAv "
+      "dominates; FixedLength(2h) stays low");
+  const auto env = bench::load_env("twitter");
+  bench::run_model_panels(env, "fig10", "Fig 10: TW ConRep availability",
+                          sim::Metric::kAvailability,
+                          placement::Connectivity::kConRep);
+  return 0;
+}

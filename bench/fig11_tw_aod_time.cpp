@@ -1,0 +1,16 @@
+// Figure 11: Twitter, ConRep — availability-on-demand-time vs replication
+// degree for the four online-time model panels.
+#include "common.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "fig11", "Twitter-ConRep: Availability-on-Demand-Time",
+      "mirrors Facebook except FixedLength(8h) does not reach the maximum: "
+      "some followers never connect in time to any replica");
+  const auto env = bench::load_env("twitter");
+  bench::run_model_panels(env, "fig11", "Fig 11: TW ConRep AoD-time",
+                          sim::Metric::kAodTime,
+                          placement::Connectivity::kConRep);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Extra panels the paper defers to its technical report [14]: the
+// UnconRep counterparts of the availability / AoD / delay sweeps for the
+// remaining online-time models ("for other online time models cf. [14]",
+// "for the case of UnconRep, it is even higher (cf. [14])").
+#include "common.hpp"
+
+int main() {
+  using namespace dosn;
+  bench::figure_banner(
+      "figX", "Facebook-UnconRep: remaining panels (tech-report [14])",
+      "UnconRep availability/AoD at or above the ConRep curves for every "
+      "model; UnconRep delay below ConRep (relay-mediated exchange)");
+  const auto env = bench::load_env("facebook");
+
+  bench::run_model_panels(env, "figX1", "TR: FB UnconRep availability",
+                          sim::Metric::kAvailability,
+                          placement::Connectivity::kUnconRep);
+  bench::run_model_panels(env, "figX2", "TR: FB UnconRep AoD-activity",
+                          sim::Metric::kAodActivity,
+                          placement::Connectivity::kUnconRep);
+  bench::run_model_panels(env, "figX3", "TR: FB UnconRep update delay",
+                          sim::Metric::kDelayActualH,
+                          placement::Connectivity::kUnconRep);
+  return 0;
+}

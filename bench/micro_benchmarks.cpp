@@ -1,0 +1,158 @@
+// Google-benchmark microbenchmarks for the performance-critical kernels:
+// interval algebra, worst-case wait analysis, greedy placement, the delay
+// metric, and the event-driven replica simulator.
+#include <benchmark/benchmark.h>
+
+#include "core/profile.hpp"
+#include "interval/day_schedule.hpp"
+#include "net/dht.hpp"
+#include "net/gossip.hpp"
+#include "metrics/delay.hpp"
+#include "net/replica_sim.hpp"
+#include "placement/max_av.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using dosn::interval::DaySchedule;
+using dosn::interval::IntervalSet;
+using dosn::interval::kDaySeconds;
+using dosn::interval::Seconds;
+
+DaySchedule random_schedule(dosn::util::Rng& rng, int pieces) {
+  IntervalSet s;
+  for (int i = 0; i < pieces; ++i) {
+    const Seconds start = rng.range(0, kDaySeconds - 7200);
+    const Seconds len = rng.range(300, 2 * 3600);
+    s.add(start, std::min(start + len, kDaySeconds));
+  }
+  return DaySchedule(std::move(s));
+}
+
+void BM_IntervalUnion(benchmark::State& state) {
+  dosn::util::Rng rng(1);
+  const auto a = random_schedule(rng, static_cast<int>(state.range(0)));
+  const auto b = random_schedule(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state) benchmark::DoNotOptimize(a.unite(b));
+}
+BENCHMARK(BM_IntervalUnion)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_IntervalIntersectMeasure(benchmark::State& state) {
+  dosn::util::Rng rng(2);
+  const auto a = random_schedule(rng, static_cast<int>(state.range(0)));
+  const auto b = random_schedule(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(a.set().intersection_measure(b.set()));
+}
+BENCHMARK(BM_IntervalIntersectMeasure)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_WorstCaseWait(benchmark::State& state) {
+  dosn::util::Rng rng(3);
+  const auto a = random_schedule(rng, static_cast<int>(state.range(0)));
+  const auto b = random_schedule(rng, static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dosn::interval::worst_case_wait(a, b));
+}
+BENCHMARK(BM_WorstCaseWait)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_MaxAvSelect(benchmark::State& state) {
+  dosn::util::Rng rng(4);
+  const auto candidates_count = static_cast<std::size_t>(state.range(0));
+  std::vector<DaySchedule> schedules;
+  schedules.push_back(random_schedule(rng, 4));  // owner
+  std::vector<dosn::graph::UserId> candidates;
+  for (std::size_t i = 0; i < candidates_count; ++i) {
+    schedules.push_back(random_schedule(rng, 4));
+    candidates.push_back(static_cast<dosn::graph::UserId>(i + 1));
+  }
+  dosn::trace::ActivityTrace trace(candidates_count + 1, {});
+  dosn::placement::MaxAvPolicy policy;
+  dosn::placement::PlacementContext ctx;
+  ctx.user = 0;
+  ctx.candidates = candidates;
+  ctx.schedules = schedules;
+  ctx.trace = &trace;
+  ctx.connectivity = dosn::placement::Connectivity::kConRep;
+  ctx.max_replicas = 10;
+  for (auto _ : state) benchmark::DoNotOptimize(policy.select(ctx, rng));
+}
+BENCHMARK(BM_MaxAvSelect)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_UpdatePropagationDelay(benchmark::State& state) {
+  dosn::util::Rng rng(5);
+  const auto owner = random_schedule(rng, 4);
+  std::vector<DaySchedule> replicas;
+  for (int i = 0; i < state.range(0); ++i)
+    replicas.push_back(random_schedule(rng, 4));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(dosn::metrics::update_propagation_delay(
+        owner, replicas, dosn::placement::Connectivity::kConRep));
+}
+BENCHMARK(BM_UpdatePropagationDelay)->Arg(3)->Arg(10);
+
+void BM_ReplicaSim(benchmark::State& state) {
+  dosn::util::Rng rng(6);
+  std::vector<DaySchedule> nodes;
+  for (int i = 0; i < 6; ++i) nodes.push_back(random_schedule(rng, 6));
+  const auto updates = dosn::net::updates_within_schedules(
+      nodes, static_cast<std::size_t>(state.range(0)), 14, rng);
+  dosn::net::ReplicaSimConfig cfg;
+  cfg.horizon_days = 21;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        dosn::net::simulate_replica_group(nodes, updates, cfg));
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(state.range(0)));
+}
+BENCHMARK(BM_ReplicaSim)->Arg(50)->Arg(500);
+
+void BM_ProfileMerge(benchmark::State& state) {
+  const auto posts = static_cast<int>(state.range(0));
+  dosn::core::Profile a(0), b(0);
+  for (int i = 0; i < posts; ++i) {
+    a.append(1, i, "post");
+    b.append(2, i, "post");
+  }
+  for (auto _ : state) {
+    dosn::core::Profile merged = a;
+    merged.merge(b);
+    benchmark::DoNotOptimize(merged.size());
+  }
+  state.SetItemsProcessed(state.iterations() * posts);
+}
+BENCHMARK(BM_ProfileMerge)->Arg(64)->Arg(512);
+
+void BM_DhtLookup(benchmark::State& state) {
+  dosn::util::Rng rng(7);
+  dosn::net::DhtRing ring(2);
+  for (std::int64_t id = 1; id <= state.range(0); ++id)
+    ring.join(static_cast<std::uint64_t>(id));
+  int i = 0;
+  for (auto _ : state)
+    benchmark::DoNotOptimize(
+        ring.lookup("key" + std::to_string(i++ % 1000), rng).hops);
+}
+BENCHMARK(BM_DhtLookup)->Arg(64)->Arg(1024);
+
+void BM_GossipDay(benchmark::State& state) {
+  dosn::util::Rng rng(8);
+  std::vector<DaySchedule> nodes;
+  for (int i = 0; i < 5; ++i) nodes.push_back(random_schedule(rng, 4));
+  std::vector<dosn::net::GossipWrite> writes;
+  const auto specs =
+      dosn::net::updates_within_schedules(nodes, 20, 3, rng);
+  for (const auto& s : specs) writes.push_back({s.time, s.origin, 1});
+  dosn::net::GossipConfig cfg;
+  cfg.sync_period = 600;
+  cfg.horizon_days = 4;
+  for (auto _ : state) {
+    dosn::util::Rng run_rng(9);
+    benchmark::DoNotOptimize(
+        dosn::net::simulate_gossip(nodes, writes, cfg, run_rng));
+  }
+}
+BENCHMARK(BM_GossipDay);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// Dataset tool: generate synthetic stand-ins, inspect any dataset on disk,
+// and run the paper's filtering pipeline — the entry point for users who
+// hold the real New Orleans / Twitter traces.
+//
+//   dataset_tool generate <facebook|twitter> <prefix> [scale] [seed]
+//   dataset_tool inspect <edges> <activities> <undirected|directed>
+//   dataset_tool filter <edges> <activities> <undirected|directed>
+//                <min-activities> <out-prefix>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "graph/degree_stats.hpp"
+#include "synth/presets.hpp"
+#include "trace/parsers.hpp"
+#include "trace/statistics.hpp"
+
+namespace {
+
+using namespace dosn;
+
+void print_stats(const trace::Dataset& d) {
+  const auto s = trace::stats_of(d);
+  std::printf("dataset '%s' (%s)\n", d.name.c_str(),
+              d.graph.kind() == graph::GraphKind::kUndirected
+                  ? "undirected friendships"
+                  : "directed follows");
+  std::printf("  users:       %zu\n", s.users);
+  std::printf("  edges:       %zu\n", s.edges);
+  std::printf("  activities:  %zu\n", s.activities);
+  std::printf("  avg degree:  %.2f (contacts view)\n", s.average_degree);
+  std::printf("  avg acts:    %.2f per user\n", s.average_activities);
+  if (!d.trace.empty())
+    std::printf("  time span:   %lld .. %lld (%.1f days)\n",
+                static_cast<long long>(d.trace.min_timestamp()),
+                static_cast<long long>(d.trace.max_timestamp()),
+                static_cast<double>(d.trace.max_timestamp() -
+                                    d.trace.min_timestamp()) /
+                    86400.0);
+  const auto hist = graph::degree_histogram(d.graph);
+  std::printf("  degree-10 cohort: %zu users\n",
+              hist.size() > 10 ? hist[10] : 0);
+  if (!d.trace.empty())
+    std::fputs(trace::to_string(trace::trace_statistics(d)).c_str(), stdout);
+}
+
+graph::GraphKind parse_kind(const std::string& s) {
+  if (s == "undirected") return graph::GraphKind::kUndirected;
+  if (s == "directed") return graph::GraphKind::kDirected;
+  throw ConfigError("graph kind must be 'undirected' or 'directed'");
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) throw ConfigError("generate needs <facebook|twitter> <prefix>");
+  const std::string which = argv[2];
+  const std::string prefix = argv[3];
+  const double scale = argc > 4 ? std::atof(argv[4]) : 1.0;
+  const std::uint64_t seed =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 1;
+
+  auto preset = which == "twitter" ? synth::twitter_preset()
+                                   : synth::facebook_preset();
+  preset = synth::scaled(preset, scale);
+  util::Rng rng(seed);
+  const auto raw = synth::generate_raw(preset, rng);
+  print_stats(raw);
+  trace::save_dataset(prefix, raw);
+  std::printf("wrote %s.edges and %s.activities\n", prefix.c_str(),
+              prefix.c_str());
+  return 0;
+}
+
+int cmd_inspect(int argc, char** argv) {
+  if (argc < 5)
+    throw ConfigError("inspect needs <edges> <activities> <kind>");
+  const auto d =
+      trace::load_dataset("inspected", argv[2], argv[3], parse_kind(argv[4]));
+  print_stats(d);
+  return 0;
+}
+
+int cmd_filter(int argc, char** argv) {
+  if (argc < 7)
+    throw ConfigError(
+        "filter needs <edges> <activities> <kind> <min-acts> <out-prefix>");
+  auto d = trace::load_dataset("raw", argv[2], argv[3], parse_kind(argv[4]));
+  const auto min_acts = static_cast<std::size_t>(std::atoi(argv[5]));
+  std::printf("before filter:\n");
+  print_stats(d);
+  auto filtered = trace::filter_isolated(
+      trace::filter_min_activity(d, min_acts));
+  filtered.name = "filtered";
+  std::printf("\nafter filter (>= %zu created activities, no isolated "
+              "users):\n",
+              min_acts);
+  print_stats(filtered);
+  trace::save_dataset(argv[6], filtered);
+  std::printf("wrote %s.edges and %s.activities\n", argv[6], argv[6]);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "generate") return cmd_generate(argc, argv);
+    if (cmd == "inspect") return cmd_inspect(argc, argv);
+    if (cmd == "filter") return cmd_filter(argc, argv);
+    std::printf(
+        "usage:\n"
+        "  dataset_tool generate <facebook|twitter> <prefix> [scale] [seed]\n"
+        "  dataset_tool inspect <edges> <activities> <undirected|directed>\n"
+        "  dataset_tool filter <edges> <activities> <undirected|directed> "
+        "<min-activities> <out-prefix>\n");
+    return cmd.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

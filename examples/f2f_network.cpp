@@ -1,0 +1,87 @@
+// Runs one profile's replica group as a *live* friend-to-friend network:
+// nodes churn along their daily schedules in the discrete-event simulator,
+// wall posts become profile updates with (author, seq) identities, and the
+// eventual-consistency layer merges replica states at every rendezvous.
+// Prints a per-update delivery timeline and compares realized propagation
+// delays against the analytic worst case.
+#include <cstdio>
+
+#include "core/profile.hpp"
+#include "metrics/delay.hpp"
+#include "net/replica_sim.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace dosn;
+  using interval::DaySchedule;
+  using interval::IntervalSet;
+  constexpr interval::Seconds kH = 3600;
+
+  auto window = [](interval::Seconds a, interval::Seconds b) {
+    return DaySchedule(IntervalSet::single(a * kH, b * kH));
+  };
+
+  // Owner + three friend replicas with staggered daily windows.
+  const std::vector<DaySchedule> nodes{
+      window(7, 10),   // owner: mornings
+      window(9, 13),   // replica 1
+      window(12, 17),  // replica 2
+      window(16, 22),  // replica 3: evenings
+  };
+  const char* names[] = {"owner", "replica1", "replica2", "replica3"};
+
+  // Posts on the profile over four days (absolute seconds, origin node).
+  const std::vector<net::UpdateSpec> updates{
+      {8 * kH, 0},                           // owner posts Monday morning
+      {12 * kH + 1800, 2},                   // friend writes via replica 2
+      {interval::kDaySeconds + 21 * kH, 3},  // Tuesday evening
+      {2 * interval::kDaySeconds + 9 * kH + 1800, 1},
+  };
+
+  net::ReplicaSimConfig cfg;
+  cfg.horizon_days = 6;
+  const auto report = net::simulate_replica_group(nodes, updates, cfg);
+
+  std::printf("F2F replica group: 4 nodes, %zu updates, %llu events\n\n",
+              updates.size(),
+              static_cast<unsigned long long>(report.events));
+  for (std::size_t u = 0; u < report.deliveries.size(); ++u) {
+    const auto& d = report.deliveries[u];
+    std::printf("update %zu (origin %s at t=%s):\n", u, names[d.origin],
+                util::format_duration_s(static_cast<double>(d.creation))
+                    .c_str());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i == d.origin) continue;
+      if (d.arrival[i])
+        std::printf("  -> %-9s after %s\n", names[i],
+                    util::format_duration_s(
+                        static_cast<double>(*d.arrival[i] - d.creation))
+                        .c_str());
+      else
+        std::printf("  -> %-9s NOT DELIVERED in horizon\n", names[i]);
+    }
+  }
+
+  const auto analytic = metrics::update_propagation_delay(
+      nodes[0], std::span<const DaySchedule>(nodes).subspan(1),
+      placement::Connectivity::kConRep);
+  std::printf(
+      "\nrealized worst delay: %.1f h | analytic worst case: %.1f h "
+      "(observed: %.1f h)\n",
+      static_cast<double>(report.max_delay) / 3600.0,
+      analytic.actual_hours(), analytic.observed_hours());
+  std::printf("group availability (any node online): %.3f\n\n",
+              report.empirical_availability);
+
+  // The same exchange at the data layer: profiles converge by set union.
+  core::Profile at_owner(0), at_replica3(0);
+  at_owner.append(0, 8 * kH, "good morning wall");
+  at_replica3.append(3, 21 * kH, "good evening wall");
+  at_owner.merge(at_replica3);
+  at_replica3.merge(at_owner);
+  std::printf("profile replicas converged: %s, %zu posts, version %s\n",
+              at_owner.posts() == at_replica3.posts() ? "yes" : "NO",
+              at_owner.size(), at_owner.version().to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Facebook study end-to-end on the public API (a compact version of the
+// fig03/fig05/fig07 harnesses): generates the calibrated synthetic stand-in
+// for the New Orleans trace, runs the degree-10 cohort sweep under the
+// Sporadic model, and prints availability / AoD-time / delay per policy.
+//
+// Usage: facebook_study [scale]   (default scale 0.1 for a fast run)
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/degree_stats.hpp"
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dosn;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const auto preset = synth::scaled(synth::facebook_preset(), scale);
+  util::Rng rng(1);
+  const auto dataset = synth::generate_study_dataset(preset, rng);
+  const auto stats = trace::stats_of(dataset);
+  std::printf("facebook stand-in @ scale %.2f: %zu users, avg degree %.1f, "
+              "avg activities %.1f\n",
+              scale, stats.users, stats.average_degree,
+              stats.average_activities);
+
+  sim::Study study(dataset, /*seed=*/42);
+  sim::Study::Options opts;
+  opts.cohort_degree = graph::most_populated_degree(dataset.graph, 5, 15);
+  opts.k_max = std::min<std::size_t>(opts.cohort_degree, 10);
+  opts.repetitions = 3;
+  std::printf("cohort: degree %zu (%zu users), k = 0..%zu\n\n",
+              opts.cohort_degree,
+              graph::users_with_degree(dataset.graph, opts.cohort_degree)
+                  .size(),
+              opts.k_max);
+
+  const auto sweep = study.replication_sweep(
+      onlinetime::ModelKind::kSporadic, {}, placement::Connectivity::kConRep,
+      opts);
+
+  for (const auto metric :
+       {sim::Metric::kAvailability, sim::Metric::kAodTime,
+        sim::Metric::kDelayActualH}) {
+    std::printf("--- %s ---\n", sim::to_string(metric).c_str());
+    util::TextTable table({"k", "MaxAv", "MostActive", "Random"});
+    for (std::size_t k = 0; k < sweep.xs.size(); ++k) {
+      table.add_row(std::to_string(k),
+                    {sim::metric_value(sweep.policies[0].points[k], metric),
+                     sim::metric_value(sweep.policies[1].points[k], metric),
+                     sim::metric_value(sweep.policies[2].points[k], metric)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("\n");
+  }
+
+  std::printf(
+      "Expected shapes (paper Sec V-A): availability flattens after a few\n"
+      "replicas with MaxAv on top; AoD-time approaches 1.0 around k = 5 for\n"
+      "MaxAv; the delay *increases* with k and MaxAv pays the most.\n");
+  return 0;
+}

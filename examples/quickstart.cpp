@@ -1,0 +1,91 @@
+// Quickstart: the core public API in ~80 lines.
+//
+// Builds a tiny friend network with hand-written daily schedules, places
+// profile replicas with each policy, and prints the paper's efficiency
+// metrics for the resulting configurations.
+#include <cstdio>
+
+#include "metrics/availability.hpp"
+#include "metrics/delay.hpp"
+#include "placement/policy.hpp"
+#include "trace/dataset.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace dosn;
+  using interval::DaySchedule;
+  using interval::IntervalSet;
+  constexpr interval::Seconds kH = 3600;
+
+  // --- 1. A small friendship graph: user 0 with five friends. ----------
+  graph::SocialGraphBuilder builder(graph::GraphKind::kUndirected, 6);
+  for (graph::UserId f = 1; f <= 5; ++f) builder.add_edge(0, f);
+  trace::Dataset dataset;
+  dataset.name = "quickstart";
+  dataset.graph = std::move(builder).build();
+
+  // Wall posts on user 0's profile (creator, receiver, unix-ish seconds):
+  // friend 1 is by far the most active.
+  dataset.trace = trace::ActivityTrace(
+      6, {{1, 0, 9 * kH}, {1, 0, 10 * kH}, {1, 0, 33 * kH}, {2, 0, 21 * kH}});
+
+  // --- 2. Daily online schedules (here: written by hand; in the full ---
+  // studies they come from an onlinetime::OnlineTimeModel).
+  auto window = [](interval::Seconds a, interval::Seconds b) {
+    return DaySchedule(IntervalSet::single(a * kH, b * kH));
+  };
+  std::vector<DaySchedule> schedules{
+      window(8, 10),   // 0: the owner, online 08:00-10:00
+      window(9, 13),   // 1
+      window(12, 16),  // 2
+      window(15, 19),  // 3
+      window(18, 22),  // 4
+      window(2, 4),    // 5: a night owl nobody overlaps with except...
+  };
+
+  // --- 3. Place replicas with each policy and measure. -----------------
+  std::printf("%-12s %-9s  %-8s %-8s %-12s %-10s\n", "policy", "replicas",
+              "avail", "aod-time", "aod-activity", "delay(h)");
+  util::Rng rng(7);
+  for (const auto kind :
+       {placement::PolicyKind::kMaxAv, placement::PolicyKind::kMostActive,
+        placement::PolicyKind::kRandom}) {
+    placement::PlacementContext context;
+    context.user = 0;
+    context.candidates = dataset.graph.contacts(0);
+    context.schedules = schedules;
+    context.trace = &dataset.trace;
+    context.connectivity = placement::Connectivity::kConRep;
+    context.max_replicas = 3;
+
+    const auto policy = placement::make_policy(kind);
+    const auto replicas = policy->select(context, rng);
+
+    std::vector<DaySchedule> replica_schedules;
+    std::string replica_list;
+    for (auto host : replicas) {
+      replica_schedules.push_back(schedules[host]);
+      replica_list += (replica_list.empty() ? "" : ",") + std::to_string(host);
+    }
+
+    const auto profile =
+        metrics::profile_schedule(schedules[0], replica_schedules);
+    std::vector<DaySchedule> friends(schedules.begin() + 1, schedules.end());
+    const auto aod = metrics::aod_activity(dataset.trace, 0, profile,
+                                           schedules);
+    const auto delay = metrics::update_propagation_delay(
+        schedules[0], replica_schedules, placement::Connectivity::kConRep);
+
+    std::printf("%-12s %-9s  %-8.3f %-8.3f %-12.3f %-10.1f\n",
+                policy->name().c_str(), replica_list.c_str(),
+                profile.coverage(), metrics::aod_time(friends, profile),
+                aod.overall, delay.actual_hours());
+  }
+
+  std::printf(
+      "\nMaxAv picks the chain 1-2-3-4 style coverage; MostActive favours\n"
+      "friend 1 (who posts the most); Random is whatever it is. Delay grows\n"
+      "with coverage because far-apart schedules rendezvous rarely —\n"
+      "exactly the paper's availability/freshness trade-off.\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The UnconRep data path end to end: replicas that rarely meet exchange a
+// profile through (a) the message-level gossip protocol when they do meet,
+// and (b) a Chord-style DHT relay when they never do. Shows the realized
+// delays of both paths and the DHT's routing cost.
+#include <cstdio>
+
+#include "net/dht.hpp"
+#include "net/gossip.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace dosn;
+  using interval::DaySchedule;
+  using interval::IntervalSet;
+  constexpr interval::Seconds kH = 3600;
+
+  auto window = [](interval::Seconds a, interval::Seconds b) {
+    return DaySchedule(IntervalSet::single(a * kH, b * kH));
+  };
+
+  // Morning owner, lunchtime friend (brief overlap), night-owl friend
+  // (no overlap with anyone).
+  const std::vector<DaySchedule> nodes{window(7, 11), window(10, 14),
+                                       window(22, 24)};
+  const char* names[] = {"owner", "lunch-friend", "night-owl"};
+
+  // --- 1. F2F gossip: works along the 10-11h overlap, fails to the owl --
+  std::vector<net::GossipWrite> writes{{8 * kH, 0, /*author=*/1}};
+  net::GossipConfig gossip_cfg;
+  gossip_cfg.sync_period = 300;
+  gossip_cfg.link_latency = 1;
+  gossip_cfg.horizon_days = 3;
+  util::Rng rng(7);
+  const auto gossip = net::simulate_gossip(nodes, writes, gossip_cfg, rng);
+
+  std::printf("F2F gossip (5-minute anti-entropy, 3-day horizon):\n");
+  for (std::size_t n = 1; n < nodes.size(); ++n) {
+    if (gossip.arrival[0][n])
+      std::printf("  post @08:00 -> %-12s after %s\n", names[n],
+                  util::format_duration_s(static_cast<double>(
+                      *gossip.arrival[0][n] - writes[0].time))
+                      .c_str());
+    else
+      std::printf("  post @08:00 -> %-12s NEVER (no rendezvous)\n", names[n]);
+  }
+  std::printf("  protocol: %llu msgs, %llu posts shipped, %llu rounds\n\n",
+              static_cast<unsigned long long>(gossip.messages_sent),
+              static_cast<unsigned long long>(gossip.posts_shipped),
+              static_cast<unsigned long long>(gossip.sync_rounds));
+
+  // --- 2. UnconRep: park the update in a DHT relay --------------------
+  net::DhtRing relay(/*replication=*/2);
+  for (std::uint64_t id = 1; id <= 64; ++id) relay.join(id);
+
+  const std::string key = "profile:0:update:1";
+  const auto put_route = relay.lookup(key, rng);
+  relay.put(key, "post @08:00 (encrypted blob)");
+  std::printf("DHT relay (64 nodes, replication 2):\n");
+  std::printf("  put %-24s -> node %llu in %zu hops\n", key.c_str(),
+              static_cast<unsigned long long>(put_route.owner),
+              put_route.hops);
+
+  // The night owl fetches at 22:00 — delay is just his own offline gap.
+  const auto get_route = relay.lookup(key, rng);
+  const auto value = relay.get(key);
+  std::printf("  get %-24s -> node %llu in %zu hops: %s\n", key.c_str(),
+              static_cast<unsigned long long>(get_route.owner),
+              get_route.hops, value ? "hit" : "MISS");
+  std::printf("  night-owl delay via relay: %s (22:00 - 08:00) vs gossip: "
+              "never\n\n",
+              util::format_duration_s(14 * 3600.0).c_str());
+
+  // Failure tolerance: the relay survives losing the primary holder.
+  const auto owners = relay.responsible_nodes(key);
+  std::printf("  primary holder %llu crashes -> get still %s (replica on "
+              "node %llu)\n",
+              static_cast<unsigned long long>(owners[0]),
+              relay.get(key, owners[0]) ? "succeeds" : "fails",
+              static_cast<unsigned long long>(owners[1]));
+
+  std::printf(
+      "\nThis is the paper's Sec V-C trade: ConRep keeps data on friends\n"
+      "only but pays rendezvous delays (or never delivers); UnconRep cuts\n"
+      "the delay to the reader's own offline gap at the cost of parking\n"
+      "(encrypted) updates on third-party infrastructure.\n");
+  return 0;
+}

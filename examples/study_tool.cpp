@@ -1,0 +1,198 @@
+// study_tool: run any sweep of the study from the command line.
+//
+//   study_tool sweep   [options]   replication-degree sweep (Figs 3-7,10,11)
+//   study_tool session [options]   session-length sweep (Fig 8)
+//   study_tool degree  [options]   user-degree sweep (Fig 9)
+//
+// Options (all optional):
+//   --dataset facebook|twitter      (default facebook)
+//   --edges <path> --activities <path>  load a real dataset from disk
+//                                   instead of generating (use with
+//                                   --kind undirected|directed and
+//                                   --min-acts for the paper's filter)
+//   --scale <f>                     user-count scale (default 0.1)
+//   --seed <n>                      RNG seed (default 1)
+//   --model sporadic|fixed|random|enriched   (default sporadic)
+//   --hours <f>                     fixed-length window hours (default 8)
+//   --session <secs>                sporadic session length (default 1200)
+//   --connectivity conrep|unconrep  (default conrep)
+//   --policies a,b,...              of maxav,mostactive,random,coregroup,
+//                                   hybrid (default the paper's three)
+//   --k <n>                         max replication degree (default 10)
+//   --reps <n>                      repetitions (default 3)
+//   --csv <path>                    write the availability series as CSV
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "graph/degree_stats.hpp"
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "trace/parsers.hpp"
+#include "util/ascii_chart.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dosn;
+
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               int first) {
+  std::map<std::string, std::string> flags;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (!util::starts_with(key, "--"))
+      throw ConfigError("expected --flag, got '" + key + "'");
+    key = key.substr(2);
+    if (i + 1 >= argc) throw ConfigError("--" + key + " needs a value");
+    flags[key] = argv[++i];
+  }
+  return flags;
+}
+
+onlinetime::ModelKind parse_model(const std::string& s) {
+  if (s == "sporadic") return onlinetime::ModelKind::kSporadic;
+  if (s == "fixed") return onlinetime::ModelKind::kFixedLength;
+  if (s == "random") return onlinetime::ModelKind::kRandomLength;
+  if (s == "enriched") return onlinetime::ModelKind::kEnrichedSporadic;
+  throw ConfigError("unknown model '" + s + "'");
+}
+
+placement::PolicyKind parse_policy(std::string_view s) {
+  if (s == "maxav") return placement::PolicyKind::kMaxAv;
+  if (s == "mostactive") return placement::PolicyKind::kMostActive;
+  if (s == "random") return placement::PolicyKind::kRandom;
+  if (s == "coregroup") return placement::PolicyKind::kCoreGroup;
+  if (s == "hybrid") return placement::PolicyKind::kHybrid;
+  throw ConfigError("unknown policy '" + std::string(s) + "'");
+}
+
+std::string flag_or(const std::map<std::string, std::string>& flags,
+                    const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+int run(int argc, char** argv) {
+  const std::string mode = argc > 1 ? argv[1] : "";
+  if (mode != "sweep" && mode != "session" && mode != "degree") {
+    std::printf(
+        "usage: study_tool <sweep|session|degree> [--dataset facebook|"
+        "twitter] [--scale f] [--seed n] [--model sporadic|fixed|random|"
+        "enriched] [--hours f] [--session secs] [--connectivity conrep|"
+        "unconrep] [--policies list] [--k n] [--reps n] [--csv path]\n");
+    return mode.empty() ? 0 : 1;
+  }
+  const auto flags = parse_flags(argc, argv, 2);
+
+  // Dataset: from disk (the paper's real-trace path) or synthetic.
+  const auto seed = static_cast<std::uint64_t>(
+      util::parse_i64(flag_or(flags, "seed", "1")));
+  trace::Dataset dataset;
+  if (auto it = flags.find("edges"); it != flags.end()) {
+    const auto acts = flags.find("activities");
+    if (acts == flags.end())
+      throw ConfigError("--edges requires --activities");
+    const auto kind = flag_or(flags, "kind", "undirected") == "directed"
+                          ? graph::GraphKind::kDirected
+                          : graph::GraphKind::kUndirected;
+    auto raw = trace::load_dataset("disk", it->second, acts->second, kind);
+    const auto min_acts = static_cast<std::size_t>(
+        util::parse_i64(flag_or(flags, "min-acts", "10")));
+    dataset = trace::filter_isolated(
+        trace::filter_min_activity(raw, min_acts));
+  } else {
+    const std::string dataset_name = flag_or(flags, "dataset", "facebook");
+    auto preset = dataset_name == "twitter" ? synth::twitter_preset()
+                                            : synth::facebook_preset();
+    preset = synth::scaled(preset,
+                           util::parse_f64(flag_or(flags, "scale", "0.1")));
+    util::Rng rng(seed);
+    dataset = synth::generate_study_dataset(preset, rng);
+  }
+  const auto stats = trace::stats_of(dataset);
+  std::printf("%s: %zu users, avg degree %.1f, %zu activities\n",
+              dataset.name.c_str(), stats.users, stats.average_degree,
+              stats.activities);
+
+  // Model.
+  const auto model_kind = parse_model(flag_or(flags, "model", "sporadic"));
+  onlinetime::ModelParams model_params;
+  model_params.window_hours =
+      util::parse_f64(flag_or(flags, "hours", "8"));
+  model_params.session_length =
+      util::parse_i64(flag_or(flags, "session", "1200"));
+
+  // Connectivity and policies.
+  const auto connectivity =
+      flag_or(flags, "connectivity", "conrep") == "unconrep"
+          ? placement::Connectivity::kUnconRep
+          : placement::Connectivity::kConRep;
+  sim::Study::Options opts;
+  if (auto it = flags.find("policies"); it != flags.end()) {
+    opts.policies.clear();
+    for (const auto token : util::split(it->second, ','))
+      opts.policies.push_back(parse_policy(util::trim(token)));
+  }
+  opts.repetitions = static_cast<std::size_t>(
+      util::parse_i64(flag_or(flags, "reps", "3")));
+  const auto k = static_cast<std::size_t>(
+      util::parse_i64(flag_or(flags, "k", "10")));
+  opts.cohort_degree = graph::most_populated_degree(dataset.graph, 5, 15);
+  opts.k_max = std::min(k, opts.cohort_degree);
+  std::printf("cohort: degree %zu (%zu users)\n\n", opts.cohort_degree,
+              graph::users_with_degree(dataset.graph, opts.cohort_degree)
+                  .size());
+
+  sim::Study study(dataset, seed);
+  sim::SweepResult sweep;
+  if (mode == "sweep") {
+    sweep = study.replication_sweep(model_kind, model_params, connectivity,
+                                    opts);
+  } else if (mode == "session") {
+    const std::vector<interval::Seconds> lengths{100,   300,   1000, 3000,
+                                                 10000, 30000, 100000};
+    sweep = study.session_length_sweep(lengths, std::min<std::size_t>(k, 3),
+                                       connectivity, opts);
+  } else {
+    sweep = study.user_degree_sweep(10, model_kind, model_params,
+                                    connectivity, opts);
+  }
+
+  for (const auto metric :
+       {sim::Metric::kAvailability, sim::Metric::kAodTime,
+        sim::Metric::kDelayActualH}) {
+    const auto series = sweep.series(metric);
+    util::ChartOptions copts;
+    copts.title = sim::to_string(metric) + " [" + sweep.model_name + ", " +
+                  sweep.connectivity_name + "]";
+    copts.x_label = sweep.x_label;
+    copts.y_label = sim::to_string(metric);
+    copts.log_x = mode == "session";
+    if (metric != sim::Metric::kDelayActualH) {
+      copts.y_min = 0.0;
+      copts.y_max = 1.0;
+    }
+    std::fputs(util::render_chart(series, copts).c_str(), stdout);
+    std::printf("\n");
+  }
+
+  if (auto it = flags.find("csv"); it != flags.end()) {
+    util::write_series_csv(it->second, sweep.x_label,
+                           sweep.series(sim::Metric::kAvailability));
+    std::printf("wrote %s\n", it->second.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

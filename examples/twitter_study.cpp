@@ -1,0 +1,75 @@
+// Twitter study: replicas live on *followers* (directed graph), tweets are
+// the activity. Runs the availability and AoD-time sweeps under two online
+// time models and highlights the paper's Fig 11d observation: followers
+// that never connect in time to any replica keep AoD-time below 1.0.
+//
+// Usage: twitter_study [scale]   (default scale 0.1)
+#include <cstdio>
+#include <cstdlib>
+
+#include "graph/degree_stats.hpp"
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dosn;
+
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.1;
+  const auto preset = synth::scaled(synth::twitter_preset(), scale);
+  util::Rng rng(2);
+  const auto dataset = synth::generate_study_dataset(preset, rng);
+  const auto stats = trace::stats_of(dataset);
+  std::printf("twitter stand-in @ scale %.2f: %zu users, avg followers "
+              "%.1f, %zu tweets\n",
+              scale, stats.users, stats.average_degree, stats.activities);
+
+  sim::Study study(dataset, /*seed=*/43);
+  sim::Study::Options opts;
+  opts.cohort_degree = graph::most_populated_degree(dataset.graph, 5, 15);
+  opts.k_max = std::min<std::size_t>(opts.cohort_degree, 10);
+  opts.repetitions = 3;
+  std::printf("cohort: follower-degree %zu (%zu users)\n\n",
+              opts.cohort_degree,
+              graph::users_with_degree(dataset.graph, opts.cohort_degree)
+                  .size());
+
+  struct ModelRun {
+    const char* label;
+    onlinetime::ModelKind kind;
+    onlinetime::ModelParams params;
+  };
+  for (const auto& run :
+       {ModelRun{"Sporadic (20 min sessions)",
+                 onlinetime::ModelKind::kSporadic, {}},
+        ModelRun{"FixedLength (8h windows)",
+                 onlinetime::ModelKind::kFixedLength, {.window_hours = 8.0}}}) {
+    const auto sweep = study.replication_sweep(
+        run.kind, run.params, placement::Connectivity::kConRep, opts);
+
+    std::printf("=== %s ===\n", run.label);
+    util::TextTable table(
+        {"k", "avail(MaxAv)", "aod-time(MaxAv)", "aod-time(MostActive)",
+         "aod-time(Random)"});
+    for (std::size_t k = 0; k < sweep.xs.size(); ++k) {
+      table.add_row(
+          std::to_string(k),
+          {sweep.policies[0].points[k].availability,
+           sweep.policies[0].points[k].aod_time,
+           sweep.policies[1].points[k].aod_time,
+           sweep.policies[2].points[k].aod_time});
+    }
+    std::fputs(table.render().c_str(), stdout);
+
+    const auto& final_point = sweep.policies[0].points.back();
+    std::printf("at k=%zu: availability %.3f of max achievable %.3f\n\n",
+                opts.k_max, final_point.availability,
+                final_point.max_availability);
+  }
+
+  std::printf(
+      "Paper Fig 10/11: Twitter mirrors Facebook, but under FixedLength(8h)\n"
+      "AoD-time does not reach 1.0 — some followers are never connected in\n"
+      "time to any replica of the profile they follow.\n");
+  return 0;
+}

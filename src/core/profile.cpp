@@ -1,0 +1,68 @@
+#include "core/profile.hpp"
+
+#include <algorithm>
+
+namespace dosn::core {
+
+bool Profile::contains(const PostId& id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+std::optional<Post> Profile::find(const PostId& id) const {
+  auto it = std::find_if(posts_.begin(), posts_.end(),
+                         [&](const Post& p) { return p.id == id; });
+  if (it == posts_.end()) return std::nullopt;
+  return *it;
+}
+
+const Post& Profile::append(UserId author, Seconds timestamp,
+                            std::string body) {
+  Post post;
+  post.id = PostId{author, version_.seq_of(author) + 1};
+  post.timestamp = timestamp;
+  post.body = std::move(body);
+  const bool inserted = insert(std::move(post));
+  DOSN_ASSERT(inserted);
+  // insert keeps display order; find the post again for a stable reference.
+  const PostId id{author, version_.seq_of(author)};
+  auto it = std::find_if(posts_.begin(), posts_.end(),
+                         [&](const Post& p) { return p.id == id; });
+  DOSN_ASSERT(it != posts_.end());
+  return *it;
+}
+
+bool Profile::insert(Post post) {
+  DOSN_REQUIRE(post.id.seq > 0, "Profile: post sequence numbers start at 1");
+  if (contains(post.id)) return false;
+  const PostId id = post.id;
+  auto it = std::lower_bound(posts_.begin(), posts_.end(), post, display_less);
+  posts_.insert(it, std::move(post));
+  ids_.insert(std::lower_bound(ids_.begin(), ids_.end(), id), id);
+  version_.advance(id.author, id.seq);
+  return true;
+}
+
+std::size_t Profile::merge(const Profile& other) {
+  std::size_t learned = 0;
+  for (const auto& post : other.posts_)
+    if (insert(post)) ++learned;
+  return learned;
+}
+
+std::vector<Post> Profile::wall_for(UserId viewer,
+                                    bool viewer_is_friend) const {
+  if (viewer == owner_ || viewer_is_friend) return posts_;
+  std::vector<Post> out;
+  for (const auto& post : posts_)
+    if (post.visibility == Visibility::kPublic) out.push_back(post);
+  return out;
+}
+
+std::vector<Post> Profile::missing_for(const VersionVector& have) const {
+  std::vector<Post> out;
+  for (const auto& post : posts_)
+    if (post.id.seq > have.seq_of(post.id.author)) out.push_back(post);
+  return out;
+}
+
+}  // namespace dosn::core

@@ -1,0 +1,98 @@
+// The profile data model of the decentralized OSN.
+//
+// A Profile is the unit that gets replicated: the owner's "wall" — an
+// append-only set of posts, each identified by (author, per-author sequence
+// number). Replicas merge by set union; the merge is commutative,
+// associative and idempotent, so any gossip order converges (eventual
+// consistency, the guarantee the paper deems adequate). A version vector
+// summarizes which post ids a replica holds so that a sync transfers only
+// the difference.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/version_vector.hpp"
+#include "interval/interval_set.hpp"
+
+namespace dosn::core {
+
+using interval::Seconds;
+
+/// Globally unique post identity.
+struct PostId {
+  UserId author = 0;
+  SeqNo seq = 0;
+
+  friend auto operator<=>(const PostId&, const PostId&) = default;
+};
+
+/// Access level of a post (Sec II-B2: "semi-private part of a user's
+/// profile is configured to be accessible only by the 1-hop friends").
+enum class Visibility : std::uint8_t {
+  kPublic = 0,       ///< anyone who can reach a replica
+  kFriendsOnly = 1,  ///< the owner's 1-hop friends (and the owner)
+};
+
+struct Post {
+  PostId id;
+  Seconds timestamp = 0;  ///< creation time (absolute seconds)
+  std::string body;
+  Visibility visibility = Visibility::kFriendsOnly;
+
+  friend bool operator==(const Post&, const Post&) = default;
+};
+
+/// One replica's view of one user's profile.
+class Profile {
+ public:
+  Profile() = default;
+  explicit Profile(UserId owner) : owner_(owner) {}
+
+  UserId owner() const { return owner_; }
+  const VersionVector& version() const { return version_; }
+
+  /// Posts ordered by (timestamp, id) — the wall in display order.
+  const std::vector<Post>& posts() const { return posts_; }
+  std::size_t size() const { return posts_.size(); }
+
+  bool contains(const PostId& id) const;
+  std::optional<Post> find(const PostId& id) const;
+
+  /// Creates a new post by `author`, assigning the next sequence number
+  /// this replica has seen from that author. Callers that own the author's
+  /// identity (the author's own client) get globally unique ids; tests use
+  /// insert() to inject concurrent histories.
+  const Post& append(UserId author, Seconds timestamp, std::string body);
+
+  /// Inserts a fully formed post (e.g. received from a peer); duplicate
+  /// ids are ignored. Returns true when the post was new.
+  bool insert(Post post);
+
+  /// Set-union merge; returns the number of posts newly learned.
+  std::size_t merge(const Profile& other);
+
+  /// Posts the peer summarized by `have` is missing — the sync payload.
+  std::vector<Post> missing_for(const VersionVector& have) const;
+
+  /// The wall as `viewer` may see it: the owner and friends see
+  /// everything, strangers only public posts. Replicas enforce this at
+  /// read time — hosting a profile does not widen the audience.
+  std::vector<Post> wall_for(UserId viewer, bool viewer_is_friend) const;
+
+  friend bool operator==(const Profile&, const Profile&) = default;
+
+ private:
+  static bool display_less(const Post& a, const Post& b) {
+    if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+    return a.id < b.id;
+  }
+
+  UserId owner_ = 0;
+  std::vector<Post> posts_;    // sorted by display_less
+  std::vector<PostId> ids_;    // sorted; lookup index for contains()
+  VersionVector version_;
+};
+
+}  // namespace dosn::core

@@ -1,0 +1,82 @@
+#include "core/replica_manager.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dosn::core {
+
+double ReplicaAssignment::average_replication_degree() const {
+  if (replicas.empty()) return 0.0;
+  std::size_t total = 0;
+  for (const auto& r : replicas) total += r.size();
+  return static_cast<double>(total) / static_cast<double>(replicas.size());
+}
+
+ReplicaAssignment assign_replicas(const trace::Dataset& dataset,
+                                  std::span<const DaySchedule> schedules,
+                                  const AssignmentConfig& config,
+                                  util::Rng& rng,
+                                  std::span<const graph::UserId> cohort) {
+  DOSN_REQUIRE(schedules.size() == dataset.num_users(),
+               "assign_replicas: schedule count mismatch");
+  const auto policy = placement::make_policy(config.policy, config.params);
+
+  ReplicaAssignment out;
+  if (cohort.empty()) {
+    out.users.resize(dataset.num_users());
+    std::iota(out.users.begin(), out.users.end(), 0);
+  } else {
+    out.users.assign(cohort.begin(), cohort.end());
+  }
+  out.replicas.reserve(out.users.size());
+  out.host_load.assign(dataset.num_users(), 0);
+
+  std::vector<graph::UserId> capped_pool;
+  for (graph::UserId u : out.users) {
+    placement::PlacementContext context;
+    context.user = u;
+    const auto contacts = dataset.graph.contacts(u);
+    if (config.load_cap > 0) {
+      capped_pool.clear();
+      for (graph::UserId host : contacts)
+        if (out.host_load[host] < config.load_cap)
+          capped_pool.push_back(host);
+      context.candidates = capped_pool;
+    } else {
+      context.candidates = contacts;
+    }
+    context.schedules = schedules;
+    context.trace = &dataset.trace;
+    context.connectivity = config.connectivity;
+    context.max_replicas = config.max_replicas;
+    auto selected = policy->select(context, rng);
+    for (graph::UserId host : selected) ++out.host_load[host];
+    out.replicas.push_back(std::move(selected));
+  }
+  return out;
+}
+
+LoadStats load_stats(std::span<const std::size_t> host_load) {
+  LoadStats s;
+  if (host_load.empty()) return s;
+  const double n = static_cast<double>(host_load.size());
+  double total = 0.0;
+  for (std::size_t x : host_load) {
+    total += static_cast<double>(x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = total / n;
+  if (total == 0.0) return s;
+
+  // Gini via the sorted-rank formula.
+  std::vector<std::size_t> sorted(host_load.begin(), host_load.end());
+  std::sort(sorted.begin(), sorted.end());
+  double weighted = 0.0;
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    weighted += static_cast<double>(2 * (i + 1)) *
+                static_cast<double>(sorted[i]);
+  s.gini = (weighted - (n + 1.0) * total) / (n * total);
+  return s;
+}
+
+}  // namespace dosn::core

@@ -1,0 +1,64 @@
+// Replica assignment across a whole network.
+//
+// Applies one placement policy to every user (or a cohort) of a dataset and
+// records who hosts whom. Besides feeding the study driver, it exposes the
+// storage-fairness view the paper's requirements discuss (Sec II-B1): how
+// evenly hosting load spreads across nodes.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "interval/day_schedule.hpp"
+#include "placement/policy.hpp"
+#include "trace/dataset.hpp"
+
+namespace dosn::core {
+
+using interval::DaySchedule;
+
+struct AssignmentConfig {
+  placement::PolicyKind policy = placement::PolicyKind::kMaxAv;
+  placement::PolicyParams params;
+  placement::Connectivity connectivity = placement::Connectivity::kConRep;
+  /// Replication degree k: max friend replicas per profile.
+  std::size_t max_replicas = 0;
+  /// Fairness cap (extension, Sec II-B1 "balancing the storage and
+  /// communication overhead"): when > 0, a node already hosting this many
+  /// profiles is removed from later users' candidate pools. Users are
+  /// processed in cohort order, so the cap is a sequential admission rule.
+  std::size_t load_cap = 0;
+};
+
+struct ReplicaAssignment {
+  /// replicas[i] = selection-ordered replica holders of users[i]'s profile.
+  std::vector<graph::UserId> users;
+  std::vector<std::vector<graph::UserId>> replicas;
+  /// host_load[u] = number of foreign profiles user u hosts (whole-network
+  /// view; counts only placements made in this assignment).
+  std::vector<std::size_t> host_load;
+
+  /// Mean realized replication degree (ConRep may place fewer than k).
+  double average_replication_degree() const;
+};
+
+/// Runs the policy for each user in `cohort` (all users when empty).
+/// `schedules` indexes every user in the dataset.
+ReplicaAssignment assign_replicas(const trace::Dataset& dataset,
+                                  std::span<const DaySchedule> schedules,
+                                  const AssignmentConfig& config,
+                                  util::Rng& rng,
+                                  std::span<const graph::UserId> cohort = {});
+
+/// Hosting-load fairness across the nodes that host at least one profile
+/// plus the nodes that host none but were candidates.
+struct LoadStats {
+  double mean = 0.0;
+  std::size_t max = 0;
+  /// Gini coefficient in [0, 1]: 0 = perfectly even hosting load.
+  double gini = 0.0;
+};
+
+LoadStats load_stats(std::span<const std::size_t> host_load);
+
+}  // namespace dosn::core

@@ -1,0 +1,50 @@
+#include "core/version_vector.hpp"
+
+#include <sstream>
+
+namespace dosn::core {
+
+SeqNo VersionVector::seq_of(UserId author) const {
+  auto it = clock_.find(author);
+  return it == clock_.end() ? 0 : it->second;
+}
+
+void VersionVector::advance(UserId author, SeqNo seq) {
+  if (seq == 0) return;
+  auto& slot = clock_[author];
+  if (seq > slot) slot = seq;
+}
+
+void VersionVector::merge(const VersionVector& other) {
+  for (const auto& [author, seq] : other.clock_) advance(author, seq);
+}
+
+bool VersionVector::includes(const VersionVector& other) const {
+  for (const auto& [author, seq] : other.clock_)
+    if (seq_of(author) < seq) return false;
+  return true;
+}
+
+Ordering VersionVector::compare(const VersionVector& other) const {
+  const bool ge = includes(other);
+  const bool le = other.includes(*this);
+  if (ge && le) return Ordering::kEqual;
+  if (ge) return Ordering::kAfter;
+  if (le) return Ordering::kBefore;
+  return Ordering::kConcurrent;
+}
+
+std::string VersionVector::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  for (const auto& [author, seq] : clock_) {
+    if (!first) os << ' ';
+    os << author << ':' << seq;
+    first = false;
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace dosn::core

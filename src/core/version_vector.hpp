@@ -1,0 +1,52 @@
+// Version vectors for eventually consistent profile replication.
+//
+// The paper argues eventual consistency suffices for decentralized OSNs
+// (Sec II-B1). Replicas exchange whole profiles; a version vector — the
+// per-author maximum sequence number a replica has seen — summarizes a
+// replica's state, decides whether one state dominates another, and lets a
+// sync ship only the missing suffix per author.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/social_graph.hpp"
+
+namespace dosn::core {
+
+using graph::UserId;
+using SeqNo = std::uint64_t;
+
+enum class Ordering { kEqual, kBefore, kAfter, kConcurrent };
+
+class VersionVector {
+ public:
+  /// Highest sequence number seen from `author`; 0 = none.
+  SeqNo seq_of(UserId author) const;
+
+  /// Records that the sequence numbers of `author` up to `seq` are known.
+  /// Monotone: lowering is a no-op.
+  void advance(UserId author, SeqNo seq);
+
+  /// Pointwise maximum.
+  void merge(const VersionVector& other);
+
+  /// True iff every entry of `other` is <= the matching entry here.
+  bool includes(const VersionVector& other) const;
+
+  Ordering compare(const VersionVector& other) const;
+
+  bool empty() const { return clock_.empty(); }
+  std::size_t authors() const { return clock_.size(); }
+  const std::map<UserId, SeqNo>& entries() const { return clock_; }
+
+  friend bool operator==(const VersionVector&, const VersionVector&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::map<UserId, SeqNo> clock_;  // absent == 0
+};
+
+}  // namespace dosn::core

@@ -1,0 +1,112 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dosn::graph {
+namespace {
+
+/// Neighbour view that works for both kinds: union of in and out is not
+/// needed — for components and clustering we treat directed edges as
+/// undirected by scanning both adjacency directions.
+template <typename Visit>
+void for_each_undirected_neighbor(const SocialGraph& g, UserId u,
+                                  Visit&& visit) {
+  for (UserId v : g.out_neighbors(u)) visit(v);
+  if (g.kind() == GraphKind::kDirected)
+    for (UserId v : g.in_neighbors(u)) visit(v);
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> connected_components(const SocialGraph& g) {
+  constexpr std::uint32_t kUnvisited = 0xffffffffu;
+  std::vector<std::uint32_t> component(g.num_users(), kUnvisited);
+  std::uint32_t next = 0;
+  std::vector<UserId> stack;
+  for (UserId start = 0; start < g.num_users(); ++start) {
+    if (component[start] != kUnvisited) continue;
+    component[start] = next;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      const UserId u = stack.back();
+      stack.pop_back();
+      for_each_undirected_neighbor(g, u, [&](UserId v) {
+        if (component[v] == kUnvisited) {
+          component[v] = next;
+          stack.push_back(v);
+        }
+      });
+    }
+    ++next;
+  }
+  return component;
+}
+
+std::size_t largest_component_size(const SocialGraph& g) {
+  if (g.num_users() == 0) return 0;
+  const auto component = connected_components(g);
+  std::vector<std::size_t> sizes;
+  for (std::uint32_t c : component) {
+    if (c >= sizes.size()) sizes.resize(c + 1, 0);
+    ++sizes[c];
+  }
+  return *std::max_element(sizes.begin(), sizes.end());
+}
+
+double sample_clustering_coefficient(const SocialGraph& g,
+                                     std::size_t samples, util::Rng& rng) {
+  std::vector<UserId> eligible;
+  for (UserId u = 0; u < g.num_users(); ++u)
+    if (g.contacts(u).size() >= 2) eligible.push_back(u);
+  if (eligible.empty()) return 0.0;
+
+  std::vector<UserId> chosen;
+  if (samples >= eligible.size()) {
+    chosen = eligible;
+  } else {
+    for (auto idx : rng.sample_indices(eligible.size(), samples))
+      chosen.push_back(eligible[idx]);
+  }
+
+  double total = 0.0;
+  for (UserId u : chosen) {
+    const auto nbrs = g.contacts(u);
+    std::size_t closed = 0;
+    for (std::size_t i = 0; i < nbrs.size(); ++i)
+      for (std::size_t j = i + 1; j < nbrs.size(); ++j)
+        if (g.has_edge(nbrs[i], nbrs[j]) || g.has_edge(nbrs[j], nbrs[i]))
+          ++closed;
+    const double pairs =
+        static_cast<double>(nbrs.size()) *
+        static_cast<double>(nbrs.size() - 1) / 2.0;
+    total += static_cast<double>(closed) / pairs;
+  }
+  return total / static_cast<double>(chosen.size());
+}
+
+double degree_assortativity(const SocialGraph& g) {
+  // Pearson correlation of (deg(u), deg(v)) over undirected edge
+  // instances, counted once per direction for symmetry.
+  double n = 0, sx = 0, sy = 0, sxx = 0, syy = 0, sxy = 0;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    const double du = static_cast<double>(g.degree(u));
+    for (UserId v : g.out_neighbors(u)) {
+      const double dv = static_cast<double>(g.degree(v));
+      n += 1;
+      sx += du;
+      sy += dv;
+      sxx += du * du;
+      syy += dv * dv;
+      sxy += du * dv;
+    }
+  }
+  if (n == 0) return 0.0;
+  const double cov = sxy / n - (sx / n) * (sy / n);
+  const double vx = sxx / n - (sx / n) * (sx / n);
+  const double vy = syy / n - (sy / n) * (sy / n);
+  if (vx <= 0.0 || vy <= 0.0) return 0.0;
+  return cov / std::sqrt(vx * vy);
+}
+
+}  // namespace dosn::graph

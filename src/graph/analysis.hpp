@@ -1,0 +1,32 @@
+// Structural graph analytics used to characterize datasets (and to check
+// that the synthetic stand-ins look like social networks): connectivity,
+// clustering, and degree assortativity.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+#include "util/rng.hpp"
+
+namespace dosn::graph {
+
+/// Weakly connected component id per user (directed edges are treated as
+/// undirected); ids are dense, assigned in discovery order.
+std::vector<std::uint32_t> connected_components(const SocialGraph& g);
+
+/// Number of users in the largest (weakly) connected component.
+std::size_t largest_component_size(const SocialGraph& g);
+
+/// Average local clustering coefficient over `samples` uniformly drawn
+/// users with degree >= 2 (0 when none exist). Sampling keeps hub-heavy
+/// graphs tractable; pass samples >= num_users for the exact average.
+double sample_clustering_coefficient(const SocialGraph& g,
+                                     std::size_t samples, util::Rng& rng);
+
+/// Pearson correlation of endpoint degrees over all edges (degree
+/// assortativity); 0 when degenerate. Social graphs are typically
+/// assortative (> 0), web graphs disassortative.
+double degree_assortativity(const SocialGraph& g);
+
+}  // namespace dosn::graph

@@ -1,0 +1,46 @@
+#include "graph/degree_stats.hpp"
+
+#include <algorithm>
+
+namespace dosn::graph {
+
+std::vector<std::size_t> degree_histogram(const SocialGraph& g) {
+  std::size_t max_degree = 0;
+  for (UserId u = 0; u < g.num_users(); ++u)
+    max_degree = std::max(max_degree, g.degree(u));
+  std::vector<std::size_t> counts(max_degree + 1, 0);
+  for (UserId u = 0; u < g.num_users(); ++u) ++counts[g.degree(u)];
+  return counts;
+}
+
+std::vector<UserId> users_with_degree(const SocialGraph& g, std::size_t d) {
+  return users_with_degree_between(g, d, d);
+}
+
+std::vector<UserId> users_with_degree_between(const SocialGraph& g,
+                                              std::size_t lo, std::size_t hi) {
+  DOSN_REQUIRE(lo <= hi, "users_with_degree_between: lo > hi");
+  std::vector<UserId> out;
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    const std::size_t d = g.degree(u);
+    if (d >= lo && d <= hi) out.push_back(u);
+  }
+  return out;
+}
+
+std::size_t most_populated_degree(const SocialGraph& g, std::size_t lo,
+                                  std::size_t hi) {
+  DOSN_REQUIRE(lo <= hi, "most_populated_degree: lo > hi");
+  const auto hist = degree_histogram(g);
+  std::size_t best_degree = lo;
+  std::size_t best_count = 0;
+  for (std::size_t d = lo; d <= hi && d < hist.size(); ++d) {
+    if (hist[d] > best_count) {
+      best_count = hist[d];
+      best_degree = d;
+    }
+  }
+  return best_degree;
+}
+
+}  // namespace dosn::graph

@@ -1,0 +1,27 @@
+// Degree statistics — Figure 2 of the paper (user degree distribution).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+
+namespace dosn::graph {
+
+/// counts[d] = number of users with degree exactly d (contacts view).
+std::vector<std::size_t> degree_histogram(const SocialGraph& g);
+
+/// Ids of all users with degree exactly `d` — the paper's evaluation cohort
+/// (it reports averages over the users of degree 10).
+std::vector<UserId> users_with_degree(const SocialGraph& g, std::size_t d);
+
+/// Ids of all users with degree in [lo, hi] inclusive.
+std::vector<UserId> users_with_degree_between(const SocialGraph& g,
+                                              std::size_t lo, std::size_t hi);
+
+/// The degree with the most users within [lo, hi]; used by tooling to pick
+/// a well-populated cohort the way the paper picked degree 10.
+std::size_t most_populated_degree(const SocialGraph& g, std::size_t lo,
+                                  std::size_t hi);
+
+}  // namespace dosn::graph

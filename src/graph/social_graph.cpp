@@ -1,0 +1,100 @@
+#include "graph/social_graph.hpp"
+
+#include <algorithm>
+
+namespace dosn::graph {
+namespace {
+
+// Builds CSR arrays from an edge list interpreted as (src -> dst).
+void build_csr(std::size_t n, std::span<const std::pair<UserId, UserId>> edges,
+               std::vector<std::size_t>& offsets, std::vector<UserId>& adj) {
+  offsets.assign(n + 1, 0);
+  for (const auto& [src, dst] : edges) {
+    (void)dst;
+    ++offsets[src + 1];
+  }
+  for (std::size_t i = 1; i <= n; ++i) offsets[i] += offsets[i - 1];
+  adj.resize(edges.size());
+  std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [src, dst] : edges) adj[cursor[src]++] = dst;
+  for (std::size_t u = 0; u < n; ++u)
+    std::sort(adj.begin() + static_cast<std::ptrdiff_t>(offsets[u]),
+              adj.begin() + static_cast<std::ptrdiff_t>(offsets[u + 1]));
+}
+
+}  // namespace
+
+SocialGraphBuilder::SocialGraphBuilder(GraphKind kind, std::size_t num_users)
+    : kind_(kind), num_users_(num_users) {}
+
+void SocialGraphBuilder::add_edge(UserId u, UserId v) {
+  DOSN_REQUIRE(u < num_users_ && v < num_users_,
+               "add_edge: user id out of range");
+  if (u == v) return;  // self-loops carry no information here
+  if (kind_ == GraphKind::kUndirected && u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+SocialGraph SocialGraphBuilder::build() && {
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  SocialGraph g;
+  g.kind_ = kind_;
+  g.num_edges_ = edges_.size();
+
+  if (kind_ == GraphKind::kUndirected) {
+    // Materialize both directions into the single CSR.
+    std::vector<std::pair<UserId, UserId>> both;
+    both.reserve(edges_.size() * 2);
+    for (const auto& [u, v] : edges_) {
+      both.emplace_back(u, v);
+      both.emplace_back(v, u);
+    }
+    build_csr(num_users_, both, g.offsets_out_, g.adj_out_);
+  } else {
+    build_csr(num_users_, edges_, g.offsets_out_, g.adj_out_);
+    std::vector<std::pair<UserId, UserId>> reversed;
+    reversed.reserve(edges_.size());
+    for (const auto& [u, v] : edges_) reversed.emplace_back(v, u);
+    build_csr(num_users_, reversed, g.offsets_in_, g.adj_in_);
+  }
+  return g;
+}
+
+double SocialGraph::average_degree() const {
+  if (num_users() == 0) return 0.0;
+  std::size_t total = 0;
+  for (UserId u = 0; u < num_users(); ++u) total += degree(u);
+  return static_cast<double>(total) / static_cast<double>(num_users());
+}
+
+bool SocialGraph::has_edge(UserId u, UserId v) const {
+  const auto nbrs = out_neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+SocialGraph SocialGraph::induced(const std::vector<bool>& keep,
+                                 std::vector<UserId>* old_of_new) const {
+  DOSN_REQUIRE(keep.size() == num_users(), "induced: mask size mismatch");
+  std::vector<UserId> new_of_old(num_users(), 0);
+  std::vector<UserId> old_ids;
+  for (UserId u = 0; u < num_users(); ++u) {
+    if (keep[u]) {
+      new_of_old[u] = static_cast<UserId>(old_ids.size());
+      old_ids.push_back(u);
+    }
+  }
+
+  SocialGraphBuilder builder(kind_, old_ids.size());
+  for (UserId u : old_ids) {
+    for (UserId v : out_neighbors(u)) {
+      if (!keep[v]) continue;
+      builder.add_edge(new_of_old[u], new_of_old[v]);
+    }
+  }
+  if (old_of_new) *old_of_new = std::move(old_ids);
+  return std::move(builder).build();
+}
+
+}  // namespace dosn::graph

@@ -1,0 +1,111 @@
+// Compressed-sparse-row social graphs.
+//
+// The study runs over two graph shapes: an undirected friendship graph
+// (Facebook) and a directed follow graph (Twitter). The key abstraction the
+// replica-placement layer consumes is `contacts(u)` — the set of nodes
+// eligible to host u's profile replica: friends in the undirected case,
+// followers (in-neighbours) in the directed case, exactly as chosen by the
+// paper ("in a decentralized Twitter, we replicate a user's profile on his
+// followers"). `degree(u) = |contacts(u)|` is the paper's "user degree".
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dosn::graph {
+
+using UserId = std::uint32_t;
+
+enum class GraphKind {
+  kUndirected,  ///< friendship graph (Facebook)
+  kDirected,    ///< follow graph (Twitter); edge u->v means "u follows v"
+};
+
+class SocialGraph;
+
+/// Accumulates edges, then produces a canonical CSR graph (sorted
+/// adjacency, self-loops dropped, duplicate edges collapsed).
+class SocialGraphBuilder {
+ public:
+  SocialGraphBuilder(GraphKind kind, std::size_t num_users);
+
+  /// Undirected: connects u and v. Directed: records "u follows v".
+  void add_edge(UserId u, UserId v);
+
+  std::size_t num_users() const { return num_users_; }
+
+  SocialGraph build() &&;
+
+ private:
+  GraphKind kind_;
+  std::size_t num_users_;
+  std::vector<std::pair<UserId, UserId>> edges_;
+};
+
+/// Immutable CSR social graph.
+class SocialGraph {
+ public:
+  /// The empty graph (no users, no edges).
+  SocialGraph() = default;
+
+  GraphKind kind() const { return kind_; }
+  std::size_t num_users() const {
+    return offsets_out_.empty() ? 0 : offsets_out_.size() - 1;
+  }
+
+  /// Unique edges (undirected: unordered pairs; directed: ordered pairs).
+  std::size_t num_edges() const { return num_edges_; }
+
+  /// Undirected: friends of u. Directed: users u follows (followees).
+  std::span<const UserId> out_neighbors(UserId u) const {
+    return slice(offsets_out_, adj_out_, u);
+  }
+
+  /// Undirected: friends of u (same as out). Directed: followers of u.
+  std::span<const UserId> in_neighbors(UserId u) const {
+    if (kind_ == GraphKind::kUndirected) return out_neighbors(u);
+    return slice(offsets_in_, adj_in_, u);
+  }
+
+  /// Replica-candidate set for u's profile (friends resp. followers).
+  std::span<const UserId> contacts(UserId u) const { return in_neighbors(u); }
+
+  /// The paper's "user degree": |contacts(u)|.
+  std::size_t degree(UserId u) const { return contacts(u).size(); }
+
+  /// Mean of degree(u) over all users.
+  double average_degree() const;
+
+  /// Undirected: is {u, v} an edge? Directed: does u follow v?
+  bool has_edge(UserId u, UserId v) const;
+
+  /// Subgraph induced by users with keep[u] == true. Surviving users are
+  /// renumbered densely in increasing old-id order; `old_of_new` receives
+  /// the reverse mapping.
+  SocialGraph induced(const std::vector<bool>& keep,
+                      std::vector<UserId>* old_of_new = nullptr) const;
+
+ private:
+  friend class SocialGraphBuilder;
+
+  static std::span<const UserId> slice(const std::vector<std::size_t>& offsets,
+                                       const std::vector<UserId>& adj,
+                                       UserId u) {
+    DOSN_ASSERT(static_cast<std::size_t>(u) + 1 < offsets.size());
+    return {adj.data() + offsets[u], offsets[u + 1] - offsets[u]};
+  }
+
+  GraphKind kind_ = GraphKind::kUndirected;
+  std::size_t num_edges_ = 0;
+  std::vector<std::size_t> offsets_out_;
+  std::vector<UserId> adj_out_;
+  // Directed graphs carry a second CSR for the transposed adjacency;
+  // undirected graphs leave these empty and alias out.
+  std::vector<std::size_t> offsets_in_;
+  std::vector<UserId> adj_in_;
+};
+
+}  // namespace dosn::graph

@@ -1,0 +1,106 @@
+// Daily-periodic online schedules.
+//
+// The study projects all user activity onto one 24-hour cycle (the paper
+// measures availability "over 24 hours / 1440 minutes"): a DaySchedule is an
+// IntervalSet confined to [0, 86400) seconds interpreted circularly — the
+// schedule repeats every day. Circular queries ("how long until this node is
+// next online, starting at time-of-day t?") are what the update-propagation
+// delay metric is built from.
+#pragma once
+
+#include <optional>
+
+#include "interval/interval_set.hpp"
+
+namespace dosn::interval {
+
+/// Length of the daily cycle in seconds (24 h).
+inline constexpr Seconds kDaySeconds = 86400;
+
+/// Normalizes an absolute timestamp to a time-of-day in [0, kDaySeconds).
+constexpr Seconds time_of_day(Seconds t) {
+  const Seconds m = t % kDaySeconds;
+  return m < 0 ? m + kDaySeconds : m;
+}
+
+/// A periodic daily online schedule.
+class DaySchedule {
+ public:
+  /// The empty schedule (never online).
+  DaySchedule() = default;
+
+  /// Wraps a set that must already lie within [0, kDaySeconds).
+  explicit DaySchedule(IntervalSet within_day);
+
+  /// Projects intervals given in absolute seconds onto the daily cycle,
+  /// splitting pieces that cross midnight. An interval of length >= one day
+  /// covers the full cycle.
+  static DaySchedule project(std::span<const Interval> absolute);
+
+  static DaySchedule always();
+  static DaySchedule never() { return DaySchedule{}; }
+
+  const IntervalSet& set() const { return set_; }
+  bool empty() const { return set_.empty(); }
+
+  /// Seconds online per day.
+  Seconds online_seconds() const { return set_.measure(); }
+
+  /// Fraction of the day online — the paper's availability denominator.
+  double coverage() const {
+    return static_cast<double>(online_seconds()) /
+           static_cast<double>(kDaySeconds);
+  }
+
+  /// Is the node online at absolute time t (projected onto the day)?
+  bool online_at(Seconds t) const { return set_.contains(time_of_day(t)); }
+
+  /// Circular wait from time-of-day `t` until the schedule is next online;
+  /// zero when online at t; nullopt when the schedule is empty. The result
+  /// is < kDaySeconds.
+  std::optional<Seconds> wait_until_online(Seconds t) const;
+
+  /// Seconds this schedule is online inside the circular window
+  /// [t, t + length); length may exceed one day (full cycles count fully).
+  Seconds online_within_window(Seconds t, Seconds length) const;
+
+  DaySchedule unite(const DaySchedule& other) const {
+    return DaySchedule(set_.unite(other.set_));
+  }
+  DaySchedule intersect(const DaySchedule& other) const {
+    return DaySchedule(set_.intersect(other.set_));
+  }
+
+  bool intersects(const DaySchedule& other) const {
+    return set_.intersects(other.set_);
+  }
+
+  /// Daily seconds both schedules are online — the paper's "overlap d".
+  Seconds overlap_seconds(const DaySchedule& other) const {
+    return set_.intersection_measure(other.set_);
+  }
+
+  friend bool operator==(const DaySchedule&, const DaySchedule&) = default;
+
+  std::string to_string() const { return set_.to_string(); }
+
+ private:
+  IntervalSet set_;
+};
+
+/// Result of a worst-case wait analysis: the maximal wait and a time-of-day
+/// achieving it.
+struct WorstWait {
+  Seconds wait = 0;  ///< seconds until `target` is reachable, worst case
+  Seconds at = 0;    ///< time-of-day of the worst-case event
+};
+
+/// Worst case, over event times t in `source`, of the circular wait from t
+/// until the next instant `target` is online. This is the exact general form
+/// of the paper's per-edge delay "24h − overlap" (to which it reduces when
+/// both schedules are single daily intervals). Returns nullopt when either
+/// schedule is empty.
+std::optional<WorstWait> worst_case_wait(const DaySchedule& source,
+                                         const DaySchedule& target);
+
+}  // namespace dosn::interval

@@ -1,0 +1,48 @@
+// Worst-case propagation delay of a replica group — pure schedule math.
+//
+// Given the daily schedules of a group of nodes, builds the weighted
+// "replica time-connectivity graph" (paper Sec II-C3): the directed edge
+// i -> j weighs the worst case, over event times in i's schedule, of the
+// wait until the two can next exchange state — directly while both online
+// (kDirect / the paper's ConRep) or through an always-online relay
+// (kRelay / UnconRep). The group delay is the weighted diameter of the
+// all-pairs shortest paths. metrics::update_propagation_delay wraps this;
+// delay-aware placement policies consume it directly.
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "interval/day_schedule.hpp"
+
+namespace dosn::interval {
+
+enum class RendezvousMode {
+  kDirect,  ///< state moves only when both nodes are online simultaneously
+  kRelay,   ///< state parks at third-party storage (reader picks it up)
+};
+
+/// Worst-case one-hop delay from `source` to `target`; nullopt when the
+/// pair can never exchange state.
+std::optional<Seconds> pair_delay(const DaySchedule& source,
+                                  const DaySchedule& target,
+                                  RendezvousMode mode);
+
+struct GroupDelayResult {
+  /// Weighted diameter (seconds) over participating nodes.
+  Seconds diameter = 0;
+  /// Index (into the input span) of the receiving node of the worst pair.
+  std::size_t worst_target = 0;
+  /// False when some ordered pair has no route.
+  bool fully_connected = true;
+  /// Nodes with non-empty schedules (empty ones never exchange anything
+  /// and are excluded).
+  std::size_t participants = 0;
+};
+
+/// Diameter of the group's delay graph (Floyd–Warshall; groups are tiny).
+/// Fewer than two participants yield a zero diameter.
+GroupDelayResult group_delay(std::span<const DaySchedule> nodes,
+                             RendezvousMode mode);
+
+}  // namespace dosn::interval

@@ -1,0 +1,220 @@
+#include "interval/interval_set.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace dosn::interval {
+
+IntervalSet::IntervalSet(std::vector<Interval> intervals)
+    : intervals_(std::move(intervals)) {
+  for (const auto& iv : intervals_)
+    DOSN_REQUIRE(iv.start < iv.end, "IntervalSet: interval must be non-empty");
+  normalize();
+}
+
+IntervalSet IntervalSet::single(Seconds start, Seconds end) {
+  DOSN_REQUIRE(start < end, "IntervalSet::single: start must precede end");
+  IntervalSet s;
+  s.intervals_.push_back({start, end});
+  return s;
+}
+
+void IntervalSet::add(Seconds start, Seconds end) {
+  DOSN_REQUIRE(start < end, "IntervalSet::add: start must precede end");
+  // Find all existing intervals touching [start, end] and merge them in.
+  auto lo = std::lower_bound(
+      intervals_.begin(), intervals_.end(), start,
+      [](const Interval& iv, Seconds s) { return iv.end < s; });
+  auto hi = lo;
+  while (hi != intervals_.end() && hi->start <= end) {
+    start = std::min(start, hi->start);
+    end = std::max(end, hi->end);
+    ++hi;
+  }
+  lo = intervals_.erase(lo, hi);
+  intervals_.insert(lo, {start, end});
+}
+
+Seconds IntervalSet::measure() const {
+  Seconds total = 0;
+  for (const auto& iv : intervals_) total += iv.length();
+  return total;
+}
+
+bool IntervalSet::contains(Seconds t) const {
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), t,
+      [](Seconds v, const Interval& iv) { return v < iv.start; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return it->contains(t);
+}
+
+bool IntervalSet::intersects(const IntervalSet& other) const {
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    if (a->overlaps(*b)) return true;
+    if (a->end <= b->end)
+      ++a;
+    else
+      ++b;
+  }
+  return false;
+}
+
+std::optional<Seconds> IntervalSet::first() const {
+  if (intervals_.empty()) return std::nullopt;
+  return intervals_.front().start;
+}
+
+std::optional<Seconds> IntervalSet::last_end() const {
+  if (intervals_.empty()) return std::nullopt;
+  return intervals_.back().end;
+}
+
+std::optional<Seconds> IntervalSet::next_at_or_after(Seconds t) const {
+  for (const auto& iv : intervals_) {
+    if (iv.end <= t) continue;
+    return std::max(iv.start, t);
+  }
+  return std::nullopt;
+}
+
+IntervalSet IntervalSet::unite(const IntervalSet& other) const {
+  std::vector<Interval> merged;
+  merged.reserve(intervals_.size() + other.intervals_.size());
+  merged.insert(merged.end(), intervals_.begin(), intervals_.end());
+  merged.insert(merged.end(), other.intervals_.begin(),
+                other.intervals_.end());
+  IntervalSet out;
+  out.intervals_ = std::move(merged);
+  out.normalize();
+  return out;
+}
+
+IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
+  IntervalSet out;
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    const Seconds lo = std::max(a->start, b->start);
+    const Seconds hi = std::min(a->end, b->end);
+    if (lo < hi) out.intervals_.push_back({lo, hi});
+    if (a->end <= b->end)
+      ++a;
+    else
+      ++b;
+  }
+  return out;  // already canonical: inputs were sorted/disjoint
+}
+
+IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
+  IntervalSet out;
+  auto b = other.intervals_.begin();
+  for (Interval cur : intervals_) {
+    while (b != other.intervals_.end() && b->end <= cur.start) ++b;
+    auto bb = b;
+    Seconds pos = cur.start;
+    while (bb != other.intervals_.end() && bb->start < cur.end) {
+      if (bb->start > pos) out.intervals_.push_back({pos, bb->start});
+      pos = std::max(pos, bb->end);
+      ++bb;
+    }
+    if (pos < cur.end) out.intervals_.push_back({pos, cur.end});
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::complement(Seconds lo, Seconds hi) const {
+  DOSN_REQUIRE(lo < hi, "complement: empty window");
+  return IntervalSet::single(lo, hi).subtract(*this);
+}
+
+Seconds IntervalSet::intersection_measure(const IntervalSet& other) const {
+  Seconds total = 0;
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    const Seconds lo = std::max(a->start, b->start);
+    const Seconds hi = std::min(a->end, b->end);
+    if (lo < hi) total += hi - lo;
+    if (a->end <= b->end)
+      ++a;
+    else
+      ++b;
+  }
+  return total;
+}
+
+Seconds IntervalSet::measure_within(Seconds lo, Seconds hi) const {
+  if (lo >= hi) return 0;
+  Seconds total = 0;
+  for (const auto& iv : intervals_) {
+    const Seconds a = std::max(iv.start, lo);
+    const Seconds b = std::min(iv.end, hi);
+    if (a < b) total += b - a;
+  }
+  return total;
+}
+
+IntervalSet IntervalSet::clip(Seconds lo, Seconds hi) const {
+  IntervalSet out;
+  if (lo >= hi) return out;
+  for (const auto& iv : intervals_) {
+    const Seconds a = std::max(iv.start, lo);
+    const Seconds b = std::min(iv.end, hi);
+    if (a < b) out.intervals_.push_back({a, b});
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::shift(Seconds delta) const {
+  IntervalSet out;
+  out.intervals_.reserve(intervals_.size());
+  for (const auto& iv : intervals_)
+    out.intervals_.push_back({iv.start + delta, iv.end + delta});
+  return out;
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  os << '{';
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (i) os << ' ';
+    os << '[' << intervals_[i].start << ',' << intervals_[i].end << ')';
+  }
+  os << '}';
+  return os.str();
+}
+
+void IntervalSet::normalize() {
+  if (intervals_.empty()) return;
+  std::sort(intervals_.begin(), intervals_.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  std::vector<Interval> out;
+  out.reserve(intervals_.size());
+  for (const auto& iv : intervals_) {
+    if (!out.empty() && iv.start <= out.back().end)
+      out.back().end = std::max(out.back().end, iv.end);
+    else
+      out.push_back(iv);
+  }
+  intervals_ = std::move(out);
+}
+
+IntervalSet operator|(const IntervalSet& a, const IntervalSet& b) {
+  return a.unite(b);
+}
+IntervalSet operator&(const IntervalSet& a, const IntervalSet& b) {
+  return a.intersect(b);
+}
+IntervalSet operator-(const IntervalSet& a, const IntervalSet& b) {
+  return a.subtract(b);
+}
+
+}  // namespace dosn::interval

@@ -1,0 +1,107 @@
+// Exact interval-set algebra over integral seconds.
+//
+// An IntervalSet is a canonical (sorted, disjoint, non-empty, non-adjacent)
+// sequence of half-open intervals [start, end). It is the representation of
+// user online times OT_u: the paper's availability metrics are measures of
+// unions/intersections of such sets, and the update-propagation-delay metric
+// asks "next instant in S after t" style questions, all of which are exact
+// here (no time discretization).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dosn::interval {
+
+/// Time in seconds. All schedule math is integral and exact.
+using Seconds = std::int64_t;
+
+/// Half-open interval [start, end); valid iff start < end.
+struct Interval {
+  Seconds start = 0;
+  Seconds end = 0;
+
+  Seconds length() const { return end - start; }
+  bool contains(Seconds t) const { return start <= t && t < end; }
+  bool overlaps(const Interval& o) const {
+    return start < o.end && o.start < end;
+  }
+  friend bool operator==(const Interval&, const Interval&) = default;
+};
+
+/// Canonical union of half-open intervals with set algebra.
+///
+/// Invariants: intervals are sorted by start, pairwise disjoint, each has
+/// positive length, and adjacent intervals ([a,b) and [b,c)) are merged.
+class IntervalSet {
+ public:
+  IntervalSet() = default;
+
+  /// Normalizes an arbitrary interval list (invalid/empty entries rejected).
+  explicit IntervalSet(std::vector<Interval> intervals);
+
+  static IntervalSet single(Seconds start, Seconds end);
+  static IntervalSet empty_set() { return IntervalSet{}; }
+
+  /// Inserts one interval, merging as needed. Amortized O(n).
+  void add(Seconds start, Seconds end);
+  void add(const Interval& iv) { add(iv.start, iv.end); }
+
+  bool empty() const { return intervals_.empty(); }
+  std::size_t piece_count() const { return intervals_.size(); }
+  std::span<const Interval> pieces() const { return intervals_; }
+
+  /// Total covered length.
+  Seconds measure() const;
+
+  bool contains(Seconds t) const;
+
+  /// True iff the two sets share at least one instant.
+  bool intersects(const IntervalSet& other) const;
+
+  /// Earliest covered instant; nullopt when empty.
+  std::optional<Seconds> first() const;
+  /// Supremum of the covered region; nullopt when empty.
+  std::optional<Seconds> last_end() const;
+
+  /// Earliest covered instant at or after t; nullopt when none.
+  std::optional<Seconds> next_at_or_after(Seconds t) const;
+
+  IntervalSet unite(const IntervalSet& other) const;
+  IntervalSet intersect(const IntervalSet& other) const;
+  IntervalSet subtract(const IntervalSet& other) const;
+
+  /// Complement within the window [lo, hi).
+  IntervalSet complement(Seconds lo, Seconds hi) const;
+
+  /// Measure of the intersection, without materializing it.
+  Seconds intersection_measure(const IntervalSet& other) const;
+
+  /// Measure of this set restricted to [lo, hi).
+  Seconds measure_within(Seconds lo, Seconds hi) const;
+
+  /// Copy restricted to [lo, hi).
+  IntervalSet clip(Seconds lo, Seconds hi) const;
+
+  /// Copy with every instant shifted by delta (may be negative).
+  IntervalSet shift(Seconds delta) const;
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+  /// Debug rendering, e.g. "{[10,20) [30,45)}".
+  std::string to_string() const;
+
+ private:
+  void normalize();
+
+  std::vector<Interval> intervals_;
+};
+
+IntervalSet operator|(const IntervalSet& a, const IntervalSet& b);
+IntervalSet operator&(const IntervalSet& a, const IntervalSet& b);
+IntervalSet operator-(const IntervalSet& a, const IntervalSet& b);
+
+}  // namespace dosn::interval

@@ -1,0 +1,66 @@
+#include "metrics/availability.hpp"
+
+namespace dosn::metrics {
+
+DaySchedule profile_schedule(const DaySchedule& owner,
+                             std::span<const DaySchedule> replicas) {
+  DaySchedule out = owner;
+  for (const auto& r : replicas) out = out.unite(r);
+  return out;
+}
+
+double availability(const DaySchedule& owner,
+                    std::span<const DaySchedule> replicas) {
+  return profile_schedule(owner, replicas).coverage();
+}
+
+double max_achievable_availability(const DaySchedule& owner,
+                                   std::span<const DaySchedule> contacts) {
+  return profile_schedule(owner, contacts).coverage();
+}
+
+double aod_time(std::span<const DaySchedule> friends,
+                const DaySchedule& profile) {
+  DaySchedule demand;
+  for (const auto& f : friends) demand = demand.unite(f);
+  const Seconds demand_s = demand.online_seconds();
+  if (demand_s == 0) return 1.0;
+  const Seconds served = demand.overlap_seconds(profile);
+  return static_cast<double>(served) / static_cast<double>(demand_s);
+}
+
+AodActivity aod_activity(const trace::ActivityTrace& trace, UserId user,
+                         const DaySchedule& profile,
+                         std::span<const DaySchedule> schedules) {
+  std::size_t expected = 0, expected_served = 0;
+  std::size_t unexpected = 0, unexpected_served = 0;
+  for (const auto& a : trace.received_by(user)) {
+    const Seconds tod = interval::time_of_day(a.timestamp);
+    const bool served = profile.set().contains(tod);
+    DOSN_ASSERT(a.creator < schedules.size());
+    const bool is_expected = schedules[a.creator].set().contains(tod);
+    if (is_expected) {
+      ++expected;
+      expected_served += served ? 1 : 0;
+    } else {
+      ++unexpected;
+      unexpected_served += served ? 1 : 0;
+    }
+  }
+
+  AodActivity out;
+  out.total_count = expected + unexpected;
+  out.expected_count = expected;
+  if (out.total_count > 0)
+    out.overall = static_cast<double>(expected_served + unexpected_served) /
+                  static_cast<double>(out.total_count);
+  if (expected > 0)
+    out.expected =
+        static_cast<double>(expected_served) / static_cast<double>(expected);
+  if (unexpected > 0)
+    out.unexpected = static_cast<double>(unexpected_served) /
+                     static_cast<double>(unexpected);
+  return out;
+}
+
+}  // namespace dosn::metrics

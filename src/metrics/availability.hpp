@@ -1,0 +1,57 @@
+// Availability metrics (Sec II-C of the paper).
+//
+// All metrics take the owner's schedule plus the schedules of the selected
+// replica holders; the owner always stores his own profile, so his online
+// time counts towards availability (replication degree 0 = owner only).
+#pragma once
+
+#include <span>
+
+#include "interval/day_schedule.hpp"
+#include "trace/activity.hpp"
+
+namespace dosn::metrics {
+
+using graph::UserId;
+using interval::DaySchedule;
+using interval::Seconds;
+
+/// Union of the owner's schedule and the replicas' schedules: the times the
+/// profile is reachable.
+DaySchedule profile_schedule(const DaySchedule& owner,
+                             std::span<const DaySchedule> replicas);
+
+/// Availability: fraction of the day the profile is reachable.
+double availability(const DaySchedule& owner,
+                    std::span<const DaySchedule> replicas);
+
+/// Upper bound on availability in the F2F model: union of the owner's and
+/// *all* contacts' online times over the day.
+double max_achievable_availability(const DaySchedule& owner,
+                                   std::span<const DaySchedule> contacts);
+
+/// Availability-on-Demand-Time: the fraction of the union of the friends'
+/// online times during which the profile is reachable. Vacuously 1 when the
+/// friends are never online (there is no demand to serve).
+double aod_time(std::span<const DaySchedule> friends,
+                const DaySchedule& profile);
+
+/// Availability-on-Demand-Activity with the expected/unexpected breakdown.
+/// An activity on the user's profile is *expected* when its (time-of-day)
+/// instant falls inside its creator's modeled online time, *unexpected*
+/// otherwise (Sec IV-B); the headline metric counts both.
+struct AodActivity {
+  double overall = 1.0;      ///< fraction of all received activities served
+  double expected = 1.0;     ///< fraction of expected activities served
+  double unexpected = 1.0;   ///< fraction of unexpected activities served
+  std::size_t total_count = 0;
+  std::size_t expected_count = 0;
+};
+
+/// `schedules` indexes every user's schedule (for the expected/unexpected
+/// classification of each activity's creator).
+AodActivity aod_activity(const trace::ActivityTrace& trace, UserId user,
+                         const DaySchedule& profile,
+                         std::span<const DaySchedule> schedules);
+
+}  // namespace dosn::metrics

@@ -1,0 +1,59 @@
+#include "metrics/delay.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "interval/delay_graph.hpp"
+#include "util/error.hpp"
+
+namespace dosn::metrics {
+namespace {
+
+interval::RendezvousMode mode_of(Connectivity connectivity) {
+  return connectivity == Connectivity::kConRep
+             ? interval::RendezvousMode::kDirect
+             : interval::RendezvousMode::kRelay;
+}
+
+}  // namespace
+
+std::optional<Seconds> edge_delay(const DaySchedule& source,
+                                  const DaySchedule& target,
+                                  Connectivity connectivity) {
+  return interval::pair_delay(source, target, mode_of(connectivity));
+}
+
+Seconds worst_observed_delay(const DaySchedule& reader, Seconds actual) {
+  if (actual <= 0 || reader.empty()) return 0;
+  // The window of length `actual` ends at the delivery instant, which is an
+  // instant the reader is online. Sliding the window end across one of the
+  // reader's online intervals, the covered online time is maximal at the
+  // interval's right edge, so interval ends are sufficient candidates.
+  Seconds worst = 0;
+  for (const auto& iv : reader.set().pieces())
+    worst = std::max(worst,
+                     reader.online_within_window(iv.end - actual, actual));
+  return worst;
+}
+
+DelayResult update_propagation_delay(const DaySchedule& owner,
+                                     std::span<const DaySchedule> replicas,
+                                     Connectivity connectivity) {
+  std::vector<DaySchedule> nodes;
+  nodes.reserve(replicas.size() + 1);
+  nodes.push_back(owner);
+  nodes.insert(nodes.end(), replicas.begin(), replicas.end());
+
+  const auto group = interval::group_delay(nodes, mode_of(connectivity));
+
+  DelayResult result;
+  result.nodes = group.participants;
+  result.fully_connected = group.fully_connected;
+  result.actual = group.diameter;
+  if (group.participants >= 2)
+    result.observed =
+        worst_observed_delay(nodes[group.worst_target], group.diameter);
+  return result;
+}
+
+}  // namespace dosn::metrics

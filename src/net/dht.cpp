@@ -1,0 +1,206 @@
+#include "net/dht.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace dosn::net {
+namespace {
+
+/// FNV-1a over the key bytes, finished through splitmix64 for avalanche.
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// x in (a, b] on the circular ring.
+bool in_half_open(RingId x, RingId a, RingId b) {
+  if (a == b) return true;  // full circle: single-node ring owns everything
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped
+}
+
+/// x in (a, b) on the circular ring.
+bool in_open(RingId x, RingId a, RingId b) {
+  if (a == b) return x != a;  // full circle minus the point
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+RingId node_position(std::uint64_t node_id) {
+  std::uint64_t s = node_id ^ 0x9e3779b97f4a7c15ULL;
+  return util::splitmix64(s);
+}
+
+}  // namespace
+
+RingId ring_hash(std::string_view key) {
+  std::uint64_t s = fnv1a(key);
+  return util::splitmix64(s);
+}
+
+DhtRing::DhtRing(std::size_t replication) : replication_(replication) {
+  DOSN_REQUIRE(replication_ >= 1, "DhtRing: replication must be >= 1");
+}
+
+RingId DhtRing::join(std::uint64_t node_id) {
+  const RingId position = node_position(node_id);
+  DOSN_REQUIRE(!nodes_.count(position),
+               "DhtRing: node already present (or position collision)");
+  Node node;
+  node.id = node_id;
+  nodes_.emplace(position, std::move(node));
+  rebuild_fingers();
+  reassign_all_keys();
+  return position;
+}
+
+void DhtRing::leave(std::uint64_t node_id) {
+  const RingId position = node_position(node_id);
+  auto it = nodes_.find(position);
+  if (it == nodes_.end()) return;
+  // Carry the departing node's entries along for re-assignment.
+  auto orphaned = std::move(it->second.store);
+  nodes_.erase(it);
+  if (nodes_.empty()) return;
+  rebuild_fingers();
+  reassign_all_keys();
+  for (auto& [key, value] : orphaned) put(key, std::move(value));
+}
+
+bool DhtRing::contains_node(std::uint64_t node_id) const {
+  return nodes_.count(node_position(node_id)) > 0;
+}
+
+RingId DhtRing::successor_position(RingId p) const {
+  DOSN_ASSERT(!nodes_.empty());
+  auto it = nodes_.lower_bound(p);
+  if (it == nodes_.end()) it = nodes_.begin();  // wrap
+  return it->first;
+}
+
+const DhtRing::Node& DhtRing::node_at(RingId position) const {
+  auto it = nodes_.find(position);
+  DOSN_ASSERT(it != nodes_.end());
+  return it->second;
+}
+
+DhtRing::Node& DhtRing::node_at(RingId position) {
+  auto it = nodes_.find(position);
+  DOSN_ASSERT(it != nodes_.end());
+  return it->second;
+}
+
+void DhtRing::rebuild_fingers() {
+  for (auto& [position, node] : nodes_) {
+    node.fingers.clear();
+    node.fingers.reserve(64);
+    for (int k = 0; k < 64; ++k) {
+      const RingId target = position + (RingId{1} << k);  // wraps naturally
+      node.fingers.push_back(successor_position(target));
+    }
+  }
+}
+
+std::vector<std::uint64_t> DhtRing::responsible_nodes(
+    std::string_view key) const {
+  DOSN_REQUIRE(!nodes_.empty(), "DhtRing: empty ring");
+  std::vector<std::uint64_t> out;
+  RingId p = successor_position(ring_hash(key));
+  for (std::size_t r = 0; r < std::min(replication_, nodes_.size()); ++r) {
+    out.push_back(node_at(p).id);
+    p = successor_position(p + 1);
+  }
+  return out;
+}
+
+DhtRing::Lookup DhtRing::lookup(std::string_view key, util::Rng& rng) const {
+  DOSN_REQUIRE(!nodes_.empty(), "DhtRing: empty ring");
+  const RingId target = ring_hash(key);
+
+  // Random entry point, as a client would have.
+  auto it = nodes_.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.below(nodes_.size())));
+  RingId current = it->first;
+
+  Lookup result;
+  for (;;) {
+    const RingId succ = successor_position(current + 1);
+    if (in_half_open(target, current, succ)) {
+      result.owner = node_at(succ).id;
+      if (succ != current) ++result.hops;  // final forward to the owner
+      return result;
+    }
+    // Closest preceding finger of `current` towards the target.
+    RingId next = succ;  // fallback: linear step
+    const auto& fingers = node_at(current).fingers;
+    for (auto f = fingers.rbegin(); f != fingers.rend(); ++f) {
+      if (in_open(*f, current, target)) {
+        next = *f;
+        break;
+      }
+    }
+    DOSN_ASSERT(next != current);
+    current = next;
+    ++result.hops;
+  }
+}
+
+void DhtRing::put(std::string_view key, std::string value) {
+  DOSN_REQUIRE(!nodes_.empty(), "DhtRing: empty ring");
+  RingId p = successor_position(ring_hash(key));
+  for (std::size_t r = 0; r < std::min(replication_, nodes_.size()); ++r) {
+    node_at(p).store.insert_or_assign(std::string(key), value);
+    p = successor_position(p + 1);
+  }
+}
+
+std::optional<std::string> DhtRing::get(
+    std::string_view key, std::optional<std::uint64_t> failed_node) const {
+  if (nodes_.empty()) return std::nullopt;
+  RingId p = successor_position(ring_hash(key));
+  for (std::size_t r = 0; r < std::min(replication_, nodes_.size()); ++r) {
+    const Node& node = node_at(p);
+    if (!failed_node || node.id != *failed_node) {
+      auto it = node.store.find(key);
+      if (it != node.store.end()) return it->second;
+    }
+    p = successor_position(p + 1);
+  }
+  return std::nullopt;
+}
+
+std::size_t DhtRing::stored_entries() const {
+  std::size_t total = 0;
+  for (const auto& [position, node] : nodes_) total += node.store.size();
+  return total;
+}
+
+std::size_t DhtRing::entries_at(std::uint64_t node_id) const {
+  auto it = nodes_.find(node_position(node_id));
+  return it == nodes_.end() ? 0 : it->second.store.size();
+}
+
+void DhtRing::reassign_all_keys() {
+  // Collect everything, clear, and re-place: simple, correct, and cheap at
+  // simulation scale.
+  std::vector<std::pair<std::string, std::string>> all;
+  for (auto& [position, node] : nodes_) {
+    for (auto& [key, value] : node.store)
+      all.emplace_back(key, std::move(value));
+    node.store.clear();
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end(),
+                        [](const auto& a, const auto& b) {
+                          return a.first == b.first;
+                        }),
+            all.end());
+  for (auto& [key, value] : all) put(key, std::move(value));
+}
+
+}  // namespace dosn::net

@@ -1,0 +1,94 @@
+// A Chord-style distributed hash table — the "third-party storage"
+// substrate behind UnconRep.
+//
+// The paper's UnconRep regime exchanges profile updates through external
+// infrastructure ("CDN, DHT, cloud storage", Sec V-C; LifeSocial in the
+// related work indexes profiles in a DHT). This module implements that
+// substrate concretely: a consistent-hashing ring over a 64-bit identifier
+// space with successor lists and finger tables, O(log n) iterative lookup,
+// node join/leave with key re-assignment, and a replicated put/get store
+// on top. The relay cost model used by the delay ablations (lookup hop
+// counts) comes from here.
+//
+// This is a *simulation* of the routing structure (single address space,
+// no sockets): the unit of cost is the lookup hop.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dosn::net {
+
+/// Position on the identifier ring.
+using RingId = std::uint64_t;
+
+/// Hashes an application key (e.g. "profile:42:update:7") onto the ring.
+RingId ring_hash(std::string_view key);
+
+/// Chord-style ring with finger tables and a replicated key-value store.
+class DhtRing {
+ public:
+  /// `replication` = number of successive nodes storing each key.
+  explicit DhtRing(std::size_t replication = 2);
+
+  /// Adds a node; its ring position derives from the node id. Keys whose
+  /// ownership moves are re-assigned. Returns the ring position.
+  RingId join(std::uint64_t node_id);
+
+  /// Removes a node; its keys move to their new owners. No-op if absent.
+  void leave(std::uint64_t node_id);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool contains_node(std::uint64_t node_id) const;
+
+  /// The node ids currently responsible for `key` (owner + replicas).
+  std::vector<std::uint64_t> responsible_nodes(std::string_view key) const;
+
+  /// Iterative lookup from a random start node using finger tables;
+  /// returns the owner node id and the number of routing hops taken.
+  struct Lookup {
+    std::uint64_t owner = 0;
+    std::size_t hops = 0;
+  };
+  Lookup lookup(std::string_view key, util::Rng& rng) const;
+
+  /// Stores the value on the responsible nodes. Throws when the ring is
+  /// empty.
+  void put(std::string_view key, std::string value);
+
+  /// Reads from the responsible nodes; `failed_node` (optional) simulates
+  /// one crashed replica. nullopt when no responsible node has the value.
+  std::optional<std::string> get(
+      std::string_view key,
+      std::optional<std::uint64_t> failed_node = std::nullopt) const;
+
+  /// Total stored (key, replica) pairs — storage-balance diagnostics.
+  std::size_t stored_entries() const;
+  /// Entries held by one node (0 when absent).
+  std::size_t entries_at(std::uint64_t node_id) const;
+
+ private:
+  struct Node {
+    std::uint64_t id = 0;
+    // Finger k points at the first node >= position + 2^k (circularly).
+    std::vector<RingId> fingers;
+    std::map<std::string, std::string, std::less<>> store;
+  };
+
+  /// First ring position >= p (circular); requires a non-empty ring.
+  RingId successor_position(RingId p) const;
+  const Node& node_at(RingId position) const;
+  Node& node_at(RingId position);
+  void rebuild_fingers();
+  void reassign_all_keys();
+
+  std::size_t replication_;
+  std::map<RingId, Node> nodes_;  // position -> node
+};
+
+}  // namespace dosn::net

@@ -1,0 +1,33 @@
+#include "net/event_queue.hpp"
+
+namespace dosn::net {
+
+void EventQueue::schedule(SimTime t, Handler handler) {
+  DOSN_REQUIRE(t >= now_, "EventQueue: cannot schedule into the past");
+  heap_.push(Entry{t, next_seq_++, std::move(handler)});
+}
+
+bool EventQueue::step() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; the handler is moved out via the
+  // const_cast idiom before pop (Entry ordering does not involve handler).
+  Entry entry = std::move(const_cast<Entry&>(heap_.top()));
+  heap_.pop();
+  DOSN_ASSERT(entry.time >= now_);
+  now_ = entry.time;
+  ++processed_;
+  entry.handler();
+  return true;
+}
+
+void EventQueue::run_until(SimTime end) {
+  while (!heap_.empty() && heap_.top().time <= end) step();
+  if (now_ < end) now_ = end;
+}
+
+void EventQueue::run_all() {
+  while (step()) {
+  }
+}
+
+}  // namespace dosn::net

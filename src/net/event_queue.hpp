@@ -1,0 +1,66 @@
+// Discrete-event simulation kernel.
+//
+// A minimal, deterministic event queue: events fire in (time, insertion
+// sequence) order, so equal-time events run in the order they were
+// scheduled — which the replica simulator relies on to give midnight
+// offline/online transitions well-defined half-open semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dosn::net {
+
+using SimTime = std::int64_t;  ///< absolute simulation seconds
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Schedules `handler` at absolute time `t` (must not precede now()).
+  void schedule(SimTime t, Handler handler);
+
+  /// Convenience: schedule `delay` seconds after now().
+  void schedule_in(SimTime delay, Handler handler) {
+    schedule(now_ + delay, std::move(handler));
+  }
+
+  SimTime now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  std::size_t pending() const { return heap_.size(); }
+  std::uint64_t processed() const { return processed_; }
+
+  /// Runs a single event; false when the queue is empty.
+  bool step();
+
+  /// Runs events with time <= `end` (events an executed handler schedules
+  /// are included); advances now() to `end`.
+  void run_until(SimTime end);
+
+  /// Drains the queue completely.
+  void run_all();
+
+ private:
+  struct Entry {
+    SimTime time;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace dosn::net

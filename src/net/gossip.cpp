@@ -1,0 +1,222 @@
+#include "net/gossip.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/stats.hpp"
+
+namespace dosn::net {
+
+using core::Post;
+using core::PostId;
+using core::Profile;
+using core::VersionVector;
+using interval::kDaySeconds;
+
+namespace {
+
+enum class ChurnKind { kOffline = 0, kOnline = 1, kWrite = 2 };
+
+struct ChurnEvent {
+  SimTime time;
+  ChurnKind kind;
+  std::size_t node;
+  std::size_t write = 0;
+};
+
+/// Mutable simulation state shared by the event handlers.
+struct State {
+  explicit State(std::size_t n)
+      : profiles(n, Profile(0)), online(n, false), epoch(n, 0) {}
+
+  std::vector<Profile> profiles;
+  std::vector<bool> online;
+  std::vector<std::uint64_t> epoch;  // bumped on every online transition
+
+  bool valid(std::size_t node, std::uint64_t captured) const {
+    return online[node] && epoch[node] == captured;
+  }
+
+  std::optional<std::size_t> random_online_peer(std::size_t self,
+                                                util::Rng& rng) const {
+    std::vector<std::size_t> peers;
+    for (std::size_t i = 0; i < online.size(); ++i)
+      if (i != self && online[i]) peers.push_back(i);
+    if (peers.empty()) return std::nullopt;
+    return peers[static_cast<std::size_t>(rng.below(peers.size()))];
+  }
+};
+
+}  // namespace
+
+GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
+                             std::span<const GossipWrite> writes,
+                             const GossipConfig& config, util::Rng& rng) {
+  DOSN_REQUIRE(config.horizon_days > 0, "gossip: horizon must be > 0");
+  DOSN_REQUIRE(config.sync_period > 0, "gossip: sync period must be > 0");
+  DOSN_REQUIRE(config.link_latency >= 0, "gossip: negative latency");
+  const SimTime horizon =
+      static_cast<SimTime>(config.horizon_days) * kDaySeconds;
+  for (const auto& w : writes) {
+    DOSN_REQUIRE(w.origin < nodes.size(), "gossip: bad write origin");
+    DOSN_REQUIRE(w.time >= 0 && w.time < horizon,
+                 "gossip: write outside horizon");
+  }
+
+  // Pre-assign author-signed post ids and the id -> write-index map.
+  std::map<core::UserId, core::SeqNo> author_seq;
+  std::vector<Post> posts(writes.size());
+  std::map<PostId, std::size_t> write_of;
+  for (std::size_t w = 0; w < writes.size(); ++w) {
+    posts[w].id = PostId{writes[w].author, ++author_seq[writes[w].author]};
+    posts[w].timestamp = writes[w].time;
+    write_of[posts[w].id] = w;
+  }
+
+  GossipReport report;
+  report.arrival.assign(
+      writes.size(),
+      std::vector<std::optional<SimTime>>(nodes.size(), std::nullopt));
+
+  State state(nodes.size());
+  EventQueue queue;
+
+  // Applying a payload to a node records first-arrival times.
+  auto apply = [&](std::size_t node, std::span<const Post> delta,
+                   SimTime now) {
+    for (const auto& post : delta) {
+      if (state.profiles[node].insert(post)) {
+        auto& slot = report.arrival[write_of.at(post.id)][node];
+        if (!slot) slot = now;
+      }
+    }
+  };
+
+  // One push-pull anti-entropy round from `a` towards a random peer.
+  std::function<void(std::size_t, std::uint64_t)> tick =
+      [&](std::size_t a, std::uint64_t a_epoch) {
+        if (!state.valid(a, a_epoch)) return;  // went offline; timer dies
+        ++report.sync_rounds;
+        // Re-arm first so a long round cannot cancel the cadence.
+        queue.schedule_in(config.sync_period,
+                          [&tick, a, a_epoch] { tick(a, a_epoch); });
+
+        const auto peer = state.random_online_peer(a, rng);
+        if (!peer) return;
+        const std::size_t b = *peer;
+        const std::uint64_t b_epoch = state.epoch[b];
+        const Seconds lat = config.link_latency;
+
+        // A -> B: A's digest.
+        ++report.messages_sent;
+        VersionVector a_digest = state.profiles[a].version();
+        queue.schedule_in(lat, [&, a, b, a_epoch, b_epoch,
+                                a_digest = std::move(a_digest)] {
+          if (!state.valid(b, b_epoch)) {
+            ++report.messages_lost;
+            return;
+          }
+          // B -> A: what A lacks, plus B's digest.
+          auto delta_for_a = state.profiles[b].missing_for(a_digest);
+          VersionVector b_digest = state.profiles[b].version();
+          ++report.messages_sent;
+          report.posts_shipped += delta_for_a.size();
+          queue.schedule_in(config.link_latency,
+                            [&, a, b, a_epoch, b_epoch,
+                             delta_for_a = std::move(delta_for_a),
+                             b_digest = std::move(b_digest)] {
+            if (!state.valid(a, a_epoch)) {
+              ++report.messages_lost;
+              return;
+            }
+            apply(a, delta_for_a, queue.now());
+            // A -> B: what B lacks.
+            auto delta_for_b = state.profiles[a].missing_for(b_digest);
+            ++report.messages_sent;
+            report.posts_shipped += delta_for_b.size();
+            queue.schedule_in(config.link_latency,
+                              [&, b, b_epoch,
+                               delta_for_b = std::move(delta_for_b)] {
+              if (!state.valid(b, b_epoch)) {
+                ++report.messages_lost;
+                return;
+              }
+              apply(b, delta_for_b, queue.now());
+            });
+          });
+        });
+      };
+
+  // Churn and write events, scheduled upfront in deterministic order so
+  // that equal-time dynamic events (message arrivals) run after them.
+  std::vector<ChurnEvent> churn;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int day = 0; day < config.horizon_days; ++day) {
+      const SimTime base = static_cast<SimTime>(day) * kDaySeconds;
+      for (const auto& iv : nodes[i].set().pieces()) {
+        churn.push_back({base + iv.start, ChurnKind::kOnline, i});
+        churn.push_back({base + iv.end, ChurnKind::kOffline, i});
+      }
+    }
+  }
+  for (std::size_t w = 0; w < writes.size(); ++w)
+    churn.push_back({writes[w].time, ChurnKind::kWrite, writes[w].origin, w});
+  std::sort(churn.begin(), churn.end(),
+            [](const ChurnEvent& a, const ChurnEvent& b) {
+              if (a.time != b.time) return a.time < b.time;
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.node != b.node) return a.node < b.node;
+              return a.write < b.write;
+            });
+
+  for (const auto& ev : churn) {
+    queue.schedule(ev.time, [&, ev] {
+      switch (ev.kind) {
+        case ChurnKind::kOnline: {
+          state.online[ev.node] = true;
+          ++state.epoch[ev.node];
+          const std::uint64_t epoch = state.epoch[ev.node];
+          // First tick after a random fraction of the period: declusters
+          // the fleet (all-at-once gossip storms are unrealistic).
+          const auto offset = static_cast<Seconds>(
+              1 + rng.below(static_cast<std::uint64_t>(config.sync_period)));
+          const std::size_t node = ev.node;
+          queue.schedule_in(offset, [&tick, node, epoch] {
+            tick(node, epoch);
+          });
+          break;
+        }
+        case ChurnKind::kOffline:
+          state.online[ev.node] = false;
+          break;
+        case ChurnKind::kWrite: {
+          // The device holds the post locally even while offline.
+          if (!state.online[ev.node]) ++report.deferred_writes;
+          const Post& post = posts[ev.write];
+          apply(ev.node, {&post, 1}, ev.time);
+          break;
+        }
+      }
+    });
+  }
+  queue.run_all();
+
+  // Delay statistics over non-origin, never-empty nodes.
+  util::RunningStats delays;
+  for (std::size_t w = 0; w < writes.size(); ++w) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i == writes[w].origin || nodes[i].empty()) continue;
+      if (!report.arrival[w][i]) {
+        report.all_delivered = false;
+        continue;
+      }
+      const Seconds delay = *report.arrival[w][i] - writes[w].time;
+      report.max_delay = std::max(report.max_delay, delay);
+      delays.add(static_cast<double>(delay));
+    }
+  }
+  report.mean_delay = delays.mean();
+  return report;
+}
+
+}  // namespace dosn::net

@@ -1,0 +1,209 @@
+#include "net/profile_sync.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/stats.hpp"
+
+namespace dosn::net {
+
+using core::PostId;
+using core::Profile;
+using interval::kDaySeconds;
+
+namespace {
+
+// Equal-time ordering: offline first (half-open schedules), then online,
+// then writes, then reads (a read at the same instant as a write sees it).
+enum class EventKind { kOffline = 0, kOnline = 1, kWrite = 2, kRead = 3 };
+
+struct RawEvent {
+  SimTime time;
+  EventKind kind;
+  std::size_t index;  // node for churn; write/read event index otherwise
+  std::size_t node = 0;
+};
+
+}  // namespace
+
+ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
+                                        std::span<const DaySchedule> readers,
+                                        std::span<const WriteEvent> writes,
+                                        std::span<const ReadEvent> reads,
+                                        const ProfileSyncConfig& config) {
+  DOSN_REQUIRE(config.horizon_days > 0, "profile sync: horizon must be > 0");
+  DOSN_REQUIRE(!nodes.empty(), "profile sync: need at least the owner node");
+  const SimTime horizon =
+      static_cast<SimTime>(config.horizon_days) * kDaySeconds;
+  for (const auto& w : writes)
+    DOSN_REQUIRE(w.time >= 0 && w.time < horizon,
+                 "profile sync: write outside horizon");
+  for (const auto& r : reads) {
+    DOSN_REQUIRE(r.time >= 0 && r.time < horizon,
+                 "profile sync: read outside horizon");
+    DOSN_REQUIRE(r.reader < readers.size(), "profile sync: bad reader index");
+  }
+
+  std::vector<RawEvent> raw;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int day = 0; day < config.horizon_days; ++day) {
+      const SimTime base = static_cast<SimTime>(day) * kDaySeconds;
+      for (const auto& iv : nodes[i].set().pieces()) {
+        raw.push_back({base + iv.start, EventKind::kOnline, i, i});
+        raw.push_back({base + iv.end, EventKind::kOffline, i, i});
+      }
+    }
+  }
+  for (std::size_t w = 0; w < writes.size(); ++w)
+    raw.push_back({writes[w].time, EventKind::kWrite, w});
+  for (std::size_t r = 0; r < reads.size(); ++r)
+    raw.push_back({reads[r].time, EventKind::kRead, r});
+  std::sort(raw.begin(), raw.end(), [](const RawEvent& a, const RawEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    return a.index < b.index;
+  });
+
+  // Group invariant: every online replica shares `group`. Under UnconRep
+  // the group doubles as the persistent relay store.
+  const bool persistent = config.connectivity == Connectivity::kUnconRep;
+  Profile group(/*owner=*/0);
+  std::vector<Profile> held(nodes.size(), Profile(0));  // state while offline
+  std::vector<bool> online(nodes.size(), false);
+  std::size_t online_count = 0;
+
+  // Author-signed sequence numbers: the author's client numbers his posts.
+  std::unordered_map<core::UserId, core::SeqNo> author_seq;
+
+  // Accepted posts in acceptance order (creation time, id).
+  std::vector<std::pair<SimTime, PostId>> accepted;
+
+  ProfileSyncReport report;
+  report.writes_attempted = writes.size();
+
+  EventQueue queue;
+  for (const auto& ev : raw) {
+    queue.schedule(ev.time, [&, ev] {
+      switch (ev.kind) {
+        case EventKind::kOnline: {
+          if (online_count == 0 && !persistent)
+            group = Profile(0);  // previous group dissolved
+          group.merge(held[ev.index]);
+          online[ev.index] = true;
+          ++online_count;
+          break;
+        }
+        case EventKind::kOffline: {
+          held[ev.index] = group;  // carry a snapshot away
+          online[ev.index] = false;
+          --online_count;
+          break;
+        }
+        case EventKind::kWrite: {
+          if (online_count == 0) break;  // profile unreachable: write fails
+          const auto& w = writes[ev.index];
+          core::Post post;
+          post.id = PostId{w.author, ++author_seq[w.author]};
+          post.timestamp = ev.time;
+          const bool fresh = group.insert(post);
+          DOSN_ASSERT(fresh);
+          accepted.emplace_back(ev.time, post.id);
+          ++report.writes_succeeded;
+          break;
+        }
+        case EventKind::kRead: {
+          ReadSample sample;
+          sample.time = ev.time;
+          sample.reader = reads[ev.index].reader;
+          sample.success = online_count > 0;
+          if (sample.success) {
+            Seconds oldest_missing = -1;
+            for (const auto& [created, id] : accepted) {
+              if (!group.contains(id)) {
+                ++sample.missing;
+                if (oldest_missing < 0) oldest_missing = created;
+              }
+            }
+            if (oldest_missing >= 0)
+              sample.staleness = ev.time - oldest_missing;
+          }
+          report.reads.push_back(sample);
+          break;
+        }
+      }
+    });
+  }
+  queue.run_all();
+
+  // Read statistics.
+  std::size_t read_ok = 0;
+  util::RunningStats missing_stats;
+  for (const auto& s : report.reads) {
+    if (!s.success) continue;
+    ++read_ok;
+    missing_stats.add(static_cast<double>(s.missing));
+    report.max_staleness = std::max(report.max_staleness, s.staleness);
+  }
+  report.read_success_rate =
+      report.reads.empty()
+          ? 1.0
+          : static_cast<double>(read_ok) /
+                static_cast<double>(report.reads.size());
+  report.mean_missing = missing_stats.mean();
+  report.write_success_rate =
+      writes.empty() ? 1.0
+                     : static_cast<double>(report.writes_succeeded) /
+                           static_cast<double>(writes.size());
+
+  // Convergence: final state per node (group for those still online).
+  const Profile* reference = nullptr;
+  report.converged = true;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (nodes[i].empty()) continue;  // never participated
+    const Profile& final_state = online[i] ? group : held[i];
+    report.final_posts = std::max(report.final_posts, final_state.size());
+    if (!reference)
+      reference = &final_state;
+    else if (!(final_state == *reference))
+      report.converged = false;
+  }
+  if (!reference) report.converged = false;  // nobody ever online
+  return report;
+}
+
+std::vector<ReadEvent> reads_within_schedules(
+    std::span<const DaySchedule> readers, std::size_t count, int horizon_days,
+    util::Rng& rng) {
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < readers.size(); ++i)
+    if (!readers[i].empty()) eligible.push_back(i);
+  DOSN_REQUIRE(!eligible.empty(),
+               "reads_within_schedules: no reader is ever online");
+
+  std::vector<ReadEvent> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t reader = eligible[k % eligible.size()];
+    const auto& sched = readers[reader];
+    const auto day = static_cast<SimTime>(
+        rng.below(static_cast<std::uint64_t>(horizon_days)));
+    auto offset = static_cast<Seconds>(
+        rng.below(static_cast<std::uint64_t>(sched.online_seconds())));
+    Seconds tod = 0;
+    for (const auto& iv : sched.set().pieces()) {
+      if (offset < iv.length()) {
+        tod = iv.start + offset;
+        break;
+      }
+      offset -= iv.length();
+    }
+    out.push_back({day * kDaySeconds + tod, reader});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ReadEvent& a, const ReadEvent& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+}  // namespace dosn::net

@@ -1,0 +1,88 @@
+// Profile-level replica synchronization with reader experience.
+//
+// replica_sim.hpp tracks update *identifiers*; this simulator runs the full
+// data plane of the DOSN: replicas hold core::Profile objects, rendezvous
+// merges are version-vector-guided set unions, friends write wall posts
+// through whichever replica is online (a write fails when the profile is
+// unreachable — the empirical counterpart of availability-on-demand-
+// activity), and readers probe the profile during their own online time,
+// measuring empirical read availability and staleness (posts already
+// accepted somewhere but missing at the contacted replica).
+//
+// Post identities are author-signed: the author's client numbers his own
+// posts, so replicas merging in any order converge without coordination.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/profile.hpp"
+#include "net/replica_sim.hpp"
+
+namespace dosn::net {
+
+struct ProfileSyncConfig {
+  Connectivity connectivity = Connectivity::kConRep;
+  int horizon_days = 14;
+};
+
+/// A wall-post attempt: `author` (any user id, typically a friend) tries to
+/// write to the profile at absolute time `time`. The write succeeds iff
+/// some replica is online at that instant.
+struct WriteEvent {
+  SimTime time = 0;
+  core::UserId author = 0;
+};
+
+/// A read probe: a friend looks the profile up at absolute time `time`.
+struct ReadEvent {
+  SimTime time = 0;
+  std::size_t reader = 0;  ///< index into the readers schedule list
+};
+
+struct ReadSample {
+  SimTime time = 0;
+  std::size_t reader = 0;
+  bool success = false;       ///< some replica was online
+  std::size_t missing = 0;    ///< accepted posts absent at the replica read
+  Seconds staleness = 0;      ///< age of the oldest missing post (0 if none)
+};
+
+struct ProfileSyncReport {
+  std::size_t writes_attempted = 0;
+  std::size_t writes_succeeded = 0;
+  /// Empirical availability-on-demand-activity: accepted / attempted.
+  double write_success_rate = 1.0;
+
+  std::vector<ReadSample> reads;
+  /// Empirical availability-on-demand-time at probe instants.
+  double read_success_rate = 1.0;
+  /// Mean posts missing over successful reads.
+  double mean_missing = 0.0;
+  /// Worst staleness (seconds) over successful reads.
+  Seconds max_staleness = 0;
+
+  /// All replicas hold identical profiles at the end of the horizon
+  /// (after each one's final rendezvous) — eventual consistency held.
+  bool converged = false;
+  /// Posts in the most complete replica at the end.
+  std::size_t final_posts = 0;
+};
+
+/// Simulates the replica group (`nodes[0]` is the owner) over the horizon,
+/// applying writes and serving reads. `readers` hold the probing friends'
+/// daily schedules; reads must reference them. Write/read events must be
+/// sorted by time and lie within the horizon.
+ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
+                                        std::span<const DaySchedule> readers,
+                                        std::span<const WriteEvent> writes,
+                                        std::span<const ReadEvent> reads,
+                                        const ProfileSyncConfig& config);
+
+/// Draws `count` read probes uniformly inside each reader's online time
+/// (round-robin across readers), sorted by time.
+std::vector<ReadEvent> reads_within_schedules(
+    std::span<const DaySchedule> readers, std::size_t count, int horizon_days,
+    util::Rng& rng);
+
+}  // namespace dosn::net

@@ -1,0 +1,228 @@
+#include "net/replica_sim.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace dosn::net {
+
+using interval::kDaySeconds;
+
+namespace {
+
+// Equal-time ordering: offline transitions run first (half-open intervals:
+// a node is not online at its interval end), then online transitions, then
+// update injections (an update at the instant a node comes online is
+// received by it).
+enum class EventKind { kOffline = 0, kOnline = 1, kUpdate = 2 };
+
+struct RawEvent {
+  SimTime time;
+  EventKind kind;
+  std::size_t node;
+  std::size_t update = 0;  // for kUpdate
+};
+
+class GroupState {
+ public:
+  GroupState(std::size_t nodes, std::size_t updates, bool persistent_store)
+      : persistent_(persistent_store),
+        known_(nodes, std::vector<bool>(updates, false)),
+        group_(updates, false),
+        online_(nodes, false) {}
+
+  bool online(std::size_t i) const { return online_[i]; }
+
+  /// Node i joins the online group at time t; returns for each side the
+  /// newly learned updates via `record`.
+  template <typename Record>
+  void join(std::size_t i, SimTime t, Record&& record) {
+    DOSN_ASSERT(!online_[i]);
+    if (online_count_ == 0 && !persistent_) group_.assign(group_.size(), false);
+    // Updates the group learns from i reach every online member now.
+    for (std::size_t u = 0; u < group_.size(); ++u) {
+      if (known_[i][u] && !group_[u]) {
+        group_[u] = true;
+        for (std::size_t j = 0; j < known_.size(); ++j)
+          if (online_[j]) record(j, u, t);
+      } else if (!known_[i][u] && group_[u]) {
+        record(i, u, t);
+      }
+    }
+    online_[i] = true;
+    ++online_count_;
+    known_[i] = group_;
+  }
+
+  void leave(std::size_t i) {
+    DOSN_ASSERT(online_[i]);
+    known_[i] = group_;
+    online_[i] = false;
+    --online_count_;
+  }
+
+  /// Injects update u at node i at time t.
+  template <typename Record>
+  void inject(std::size_t i, std::size_t u, SimTime t, Record&& record) {
+    record(i, u, t);
+    known_[i][u] = true;
+    if (online_[i]) {
+      if (!group_[u]) {
+        group_[u] = true;
+        for (std::size_t j = 0; j < known_.size(); ++j)
+          if (online_[j] && j != i) record(j, u, t);
+      }
+      known_[i] = group_;
+    }
+  }
+
+  std::size_t online_count() const { return online_count_; }
+
+ private:
+  bool persistent_;
+  std::vector<std::vector<bool>> known_;
+  std::vector<bool> group_;
+  std::vector<bool> online_;
+  std::size_t online_count_ = 0;
+};
+
+}  // namespace
+
+ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
+                                        std::span<const UpdateSpec> updates,
+                                        const ReplicaSimConfig& config) {
+  DOSN_REQUIRE(config.horizon_days > 0, "replica sim: horizon must be > 0");
+  const SimTime horizon =
+      static_cast<SimTime>(config.horizon_days) * kDaySeconds;
+  for (const auto& u : updates) {
+    DOSN_REQUIRE(u.origin < nodes.size(), "replica sim: bad update origin");
+    DOSN_REQUIRE(u.time >= 0 && u.time < horizon,
+                 "replica sim: update outside horizon");
+  }
+
+  // Crash-stop failure times (clamped to the horizon).
+  std::vector<SimTime> fail_at(nodes.size(), horizon);
+  for (const auto& f : config.failures) {
+    DOSN_REQUIRE(f.node < nodes.size(), "replica sim: bad failure node");
+    DOSN_REQUIRE(f.at >= 0, "replica sim: failure before start");
+    fail_at[f.node] = std::min(fail_at[f.node], std::min(f.at, horizon));
+  }
+
+  // Materialize churn and update events, then order them. Sessions that
+  // would start after a node's failure are dropped; a session in progress
+  // at the failure instant is cut short.
+  std::vector<RawEvent> raw;
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    for (int day = 0; day < config.horizon_days; ++day) {
+      const SimTime base = static_cast<SimTime>(day) * kDaySeconds;
+      for (const auto& iv : nodes[i].set().pieces()) {
+        const SimTime start = base + iv.start;
+        const SimTime end = base + iv.end;
+        if (start >= fail_at[i]) continue;
+        raw.push_back({start, EventKind::kOnline, i, 0});
+        raw.push_back({std::min(end, fail_at[i]), EventKind::kOffline, i, 0});
+      }
+    }
+  }
+  for (std::size_t u = 0; u < updates.size(); ++u)
+    raw.push_back({updates[u].time, EventKind::kUpdate, updates[u].origin, u});
+  std::sort(raw.begin(), raw.end(), [](const RawEvent& a, const RawEvent& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.kind != b.kind) return a.kind < b.kind;
+    if (a.node != b.node) return a.node < b.node;
+    return a.update < b.update;
+  });
+
+  ReplicaSimReport report;
+  report.deliveries.resize(updates.size());
+  for (std::size_t u = 0; u < updates.size(); ++u) {
+    report.deliveries[u].creation = updates[u].time;
+    report.deliveries[u].origin = updates[u].origin;
+    report.deliveries[u].arrival.assign(nodes.size(), std::nullopt);
+  }
+
+  GroupState state(nodes.size(), updates.size(),
+                   config.connectivity == Connectivity::kUnconRep);
+  auto record = [&](std::size_t node, std::size_t update, SimTime t) {
+    auto& slot = report.deliveries[update].arrival[node];
+    if (!slot) slot = t;
+  };
+
+  EventQueue queue;
+  SimTime last_transition = 0;
+  SimTime any_online_time = 0;
+  for (const auto& ev : raw) {
+    queue.schedule(ev.time, [&, ev] {
+      const bool was_any = state.online_count() > 0;
+      if (was_any) any_online_time += ev.time - last_transition;
+      last_transition = ev.time;
+      switch (ev.kind) {
+        case EventKind::kOffline: state.leave(ev.node); break;
+        case EventKind::kOnline: state.join(ev.node, ev.time, record); break;
+        case EventKind::kUpdate:
+          state.inject(ev.node, ev.update, ev.time, record);
+          break;
+      }
+    });
+  }
+  queue.run_all();
+  if (state.online_count() > 0) any_online_time += horizon - last_transition;
+  report.events = queue.processed();
+  report.empirical_availability =
+      static_cast<double>(any_online_time) / static_cast<double>(horizon);
+
+  // Delay statistics over non-origin nodes with non-empty schedules.
+  util::RunningStats delays;
+  for (const auto& d : report.deliveries) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (i == d.origin || nodes[i].empty()) continue;
+      if (!d.arrival[i]) {
+        report.all_delivered = false;
+        continue;
+      }
+      const Seconds delay = *d.arrival[i] - d.creation;
+      report.max_delay = std::max(report.max_delay, delay);
+      delays.add(static_cast<double>(delay));
+    }
+  }
+  report.mean_delay = delays.mean();
+  return report;
+}
+
+std::vector<UpdateSpec> updates_within_schedules(
+    std::span<const DaySchedule> nodes, std::size_t count, int horizon_days,
+    util::Rng& rng) {
+  std::vector<std::size_t> eligible;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    if (!nodes[i].empty()) eligible.push_back(i);
+  DOSN_REQUIRE(!eligible.empty(),
+               "updates_within_schedules: no node is ever online");
+
+  std::vector<UpdateSpec> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const std::size_t origin = eligible[k % eligible.size()];
+    const auto& sched = nodes[origin];
+    const auto day = static_cast<SimTime>(
+        rng.below(static_cast<std::uint64_t>(horizon_days)));
+    // Uniform second within the node's daily online time.
+    auto offset = static_cast<Seconds>(rng.below(
+        static_cast<std::uint64_t>(sched.online_seconds())));
+    Seconds tod = 0;
+    for (const auto& iv : sched.set().pieces()) {
+      if (offset < iv.length()) {
+        tod = iv.start + offset;
+        break;
+      }
+      offset -= iv.length();
+    }
+    out.push_back({day * kDaySeconds + tod, origin});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const UpdateSpec& a, const UpdateSpec& b) {
+              return a.time < b.time;
+            });
+  return out;
+}
+
+}  // namespace dosn::net

@@ -1,0 +1,91 @@
+// Event-driven simulation of one profile's replica group.
+//
+// The analytic delay metric (src/metrics) computes worst cases from the
+// periodic schedules; this simulator *executes* the same system — nodes
+// churn according to their daily schedules, replicas exchange state
+// whenever they are simultaneously online (ConRep) or through an
+// always-online relay (UnconRep) — and measures realized propagation
+// delays and availability. It both cross-validates the analytic engine
+// (empirical delay <= analytic worst case; empirical max approaches it)
+// and carries the eventual-consistency layer of the core library.
+//
+// Synchronization model: pairwise anti-entropy with zero transfer latency.
+// Every pair of simultaneously-online replicas is "connected in time", so
+// at any instant all online replicas share one state; a node joining the
+// online group merges its state bidirectionally, a node leaving keeps a
+// snapshot. Under UnconRep the shared store is persistent (the relay).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "interval/day_schedule.hpp"
+#include "net/event_queue.hpp"
+#include "placement/policy.hpp"
+
+namespace dosn::net {
+
+using interval::DaySchedule;
+using interval::Seconds;
+using placement::Connectivity;
+
+/// Permanent crash-stop failure: the node goes offline for good at `at`
+/// (its held state survives on disk but never syncs again).
+struct NodeFailure {
+  std::size_t node = 0;
+  SimTime at = 0;
+};
+
+struct ReplicaSimConfig {
+  Connectivity connectivity = Connectivity::kConRep;
+  /// Simulation horizon in days (schedules repeat daily).
+  int horizon_days = 14;
+  /// Injected crash-stop failures (at most one per node is meaningful).
+  std::vector<NodeFailure> failures;
+};
+
+/// One update to inject. `origin` indexes the simulated node list. If the
+/// origin is offline at `time`, it holds the update locally and shares it
+/// when it next comes online (a user writing his own profile offline).
+struct UpdateSpec {
+  SimTime time = 0;
+  std::size_t origin = 0;
+};
+
+/// Delivery record of one update: arrival time per node (nullopt = never
+/// delivered within the horizon). arrival[origin] is the injection time.
+struct UpdateDelivery {
+  SimTime creation = 0;
+  std::size_t origin = 0;
+  std::vector<std::optional<SimTime>> arrival;
+};
+
+struct ReplicaSimReport {
+  std::vector<UpdateDelivery> deliveries;
+  /// Worst realized propagation delay across updates and nodes (seconds).
+  Seconds max_delay = 0;
+  /// Mean realized delay over delivered (update, node) pairs.
+  double mean_delay = 0.0;
+  /// True when every update reached every node with a non-empty schedule.
+  bool all_delivered = true;
+  /// Fraction of the horizon during which >= 1 node was online.
+  double empirical_availability = 0.0;
+  /// Events processed (diagnostics).
+  std::uint64_t events = 0;
+};
+
+/// Simulates `nodes` (index 0 is conventionally the owner) for the given
+/// horizon, injecting `updates`, and reports realized delays. Updates must
+/// be sorted by time and lie within the horizon.
+ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
+                                        std::span<const UpdateSpec> updates,
+                                        const ReplicaSimConfig& config);
+
+/// Draws `count` update times uniformly inside `origin`'s online time over
+/// the horizon (what the analytic metric assumes can happen), with the
+/// origin cycling over the given candidates. Helper for validation runs.
+std::vector<UpdateSpec> updates_within_schedules(
+    std::span<const DaySchedule> nodes, std::size_t count, int horizon_days,
+    util::Rng& rng);
+
+}  // namespace dosn::net

@@ -1,0 +1,94 @@
+#include "onlinetime/continuous.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace dosn::onlinetime {
+
+using interval::kDaySeconds;
+using interval::time_of_day;
+
+Seconds best_window_start(std::span<const Seconds> times_of_day,
+                          Seconds window_length) {
+  DOSN_REQUIRE(window_length > 0, "best_window_start: empty window");
+  if (times_of_day.empty() || window_length >= kDaySeconds) return 0;
+
+  // Some maximal window starts exactly at an activity time, so it suffices
+  // to evaluate those candidates on the circularly doubled, sorted list.
+  std::vector<Seconds> sorted(times_of_day.begin(), times_of_day.end());
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t m = sorted.size();
+  std::vector<Seconds> doubled(sorted);
+  doubled.reserve(2 * m);
+  for (Seconds t : sorted) doubled.push_back(t + kDaySeconds);
+
+  std::size_t best_count = 0;
+  Seconds best_start = sorted.front();
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto end = std::lower_bound(doubled.begin(), doubled.end(),
+                                      sorted[i] + window_length);
+    const auto count = static_cast<std::size_t>(end - doubled.begin()) - i;
+    if (count > best_count) {
+      best_count = count;
+      best_start = sorted[i];
+    }
+  }
+  return best_start;
+}
+
+std::vector<DaySchedule> ContinuousModel::schedules(
+    const trace::Dataset& dataset, util::Rng& rng) const {
+  const std::size_t n = dataset.num_users();
+  std::vector<DaySchedule> out(n);
+  std::vector<Seconds> times;
+  for (graph::UserId u = 0; u < n; ++u) {
+    const Seconds len = std::min(window_length(u, rng), kDaySeconds);
+    DOSN_ASSERT(len > 0);
+    if (len == kDaySeconds) {
+      out[u] = DaySchedule::always();
+      continue;
+    }
+    times.clear();
+    for (std::uint32_t idx : dataset.trace.created_index(u))
+      times.push_back(time_of_day(dataset.trace.activity(idx).timestamp));
+    const Seconds start =
+        times.empty() ? static_cast<Seconds>(rng.below(kDaySeconds))
+                      : best_window_start(times, len);
+    const interval::Interval window{start, start + len};
+    out[u] = DaySchedule::project({&window, 1});
+  }
+  return out;
+}
+
+FixedLengthModel::FixedLengthModel(double window_hours)
+    : window_hours_(window_hours) {
+  DOSN_REQUIRE(window_hours > 0.0 && window_hours <= 24.0,
+               "FixedLengthModel: window must be in (0, 24] hours");
+}
+
+std::string FixedLengthModel::name() const {
+  return util::format("FixedLength(%gh)", window_hours_);
+}
+
+Seconds FixedLengthModel::window_length(graph::UserId, util::Rng&) const {
+  return static_cast<Seconds>(std::llround(window_hours_ * 3600.0));
+}
+
+RandomLengthModel::RandomLengthModel(double min_hours, double max_hours)
+    : min_hours_(min_hours), max_hours_(max_hours) {
+  DOSN_REQUIRE(min_hours > 0.0 && max_hours <= 24.0 && min_hours <= max_hours,
+               "RandomLengthModel: invalid hour range");
+}
+
+std::string RandomLengthModel::name() const {
+  return util::format("RandomLength(%g-%gh)", min_hours_, max_hours_);
+}
+
+Seconds RandomLengthModel::window_length(graph::UserId, util::Rng& rng) const {
+  return static_cast<Seconds>(
+      std::llround(rng.uniform(min_hours_, max_hours_) * 3600.0));
+}
+
+}  // namespace dosn::onlinetime

@@ -1,0 +1,77 @@
+#include "onlinetime/enriched.hpp"
+
+#include <cmath>
+
+#include "onlinetime/continuous.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::onlinetime {
+
+using interval::kDaySeconds;
+using interval::time_of_day;
+
+EnrichedSporadicModel::EnrichedSporadicModel(Seconds session_length,
+                                             double extra_sessions_per_day,
+                                             double habit_stddev_hours)
+    : session_length_(session_length),
+      extra_sessions_per_day_(extra_sessions_per_day),
+      habit_stddev_hours_(habit_stddev_hours) {
+  DOSN_REQUIRE(session_length_ > 0,
+               "EnrichedSporadicModel: session length must be positive");
+  DOSN_REQUIRE(extra_sessions_per_day_ >= 0.0,
+               "EnrichedSporadicModel: extra sessions must be >= 0");
+  DOSN_REQUIRE(habit_stddev_hours_ > 0.0,
+               "EnrichedSporadicModel: habit spread must be positive");
+}
+
+std::string EnrichedSporadicModel::name() const {
+  return util::format("EnrichedSporadic(%llds,+%.1f/day)",
+                      static_cast<long long>(session_length_),
+                      extra_sessions_per_day_);
+}
+
+std::vector<DaySchedule> EnrichedSporadicModel::schedules(
+    const trace::Dataset& dataset, util::Rng& rng) const {
+  const std::size_t n = dataset.num_users();
+  const Seconds span = dataset.trace.empty()
+                           ? kDaySeconds
+                           : dataset.trace.max_timestamp() -
+                                 dataset.trace.min_timestamp();
+  const auto trace_days =
+      std::max<std::int64_t>(1, (span + kDaySeconds - 1) / kDaySeconds);
+
+  std::vector<DaySchedule> out(n);
+  std::vector<interval::Interval> sessions;
+  std::vector<Seconds> times;
+  for (graph::UserId u = 0; u < n; ++u) {
+    sessions.clear();
+    times.clear();
+
+    // Activity-anchored sessions, as in the plain Sporadic model.
+    for (std::uint32_t idx : dataset.trace.created_index(u)) {
+      const trace::Seconds ts = dataset.trace.activity(idx).timestamp;
+      times.push_back(time_of_day(ts));
+      const auto offset = static_cast<Seconds>(
+          rng.below(static_cast<std::uint64_t>(session_length_)));
+      sessions.push_back({ts - offset, ts - offset + session_length_});
+    }
+    if (times.empty()) continue;  // no signal about this user at all
+
+    // Passive sessions clustered around the user's diurnal habit.
+    const Seconds habit = best_window_start(times, session_length_);
+    const auto extra = static_cast<std::int64_t>(std::llround(
+        extra_sessions_per_day_ * static_cast<double>(trace_days)));
+    for (std::int64_t k = 0; k < extra; ++k) {
+      const double center_h =
+          static_cast<double>(habit) / 3600.0 +
+          rng.normal(0.0, habit_stddev_hours_);
+      const double wrapped = center_h - 24.0 * std::floor(center_h / 24.0);
+      const auto start = static_cast<Seconds>(wrapped * 3600.0);
+      sessions.push_back({start, start + session_length_});
+    }
+    out[u] = DaySchedule::project(sessions);
+  }
+  return out;
+}
+
+}  // namespace dosn::onlinetime

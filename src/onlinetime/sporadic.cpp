@@ -1,0 +1,37 @@
+#include "onlinetime/sporadic.hpp"
+
+#include "util/strings.hpp"
+
+namespace dosn::onlinetime {
+
+SporadicModel::SporadicModel(Seconds session_length)
+    : session_length_(session_length) {
+  DOSN_REQUIRE(session_length_ > 0,
+               "SporadicModel: session length must be positive");
+}
+
+std::string SporadicModel::name() const {
+  return util::format("Sporadic(%llds)",
+                      static_cast<long long>(session_length_));
+}
+
+std::vector<DaySchedule> SporadicModel::schedules(
+    const trace::Dataset& dataset, util::Rng& rng) const {
+  const std::size_t n = dataset.num_users();
+  std::vector<DaySchedule> out(n);
+  std::vector<interval::Interval> sessions;
+  for (graph::UserId u = 0; u < n; ++u) {
+    sessions.clear();
+    for (std::uint32_t idx : dataset.trace.created_index(u)) {
+      const trace::Seconds ts = dataset.trace.activity(idx).timestamp;
+      // The activity sits at a uniform random point inside its session.
+      const auto offset = static_cast<Seconds>(
+          rng.below(static_cast<std::uint64_t>(session_length_)));
+      sessions.push_back({ts - offset, ts - offset + session_length_});
+    }
+    if (!sessions.empty()) out[u] = DaySchedule::project(sessions);
+  }
+  return out;
+}
+
+}  // namespace dosn::onlinetime

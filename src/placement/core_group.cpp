@@ -1,0 +1,64 @@
+#include "placement/core_group.hpp"
+
+#include <limits>
+
+#include "interval/delay_graph.hpp"
+
+namespace dosn::placement {
+
+std::vector<UserId> CoreGroupPolicy::select(const PlacementContext& context,
+                                            util::Rng&) const {
+  const bool conrep = context.connectivity == Connectivity::kConRep;
+  const auto mode = conrep ? interval::RendezvousMode::kDirect
+                           : interval::RendezvousMode::kRelay;
+  const DaySchedule& owner = context.schedule_of(context.user);
+
+  interval::IntervalSet covered = owner.set();
+  DaySchedule connectivity_union = owner;
+  std::vector<DaySchedule> group{owner};
+
+  std::vector<UserId> chosen;
+  std::vector<bool> used(context.candidates.size(), false);
+
+  while (chosen.size() < context.max_replicas) {
+    std::ptrdiff_t best = -1;
+    Seconds best_diameter = 0;
+    Seconds best_gain = 0;
+    for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+      if (used[i]) continue;
+      const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+      if (conrep &&
+          !detail::is_connected(cand, connectivity_union, !chosen.empty()))
+        continue;
+      const Seconds gain = cand.set().subtract(covered).measure();
+      if (gain <= 0) continue;  // only replicas that add availability
+
+      group.push_back(cand);
+      const auto delay = interval::group_delay(group, mode);
+      group.pop_back();
+      // Candidates that would split the group are never preferable.
+      const Seconds diameter =
+          delay.fully_connected ? delay.diameter
+                                : std::numeric_limits<Seconds>::max() / 2;
+
+      const bool better = best < 0 || diameter < best_diameter ||
+                          (diameter == best_diameter && gain > best_gain);
+      if (better) {
+        best = static_cast<std::ptrdiff_t>(i);
+        best_diameter = diameter;
+        best_gain = gain;
+      }
+    }
+    if (best < 0) break;
+    used[static_cast<std::size_t>(best)] = true;
+    const UserId f = context.candidates[static_cast<std::size_t>(best)];
+    chosen.push_back(f);
+    const DaySchedule& sched = context.schedule_of(f);
+    covered = covered.unite(sched.set());
+    connectivity_union = connectivity_union.unite(sched);
+    group.push_back(sched);
+  }
+  return chosen;
+}
+
+}  // namespace dosn::placement

@@ -1,0 +1,81 @@
+#include "placement/hybrid.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace dosn::placement {
+
+HybridPolicy::HybridPolicy(double alpha) : alpha_(alpha) {
+  DOSN_REQUIRE(alpha >= 0.0 && alpha <= 1.0,
+               "HybridPolicy: alpha must be in [0, 1]");
+}
+
+std::string HybridPolicy::name() const {
+  return util::format("Hybrid(%.2f)", alpha_);
+}
+
+std::vector<UserId> HybridPolicy::select(const PlacementContext& context,
+                                         util::Rng&) const {
+  DOSN_REQUIRE(context.trace != nullptr, "Hybrid needs the activity trace");
+  const bool conrep = context.connectivity == Connectivity::kConRep;
+  const DaySchedule& owner = context.schedule_of(context.user);
+
+  std::vector<double> activity(context.candidates.size());
+  double max_activity = 0.0;
+  for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+    activity[i] = static_cast<double>(context.trace->interaction_count(
+        context.user, context.candidates[i]));
+    max_activity = std::max(max_activity, activity[i]);
+  }
+  if (max_activity > 0.0)
+    for (auto& a : activity) a /= max_activity;
+
+  interval::IntervalSet covered = owner.set();
+  DaySchedule connectivity_union = owner;
+  std::vector<UserId> chosen;
+  std::vector<bool> used(context.candidates.size(), false);
+
+  while (chosen.size() < context.max_replicas) {
+    // Collect eligible candidates with their raw coverage gains first: the
+    // coverage component is normalized over the current pool.
+    std::vector<std::pair<std::size_t, Seconds>> eligible;
+    Seconds max_gain = 0;
+    for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+      if (used[i]) continue;
+      const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+      if (conrep &&
+          !detail::is_connected(cand, connectivity_union, !chosen.empty()))
+        continue;
+      const Seconds gain = cand.set().subtract(covered).measure();
+      eligible.emplace_back(i, gain);
+      max_gain = std::max(max_gain, gain);
+    }
+    if (eligible.empty()) break;
+
+    std::ptrdiff_t best = -1;
+    double best_score = -1.0;
+    for (const auto& [i, gain] : eligible) {
+      const double coverage =
+          max_gain > 0 ? static_cast<double>(gain) /
+                             static_cast<double>(max_gain)
+                       : 0.0;
+      const double score = alpha_ * activity[i] + (1.0 - alpha_) * coverage;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<std::ptrdiff_t>(i);
+      }
+    }
+    // Stop once no candidate contributes on either axis.
+    if (best < 0 || best_score <= 0.0) break;
+    used[static_cast<std::size_t>(best)] = true;
+    const UserId f = context.candidates[static_cast<std::size_t>(best)];
+    chosen.push_back(f);
+    const DaySchedule& sched = context.schedule_of(f);
+    covered = covered.unite(sched.set());
+    connectivity_union = connectivity_union.unite(sched);
+  }
+  return chosen;
+}
+
+}  // namespace dosn::placement

@@ -1,0 +1,125 @@
+#include "placement/max_av.hpp"
+
+#include <algorithm>
+
+namespace dosn::placement {
+
+using interval::IntervalSet;
+
+MaxAvPolicy::MaxAvPolicy(MaxAvObjective objective, bool conrep_least_overlap)
+    : objective_(objective), conrep_least_overlap_(conrep_least_overlap) {}
+
+std::string MaxAvPolicy::name() const {
+  switch (objective_) {
+    case MaxAvObjective::kAvailability: return "MaxAv";
+    case MaxAvObjective::kAoDTime: return "MaxAv(aod-time)";
+    case MaxAvObjective::kAoDActivity: return "MaxAv(aod-activity)";
+  }
+  return "MaxAv(?)";
+}
+
+std::vector<UserId> MaxAvPolicy::select(const PlacementContext& context,
+                                        util::Rng&) const {
+  if (objective_ == MaxAvObjective::kAoDActivity)
+    return select_activity_cover(context);
+  return select_schedule_cover(context);
+}
+
+std::vector<UserId> MaxAvPolicy::select_schedule_cover(
+    const PlacementContext& context) const {
+  const bool conrep = context.connectivity == Connectivity::kConRep;
+  const DaySchedule& owner = context.schedule_of(context.user);
+
+  IntervalSet covered;
+  if (objective_ == MaxAvObjective::kAvailability) covered = owner.set();
+  DaySchedule connectivity_union = owner;
+
+  std::vector<UserId> chosen;
+  std::vector<bool> used(context.candidates.size(), false);
+
+  while (chosen.size() < context.max_replicas) {
+    std::ptrdiff_t best = -1;
+    Seconds best_gain = 0;
+    Seconds best_overlap = 0;
+    for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+      if (used[i]) continue;
+      const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+      if (conrep &&
+          !detail::is_connected(cand, connectivity_union, !chosen.empty()))
+        continue;
+      const Seconds gain = cand.set().subtract(covered).measure();
+      if (gain <= 0) continue;
+      bool better = false;
+      if (conrep && conrep_least_overlap_) {
+        const Seconds overlap = cand.set().intersection_measure(covered);
+        better = best < 0 || overlap < best_overlap ||
+                 (overlap == best_overlap && gain > best_gain);
+        if (better) best_overlap = overlap;
+      } else {
+        better = gain > best_gain;
+      }
+      if (better) {
+        best = static_cast<std::ptrdiff_t>(i);
+        best_gain = gain;
+      }
+    }
+    if (best < 0) break;  // no candidate improves coverage (or none connected)
+    used[static_cast<std::size_t>(best)] = true;
+    const UserId f = context.candidates[static_cast<std::size_t>(best)];
+    chosen.push_back(f);
+    covered = covered.unite(context.schedule_of(f).set());
+    connectivity_union = connectivity_union.unite(context.schedule_of(f));
+  }
+  return chosen;
+}
+
+std::vector<UserId> MaxAvPolicy::select_activity_cover(
+    const PlacementContext& context) const {
+  DOSN_REQUIRE(context.trace != nullptr,
+               "MaxAv(aod-activity) needs the activity trace");
+  const bool conrep = context.connectivity == Connectivity::kConRep;
+  const DaySchedule& owner = context.schedule_of(context.user);
+
+  // Universe: time-of-day instants of the activities received on the
+  // user's profile in the observed past.
+  std::vector<Seconds> points;
+  for (const auto& a : context.trace->received_by(context.user))
+    points.push_back(interval::time_of_day(a.timestamp));
+  std::vector<bool> covered(points.size(), false);
+  for (std::size_t p = 0; p < points.size(); ++p)
+    if (owner.set().contains(points[p])) covered[p] = true;
+
+  DaySchedule connectivity_union = owner;
+  std::vector<UserId> chosen;
+  std::vector<bool> used(context.candidates.size(), false);
+
+  while (chosen.size() < context.max_replicas) {
+    std::ptrdiff_t best = -1;
+    std::size_t best_gain = 0;
+    for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+      if (used[i]) continue;
+      const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+      if (conrep &&
+          !detail::is_connected(cand, connectivity_union, !chosen.empty()))
+        continue;
+      std::size_t gain = 0;
+      for (std::size_t p = 0; p < points.size(); ++p)
+        if (!covered[p] && cand.set().contains(points[p])) ++gain;
+      if (gain > best_gain) {
+        best = static_cast<std::ptrdiff_t>(i);
+        best_gain = gain;
+      }
+    }
+    if (best < 0) break;
+    used[static_cast<std::size_t>(best)] = true;
+    const UserId f = context.candidates[static_cast<std::size_t>(best)];
+    chosen.push_back(f);
+    const DaySchedule& sched = context.schedule_of(f);
+    for (std::size_t p = 0; p < points.size(); ++p)
+      if (!covered[p] && sched.set().contains(points[p])) covered[p] = true;
+    connectivity_union = connectivity_union.unite(sched);
+  }
+  return chosen;
+}
+
+}  // namespace dosn::placement

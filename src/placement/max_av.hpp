@@ -1,0 +1,41 @@
+// MaxAv: greedy set-cover replica selection maximizing availability
+// (Sec III-A of the paper).
+#pragma once
+
+#include "placement/policy.hpp"
+
+namespace dosn::placement {
+
+/// Greedy set cover: repeatedly select the candidate contributing the most
+/// still-uncovered universe, stopping when no candidate improves coverage.
+/// The universe depends on the objective:
+///   * kAvailability — the union of candidate schedules; coverage is
+///     seeded with the owner's own schedule (the owner always holds his
+///     profile, so time he is online is already covered);
+///   * kAoDTime      — the same universe without the owner seed;
+///   * kAoDActivity  — the multiset of time-of-day instants of activities
+///     received on the user's profile.
+/// Under ConRep only time-connected candidates are eligible at each step;
+/// with `conrep_least_overlap` the connected candidate with minimal overlap
+/// with the covered set is picked instead of the max-gain one (the paper's
+/// literal phrasing), still requiring positive gain.
+class MaxAvPolicy final : public ReplicaPolicy {
+ public:
+  explicit MaxAvPolicy(MaxAvObjective objective = MaxAvObjective::kAvailability,
+                       bool conrep_least_overlap = false);
+
+  std::string name() const override;
+  std::vector<UserId> select(const PlacementContext& context,
+                             util::Rng& rng) const override;
+
+ private:
+  std::vector<UserId> select_schedule_cover(const PlacementContext& context)
+      const;
+  std::vector<UserId> select_activity_cover(const PlacementContext& context)
+      const;
+
+  MaxAvObjective objective_;
+  bool conrep_least_overlap_;
+};
+
+}  // namespace dosn::placement

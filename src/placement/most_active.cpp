@@ -1,0 +1,67 @@
+#include "placement/most_active.hpp"
+
+#include <algorithm>
+
+namespace dosn::placement {
+
+std::vector<UserId> MostActivePolicy::select(const PlacementContext& context,
+                                             util::Rng& rng) const {
+  DOSN_REQUIRE(context.trace != nullptr,
+               "MostActive needs the activity trace");
+  const bool conrep = context.connectivity == Connectivity::kConRep;
+
+  // Rank: activity count descending; zero-activity candidates shuffled.
+  struct Ranked {
+    UserId id;
+    std::size_t count;
+  };
+  std::vector<Ranked> active;
+  std::vector<UserId> idle;
+  for (UserId f : context.candidates) {
+    const std::size_t c = context.trace->interaction_count(context.user, f);
+    if (c > 0)
+      active.push_back({f, c});
+    else
+      idle.push_back(f);
+  }
+  std::sort(active.begin(), active.end(), [](const Ranked& a, const Ranked& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.id < b.id;
+  });
+  rng.shuffle(idle);
+
+  std::vector<UserId> order;
+  order.reserve(context.candidates.size());
+  for (const auto& r : active) order.push_back(r.id);
+  order.insert(order.end(), idle.begin(), idle.end());
+
+  std::vector<UserId> chosen;
+  if (!conrep) {
+    const std::size_t take = std::min(order.size(), context.max_replicas);
+    chosen.assign(order.begin(),
+                  order.begin() + static_cast<std::ptrdiff_t>(take));
+    return chosen;
+  }
+
+  DaySchedule connectivity_union = context.schedule_of(context.user);
+  std::vector<bool> used(order.size(), false);
+  while (chosen.size() < context.max_replicas) {
+    std::ptrdiff_t pick = -1;
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      if (used[i]) continue;
+      if (detail::is_connected(context.schedule_of(order[i]),
+                               connectivity_union, !chosen.empty())) {
+        pick = static_cast<std::ptrdiff_t>(i);
+        break;  // order is the rank order: first hit is best-ranked
+      }
+    }
+    if (pick < 0) break;
+    used[static_cast<std::size_t>(pick)] = true;
+    const UserId f = order[static_cast<std::size_t>(pick)];
+    chosen.push_back(f);
+    connectivity_union = connectivity_union.unite(context.schedule_of(f));
+  }
+  return chosen;
+}
+
+}  // namespace dosn::placement

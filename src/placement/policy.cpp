@@ -1,0 +1,58 @@
+#include "placement/policy.hpp"
+
+#include "placement/core_group.hpp"
+#include "placement/hybrid.hpp"
+#include "placement/max_av.hpp"
+#include "placement/most_active.hpp"
+#include "placement/random.hpp"
+
+namespace dosn::placement {
+
+std::string to_string(Connectivity c) {
+  return c == Connectivity::kConRep ? "ConRep" : "UnconRep";
+}
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kMaxAv: return "MaxAv";
+    case PolicyKind::kMostActive: return "MostActive";
+    case PolicyKind::kRandom: return "Random";
+    case PolicyKind::kCoreGroup: return "CoreGroup";
+    case PolicyKind::kHybrid: return "Hybrid";
+  }
+  return "?";
+}
+
+std::unique_ptr<ReplicaPolicy> make_policy(PolicyKind kind,
+                                           const PolicyParams& params) {
+  switch (kind) {
+    case PolicyKind::kMaxAv:
+      return std::make_unique<MaxAvPolicy>(params.objective,
+                                           params.conrep_least_overlap);
+    case PolicyKind::kMostActive:
+      return std::make_unique<MostActivePolicy>();
+    case PolicyKind::kRandom:
+      return std::make_unique<RandomPolicy>();
+    case PolicyKind::kCoreGroup:
+      return std::make_unique<CoreGroupPolicy>();
+    case PolicyKind::kHybrid:
+      return std::make_unique<HybridPolicy>(params.hybrid_alpha);
+  }
+  throw ConfigError("make_policy: unknown policy kind");
+}
+
+namespace detail {
+
+bool is_connected(const DaySchedule& candidate,
+                  const DaySchedule& connectivity_union, bool any_selected) {
+  if (!connectivity_union.empty())
+    return candidate.intersects(connectivity_union);
+  // The connectivity set is empty (owner never online): the first replica
+  // seeds connectivity, so any candidate with a schedule qualifies; after
+  // that nothing can connect to an empty union.
+  return !any_selected && !candidate.empty();
+}
+
+}  // namespace detail
+
+}  // namespace dosn::placement

@@ -1,0 +1,112 @@
+// Replica-selection policies (Sec III of the paper).
+//
+// Given a user, his contacts (trusted friends resp. followers) and
+// everyone's daily online schedule, a policy returns an ordered list of
+// replica holders. The order is a *selection order*: the k-replica
+// configuration of the paper's sweeps is exactly the length-k prefix, and
+// for ConRep every prefix satisfies the time-connectivity constraint
+// because policies build their selection incrementally.
+//
+// ConRep (connected replicas): each new replica must overlap in time with
+// at least one already-selected replica. The owner's own schedule seeds the
+// connectivity set — the profile originates at the owner. If the owner is
+// never online, the first replica seeds connectivity instead.
+// UnconRep: no constraint (replicas exchange updates through third-party
+// storage).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "interval/day_schedule.hpp"
+#include "trace/activity.hpp"
+#include "util/rng.hpp"
+
+namespace dosn::placement {
+
+using graph::UserId;
+using interval::DaySchedule;
+using interval::Seconds;
+
+enum class Connectivity { kConRep, kUnconRep };
+
+std::string to_string(Connectivity c);
+
+/// Inputs for placing the replicas of one user's profile.
+struct PlacementContext {
+  UserId user = 0;
+  /// Eligible replica holders: contacts(user) in the social graph.
+  std::span<const UserId> candidates;
+  /// Daily schedules of *all* users (indexed by UserId).
+  std::span<const DaySchedule> schedules;
+  /// Activity trace (MostActive ranking; MaxAv activity universe). May be
+  /// null for policies that do not need it.
+  const trace::ActivityTrace* trace = nullptr;
+  Connectivity connectivity = Connectivity::kConRep;
+  /// Maximum number of replicas to select (the sweep's k).
+  std::size_t max_replicas = 0;
+
+  const DaySchedule& schedule_of(UserId u) const {
+    DOSN_ASSERT(u < schedules.size());
+    return schedules[u];
+  }
+};
+
+class ReplicaPolicy {
+ public:
+  virtual ~ReplicaPolicy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// True when selection draws randomness the methodology averages over
+  /// (the paper repeats Random placement five times).
+  virtual bool randomized() const { return false; }
+
+  /// Replica holders in selection order; size <= max_replicas (policies
+  /// may stop early: MaxAv stops when coverage no longer improves, ConRep
+  /// stops when no remaining candidate is time-connected).
+  virtual std::vector<UserId> select(const PlacementContext& context,
+                                     util::Rng& rng) const = 0;
+};
+
+enum class PolicyKind {
+  kMaxAv,       ///< greedy availability set cover (paper Sec III-A)
+  kMostActive,  ///< most interactive friends first (paper Sec III-B)
+  kRandom,      ///< uniform choice (paper Sec III-C)
+  kCoreGroup,   ///< delay-aware greedy (extension; paper Sec V-C idea)
+  kHybrid,      ///< activity x coverage blend (extension)
+};
+
+std::string to_string(PolicyKind kind);
+
+/// MaxAv greedy set-cover objective: which universe the replicas cover.
+enum class MaxAvObjective {
+  kAvailability,  ///< union of candidate online times (paper's default)
+  kAoDTime,       ///< same universe, not seeded by the owner's schedule
+  kAoDActivity,   ///< activity instants received on the user's profile
+};
+
+struct PolicyParams {
+  MaxAvObjective objective = MaxAvObjective::kAvailability;
+  /// ConRep tie-break: paper's literal phrasing picks, among connected
+  /// candidates, the one whose schedule overlaps the covered set least;
+  /// the default picks the one adding the most uncovered time.
+  bool conrep_least_overlap = false;
+  /// Hybrid policy: weight of the activity component in [0, 1].
+  double hybrid_alpha = 0.5;
+};
+
+std::unique_ptr<ReplicaPolicy> make_policy(PolicyKind kind,
+                                           const PolicyParams& params = {});
+
+namespace detail {
+
+/// Incremental ConRep helper shared by the policies: true iff `candidate`
+/// may be selected given the connectivity set accumulated so far.
+bool is_connected(const DaySchedule& candidate,
+                  const DaySchedule& connectivity_union, bool any_selected);
+
+}  // namespace detail
+
+}  // namespace dosn::placement

@@ -1,0 +1,45 @@
+#include "sim/evaluate.hpp"
+
+namespace dosn::sim {
+
+UserMetrics evaluate_user(const trace::Dataset& dataset,
+                          std::span<const DaySchedule> schedules,
+                          graph::UserId u,
+                          std::span<const graph::UserId> replica_holders,
+                          placement::Connectivity connectivity) {
+  DOSN_REQUIRE(schedules.size() == dataset.num_users(),
+               "evaluate_user: schedule count mismatch");
+  const DaySchedule& owner = schedules[u];
+
+  std::vector<DaySchedule> replicas;
+  replicas.reserve(replica_holders.size());
+  for (graph::UserId host : replica_holders) {
+    DOSN_ASSERT(host < schedules.size());
+    replicas.push_back(schedules[host]);
+  }
+
+  std::vector<DaySchedule> contacts;
+  for (graph::UserId f : dataset.graph.contacts(u))
+    contacts.push_back(schedules[f]);
+
+  UserMetrics m;
+  const DaySchedule profile = metrics::profile_schedule(owner, replicas);
+  m.availability = profile.coverage();
+  m.max_availability = metrics::max_achievable_availability(owner, contacts);
+  m.aod_time = metrics::aod_time(contacts, profile);
+
+  const auto aod =
+      metrics::aod_activity(dataset.trace, u, profile, schedules);
+  m.aod_activity = aod.overall;
+  m.aod_activity_expected = aod.expected;
+  m.aod_activity_unexpected = aod.unexpected;
+
+  const auto delay =
+      metrics::update_propagation_delay(owner, replicas, connectivity);
+  m.delay_actual_h = delay.actual_hours();
+  m.delay_observed_h = delay.observed_hours();
+  m.replicas_used = static_cast<double>(replica_holders.size());
+  return m;
+}
+
+}  // namespace dosn::sim

@@ -1,0 +1,37 @@
+// Per-user metric evaluation: one user, one replica configuration, all of
+// the paper's efficiency metrics at once.
+#pragma once
+
+#include <span>
+
+#include "interval/day_schedule.hpp"
+#include "metrics/availability.hpp"
+#include "metrics/delay.hpp"
+#include "trace/dataset.hpp"
+
+namespace dosn::sim {
+
+using interval::DaySchedule;
+
+/// All Sec II-C metrics for one user under one replica configuration.
+struct UserMetrics {
+  double availability = 0.0;
+  double max_availability = 0.0;  ///< F2F upper bound (all contacts)
+  double aod_time = 0.0;
+  double aod_activity = 0.0;
+  double aod_activity_expected = 0.0;
+  double aod_activity_unexpected = 0.0;
+  double delay_actual_h = 0.0;
+  double delay_observed_h = 0.0;
+  double replicas_used = 0.0;  ///< realized replication degree
+};
+
+/// Evaluates user `u` hosting replicas at `replica_holders` (selection
+/// prefix of a policy). `schedules` spans every user in the dataset.
+UserMetrics evaluate_user(const trace::Dataset& dataset,
+                          std::span<const DaySchedule> schedules,
+                          graph::UserId u,
+                          std::span<const graph::UserId> replica_holders,
+                          placement::Connectivity connectivity);
+
+}  // namespace dosn::sim

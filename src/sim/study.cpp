@@ -1,0 +1,356 @@
+#include "sim/study.hpp"
+
+#include <algorithm>
+
+#include "graph/degree_stats.hpp"
+#include "onlinetime/sporadic.hpp"
+
+namespace dosn::sim {
+namespace {
+
+/// Running averages of every UserMetrics field.
+struct Accum {
+  util::RunningStats availability, max_availability, aod_time, aod_activity,
+      aod_expected, aod_unexpected, delay_actual, delay_observed, used;
+
+  void add(const UserMetrics& m) {
+    availability.add(m.availability);
+    max_availability.add(m.max_availability);
+    aod_time.add(m.aod_time);
+    aod_activity.add(m.aod_activity);
+    aod_expected.add(m.aod_activity_expected);
+    aod_unexpected.add(m.aod_activity_unexpected);
+    delay_actual.add(m.delay_actual_h);
+    delay_observed.add(m.delay_observed_h);
+    used.add(m.replicas_used);
+  }
+
+  CohortMetrics mean() const {
+    CohortMetrics c;
+    c.availability = availability.mean();
+    c.max_availability = max_availability.mean();
+    c.aod_time = aod_time.mean();
+    c.aod_activity = aod_activity.mean();
+    c.aod_activity_expected = aod_expected.mean();
+    c.aod_activity_unexpected = aod_unexpected.mean();
+    c.delay_actual_h = delay_actual.mean();
+    c.delay_observed_h = delay_observed.mean();
+    c.replicas_used = used.mean();
+    c.cohort_size = availability.count();
+    return c;
+  }
+};
+
+CohortMetrics average_runs(std::span<const CohortMetrics> runs) {
+  DOSN_ASSERT(!runs.empty());
+  CohortMetrics out;
+  for (const auto& r : runs) {
+    out.availability += r.availability;
+    out.max_availability += r.max_availability;
+    out.aod_time += r.aod_time;
+    out.aod_activity += r.aod_activity;
+    out.aod_activity_expected += r.aod_activity_expected;
+    out.aod_activity_unexpected += r.aod_activity_unexpected;
+    out.delay_actual_h += r.delay_actual_h;
+    out.delay_observed_h += r.delay_observed_h;
+    out.replicas_used += r.replicas_used;
+  }
+  const double n = static_cast<double>(runs.size());
+  out.availability /= n;
+  out.max_availability /= n;
+  out.aod_time /= n;
+  out.aod_activity /= n;
+  out.aod_activity_expected /= n;
+  out.aod_activity_unexpected /= n;
+  out.delay_actual_h /= n;
+  out.delay_observed_h /= n;
+  out.replicas_used /= n;
+  out.cohort_size = runs.front().cohort_size;
+  return out;
+}
+
+}  // namespace
+
+std::string to_string(Metric metric) {
+  switch (metric) {
+    case Metric::kAvailability: return "availability";
+    case Metric::kAodTime: return "availability-on-demand-time";
+    case Metric::kAodActivity: return "availability-on-demand-activity";
+    case Metric::kAodActivityExpected: return "aod-activity-expected";
+    case Metric::kAodActivityUnexpected: return "aod-activity-unexpected";
+    case Metric::kDelayActualH: return "delay (hours)";
+    case Metric::kDelayObservedH: return "observed delay (hours)";
+    case Metric::kReplicasUsed: return "replicas used";
+  }
+  return "?";
+}
+
+double metric_value(const CohortMetrics& m, Metric metric) {
+  switch (metric) {
+    case Metric::kAvailability: return m.availability;
+    case Metric::kAodTime: return m.aod_time;
+    case Metric::kAodActivity: return m.aod_activity;
+    case Metric::kAodActivityExpected: return m.aod_activity_expected;
+    case Metric::kAodActivityUnexpected: return m.aod_activity_unexpected;
+    case Metric::kDelayActualH: return m.delay_actual_h;
+    case Metric::kDelayObservedH: return m.delay_observed_h;
+    case Metric::kReplicasUsed: return m.replicas_used;
+  }
+  return 0.0;
+}
+
+std::vector<util::Series> SweepResult::series(Metric metric) const {
+  std::vector<util::Series> out;
+  for (const auto& curve : policies) {
+    util::Series s;
+    s.name = curve.policy_name;
+    s.x = xs;
+    for (const auto& point : curve.points)
+      s.y.push_back(metric_value(point, metric));
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+Study::Study(const trace::Dataset& dataset, std::uint64_t seed)
+    : dataset_(dataset), seed_(seed) {}
+
+std::vector<graph::UserId> Study::cohort(std::size_t degree) const {
+  return graph::users_with_degree(dataset_.graph, degree);
+}
+
+std::vector<CohortMetrics> Study::evaluate_policy_over_ks(
+    std::span<const DaySchedule> schedules,
+    std::span<const graph::UserId> cohort_users,
+    const placement::ReplicaPolicy& policy,
+    const placement::PolicyParams& /*params*/,
+    placement::Connectivity connectivity, std::size_t k_max,
+    util::Rng& rng) const {
+  std::vector<Accum> accum(k_max + 1);
+  for (graph::UserId u : cohort_users) {
+    placement::PlacementContext context;
+    context.user = u;
+    context.candidates = dataset_.graph.contacts(u);
+    context.schedules = schedules;
+    context.trace = &dataset_.trace;
+    context.connectivity = connectivity;
+    context.max_replicas = k_max;
+    const auto selected = policy.select(context, rng);
+    for (std::size_t k = 0; k <= k_max; ++k) {
+      const std::size_t take = std::min(k, selected.size());
+      const std::span<const graph::UserId> prefix{selected.data(), take};
+      accum[k].add(evaluate_user(dataset_, schedules, u, prefix, connectivity));
+    }
+  }
+  std::vector<CohortMetrics> out;
+  out.reserve(k_max + 1);
+  for (const auto& a : accum) out.push_back(a.mean());
+  return out;
+}
+
+SweepResult Study::replication_sweep(onlinetime::ModelKind model_kind,
+                                     const onlinetime::ModelParams& params,
+                                     placement::Connectivity connectivity,
+                                     const Options& options) const {
+  return replication_sweep(*onlinetime::make_model(model_kind, params),
+                           connectivity, options);
+}
+
+SweepResult Study::replication_sweep(const onlinetime::OnlineTimeModel& model,
+                                     placement::Connectivity connectivity,
+                                     const Options& options) const {
+  const auto cohort_users = cohort(options.cohort_degree);
+  DOSN_REQUIRE(!cohort_users.empty(),
+               "replication_sweep: no user has the cohort degree");
+
+  const std::size_t model_reps =
+      model.randomized() ? options.repetitions : 1;
+  std::vector<std::vector<DaySchedule>> schedules;
+  schedules.reserve(model_reps);
+  for (std::size_t r = 0; r < model_reps; ++r) {
+    util::Rng rng(util::mix64(seed_, 0x5ced0000 + r));
+    schedules.push_back(model.schedules(dataset_, rng));
+  }
+
+  SweepResult result;
+  result.dataset_name = dataset_.name;
+  result.model_name = model.name();
+  result.connectivity_name = placement::to_string(connectivity);
+  result.x_label = "replication degree";
+  for (std::size_t k = 0; k <= options.k_max; ++k)
+    result.xs.push_back(static_cast<double>(k));
+
+  for (placement::PolicyKind kind : options.policies) {
+    const auto policy = placement::make_policy(kind, options.policy_params);
+    const std::size_t reps =
+        (model.randomized() || policy->randomized()) ? options.repetitions
+                                                     : 1;
+    std::vector<std::vector<CohortMetrics>> runs;
+    for (std::size_t r = 0; r < reps; ++r) {
+      util::Rng rng(util::mix64(
+          seed_, (static_cast<std::uint64_t>(kind) + 1) * 1000 + r));
+      const auto& sched = schedules[model.randomized() ? r : 0];
+      runs.push_back(evaluate_policy_over_ks(sched, cohort_users, *policy,
+                                             options.policy_params,
+                                             connectivity, options.k_max,
+                                             rng));
+    }
+    PolicyCurve curve;
+    curve.policy_name = policy->name();
+    curve.policy = kind;
+    for (std::size_t k = 0; k <= options.k_max; ++k) {
+      std::vector<CohortMetrics> at_k;
+      for (const auto& run : runs) at_k.push_back(run[k]);
+      curve.points.push_back(average_runs(at_k));
+    }
+    result.policies.push_back(std::move(curve));
+  }
+  return result;
+}
+
+SweepResult Study::session_length_sweep(
+    std::span<const interval::Seconds> session_lengths, std::size_t k,
+    placement::Connectivity connectivity, const Options& options) const {
+  const auto cohort_users = cohort(options.cohort_degree);
+  DOSN_REQUIRE(!cohort_users.empty(),
+               "session_length_sweep: no user has the cohort degree");
+
+  SweepResult result;
+  result.dataset_name = dataset_.name;
+  result.model_name = "Sporadic";
+  result.connectivity_name = placement::to_string(connectivity);
+  result.x_label = "session length (sec)";
+  for (const auto len : session_lengths)
+    result.xs.push_back(static_cast<double>(len));
+
+  result.policies.resize(options.policies.size());
+  for (std::size_t p = 0; p < options.policies.size(); ++p) {
+    const auto policy =
+        placement::make_policy(options.policies[p], options.policy_params);
+    result.policies[p].policy_name = policy->name();
+    result.policies[p].policy = options.policies[p];
+  }
+
+  for (std::size_t xi = 0; xi < session_lengths.size(); ++xi) {
+    const onlinetime::SporadicModel model(session_lengths[xi]);
+    util::Rng model_rng(util::mix64(seed_, 0x3e550000 + xi));
+    const auto sched = model.schedules(dataset_, model_rng);
+
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+      const auto policy =
+          placement::make_policy(options.policies[p], options.policy_params);
+      const std::size_t reps =
+          policy->randomized() ? options.repetitions : 1;
+      std::vector<CohortMetrics> runs;
+      for (std::size_t r = 0; r < reps; ++r) {
+        util::Rng rng(util::mix64(seed_, xi * 7919 + p * 131 + r));
+        const auto by_k = evaluate_policy_over_ks(
+            sched, cohort_users, *policy, options.policy_params, connectivity,
+            k, rng);
+        runs.push_back(by_k.back());  // the fixed-k point
+      }
+      result.policies[p].points.push_back(average_runs(runs));
+    }
+  }
+  return result;
+}
+
+std::vector<UserMetrics> Study::cohort_samples(
+    onlinetime::ModelKind model_kind, const onlinetime::ModelParams& params,
+    placement::Connectivity connectivity, placement::PolicyKind policy_kind,
+    std::size_t k, const Options& options) const {
+  const auto model = onlinetime::make_model(model_kind, params);
+  const auto cohort_users = cohort(options.cohort_degree);
+  DOSN_REQUIRE(!cohort_users.empty(),
+               "cohort_samples: no user has the cohort degree");
+
+  util::Rng model_rng(util::mix64(seed_, 0xd157));
+  const auto schedules = model->schedules(dataset_, model_rng);
+  const auto policy = placement::make_policy(policy_kind,
+                                             options.policy_params);
+  util::Rng rng(util::mix64(seed_, 0xd158));
+
+  std::vector<UserMetrics> samples;
+  samples.reserve(cohort_users.size());
+  for (graph::UserId u : cohort_users) {
+    placement::PlacementContext context;
+    context.user = u;
+    context.candidates = dataset_.graph.contacts(u);
+    context.schedules = schedules;
+    context.trace = &dataset_.trace;
+    context.connectivity = connectivity;
+    context.max_replicas = k;
+    const auto selected = policy->select(context, rng);
+    samples.push_back(
+        evaluate_user(dataset_, schedules, u, selected, connectivity));
+  }
+  return samples;
+}
+
+SweepResult Study::user_degree_sweep(std::size_t max_degree,
+                                     onlinetime::ModelKind model_kind,
+                                     const onlinetime::ModelParams& params,
+                                     placement::Connectivity connectivity,
+                                     const Options& options) const {
+  return user_degree_sweep(max_degree,
+                           *onlinetime::make_model(model_kind, params),
+                           connectivity, options);
+}
+
+SweepResult Study::user_degree_sweep(std::size_t max_degree,
+                                     const onlinetime::OnlineTimeModel& model,
+                                     placement::Connectivity connectivity,
+                                     const Options& options) const {
+  const std::size_t model_reps =
+      model.randomized() ? options.repetitions : 1;
+  std::vector<std::vector<DaySchedule>> schedules;
+  for (std::size_t r = 0; r < model_reps; ++r) {
+    util::Rng rng(util::mix64(seed_, 0xde60000 + r));
+    schedules.push_back(model.schedules(dataset_, rng));
+  }
+
+  SweepResult result;
+  result.dataset_name = dataset_.name;
+  result.model_name = model.name();
+  result.connectivity_name = placement::to_string(connectivity);
+  result.x_label = "user degree";
+  for (std::size_t d = 1; d <= max_degree; ++d)
+    result.xs.push_back(static_cast<double>(d));
+
+  result.policies.resize(options.policies.size());
+  for (std::size_t p = 0; p < options.policies.size(); ++p) {
+    const auto policy =
+        placement::make_policy(options.policies[p], options.policy_params);
+    result.policies[p].policy_name = policy->name();
+    result.policies[p].policy = options.policies[p];
+  }
+
+  for (std::size_t d = 1; d <= max_degree; ++d) {
+    const auto cohort_users = cohort(d);
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+      if (cohort_users.empty()) {
+        result.policies[p].points.emplace_back();  // empty cohort: zeros
+        continue;
+      }
+      const auto policy =
+          placement::make_policy(options.policies[p], options.policy_params);
+      const std::size_t reps =
+          (model.randomized() || policy->randomized()) ? options.repetitions
+                                                       : 1;
+      std::vector<CohortMetrics> runs;
+      for (std::size_t r = 0; r < reps; ++r) {
+        util::Rng rng(util::mix64(seed_, d * 104729 + p * 131 + r));
+        const auto& sched = schedules[model.randomized() ? r : 0];
+        const auto by_k =
+            evaluate_policy_over_ks(sched, cohort_users, *policy,
+                                    options.policy_params, connectivity,
+                                    /*k_max=*/d, rng);
+        runs.push_back(by_k.back());  // k = user degree (max possible)
+      }
+      result.policies[p].points.push_back(average_runs(runs));
+    }
+  }
+  return result;
+}
+
+}  // namespace dosn::sim

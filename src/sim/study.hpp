@@ -1,0 +1,156 @@
+// The experiment driver reproducing the paper's evaluation (Sec IV–V).
+//
+// A Study wraps one dataset and runs the three sweeps behind every figure:
+//
+//   * replication_sweep  — metrics vs replication degree k = 0..k_max for
+//     every policy, one online-time model, ConRep or UnconRep
+//     (Figs 3–7, 10, 11);
+//   * session_length_sweep — metrics vs Sporadic session length at a fixed
+//     k (Fig 8);
+//   * user_degree_sweep — metrics vs user degree 1..d_max with k = degree
+//     (Fig 9).
+//
+// Methodology follows the paper: the evaluation cohort is the users of one
+// particular degree (degree 10 — the best-populated); experiments whose
+// components draw randomness (Random placement, RandomLength model) are
+// repeated and averaged (default 5 repetitions); deterministic experiments
+// run once. Everything derives from one seed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "onlinetime/model.hpp"
+#include "sim/evaluate.hpp"
+#include "util/stats.hpp"
+
+namespace dosn::sim {
+
+/// Cohort averages of UserMetrics.
+struct CohortMetrics {
+  double availability = 0.0;
+  double max_availability = 0.0;
+  double aod_time = 0.0;
+  double aod_activity = 0.0;
+  double aod_activity_expected = 0.0;
+  double aod_activity_unexpected = 0.0;
+  double delay_actual_h = 0.0;
+  double delay_observed_h = 0.0;
+  double replicas_used = 0.0;
+  std::size_t cohort_size = 0;
+};
+
+/// Which scalar a figure plots.
+enum class Metric {
+  kAvailability,
+  kAodTime,
+  kAodActivity,
+  kAodActivityExpected,
+  kAodActivityUnexpected,
+  kDelayActualH,
+  kDelayObservedH,
+  kReplicasUsed,
+};
+
+std::string to_string(Metric metric);
+double metric_value(const CohortMetrics& m, Metric metric);
+
+/// One policy's curve across the sweep's x axis.
+struct PolicyCurve {
+  std::string policy_name;
+  placement::PolicyKind policy = placement::PolicyKind::kMaxAv;
+  std::vector<CohortMetrics> points;  // parallel to SweepResult::xs
+};
+
+struct SweepResult {
+  std::string dataset_name;
+  std::string model_name;
+  std::string connectivity_name;
+  std::string x_label;
+  std::vector<double> xs;
+  std::vector<PolicyCurve> policies;
+
+  /// Extracts plottable series (one per policy) for a metric.
+  std::vector<util::Series> series(Metric metric) const;
+};
+
+/// Sweep configuration (namespace-scope so it can serve as a default
+/// argument; also available as Study::Options).
+struct StudyOptions {
+  /// Cohort: users with exactly this degree (the paper uses 10).
+  std::size_t cohort_degree = 10;
+  /// Replication degrees 0..k_max (defaults to cohort_degree).
+  std::size_t k_max = 10;
+  /// Repetitions for randomized components.
+  std::size_t repetitions = 5;
+  /// Policies to evaluate, in plot order.
+  std::vector<placement::PolicyKind> policies = {
+      placement::PolicyKind::kMaxAv, placement::PolicyKind::kMostActive,
+      placement::PolicyKind::kRandom};
+  placement::PolicyParams policy_params;
+};
+
+class Study {
+ public:
+  using Options = StudyOptions;
+
+  Study(const trace::Dataset& dataset, std::uint64_t seed);
+
+  const trace::Dataset& dataset() const { return dataset_; }
+
+  /// Users with degree exactly `degree`.
+  std::vector<graph::UserId> cohort(std::size_t degree) const;
+
+  /// Figs 3–7, 10, 11: metrics vs replication degree.
+  SweepResult replication_sweep(onlinetime::ModelKind model,
+                                const onlinetime::ModelParams& params,
+                                placement::Connectivity connectivity,
+                                const Options& options = Options{}) const;
+
+  /// Same sweep with an arbitrary model instance (e.g. a PrecomputedModel
+  /// wrapping real session logs).
+  SweepResult replication_sweep(const onlinetime::OnlineTimeModel& model,
+                                placement::Connectivity connectivity,
+                                const Options& options = Options{}) const;
+
+  /// Fig 8: metrics vs Sporadic session length at fixed k.
+  SweepResult session_length_sweep(
+      std::span<const interval::Seconds> session_lengths, std::size_t k,
+      placement::Connectivity connectivity, const Options& options = Options{}) const;
+
+  /// Distribution view behind the cohort means: per-user metric samples
+  /// for one policy at a fixed replication degree (single realization of
+  /// the model and placement). Feeds percentile / CDF reporting.
+  std::vector<UserMetrics> cohort_samples(
+      onlinetime::ModelKind model, const onlinetime::ModelParams& params,
+      placement::Connectivity connectivity, placement::PolicyKind policy,
+      std::size_t k, const Options& options = Options{}) const;
+
+  /// Fig 9: metrics vs user degree (1..max_degree) with k = degree.
+  SweepResult user_degree_sweep(std::size_t max_degree,
+                                onlinetime::ModelKind model,
+                                const onlinetime::ModelParams& params,
+                                placement::Connectivity connectivity,
+                                const Options& options = Options{}) const;
+
+  SweepResult user_degree_sweep(std::size_t max_degree,
+                                const onlinetime::OnlineTimeModel& model,
+                                placement::Connectivity connectivity,
+                                const Options& options = Options{}) const;
+
+ private:
+  /// Averages user metrics over `cohort` for each k in 0..k_max for one
+  /// policy under one set of schedules.
+  std::vector<CohortMetrics> evaluate_policy_over_ks(
+      std::span<const DaySchedule> schedules,
+      std::span<const graph::UserId> cohort_users,
+      const placement::ReplicaPolicy& policy,
+      const placement::PolicyParams& params,
+      placement::Connectivity connectivity, std::size_t k_max,
+      util::Rng& rng) const;
+
+  const trace::Dataset& dataset_;
+  std::uint64_t seed_;
+};
+
+}  // namespace dosn::sim

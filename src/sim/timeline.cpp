@@ -1,0 +1,71 @@
+#include "sim/timeline.hpp"
+
+#include <algorithm>
+
+#include "interval/day_schedule.hpp"
+
+namespace dosn::sim {
+
+using interval::IntervalSet;
+using interval::Seconds;
+
+TimelineSchedules timeline_sporadic(const trace::Dataset& dataset,
+                                    Seconds session_length, util::Rng& rng) {
+  DOSN_REQUIRE(session_length > 0, "timeline: session length must be > 0");
+  TimelineSchedules out;
+  out.online.resize(dataset.num_users());
+  if (dataset.trace.empty()) return out;
+
+  out.span_start = dataset.trace.min_timestamp() - session_length;
+  out.span_end = dataset.trace.max_timestamp() + session_length;
+
+  for (graph::UserId u = 0; u < dataset.num_users(); ++u) {
+    for (std::uint32_t idx : dataset.trace.created_index(u)) {
+      const Seconds ts = dataset.trace.activity(idx).timestamp;
+      const auto offset = static_cast<Seconds>(
+          rng.below(static_cast<std::uint64_t>(session_length)));
+      out.online[u].add(ts - offset, ts - offset + session_length);
+    }
+  }
+  return out;
+}
+
+TimelineMetrics evaluate_on_timeline(const trace::Dataset& dataset,
+                                     const TimelineSchedules& timeline,
+                                     graph::UserId user,
+                                     std::span<const graph::UserId> replicas) {
+  DOSN_REQUIRE(timeline.online.size() == dataset.num_users(),
+               "timeline: schedule count mismatch");
+  DOSN_ASSERT(user < timeline.online.size());
+
+  IntervalSet profile = timeline.online[user];
+  for (graph::UserId host : replicas)
+    profile = profile.unite(timeline.online[host]);
+
+  TimelineMetrics m;
+  const Seconds span = timeline.span();
+  if (span > 0)
+    m.availability = static_cast<double>(profile.measure()) /
+                     static_cast<double>(span);
+
+  IntervalSet demand;
+  for (graph::UserId f : dataset.graph.contacts(user))
+    demand = demand.unite(timeline.online[f]);
+  const Seconds demand_s = demand.measure();
+  m.aod_time = demand_s == 0
+                   ? 1.0
+                   : static_cast<double>(profile.intersection_measure(demand)) /
+                         static_cast<double>(demand_s);
+
+  std::size_t served = 0, total = 0;
+  for (const auto& a : dataset.trace.received_by(user)) {
+    ++total;
+    if (profile.contains(a.timestamp)) ++served;
+  }
+  if (total > 0)
+    m.aod_activity =
+        static_cast<double>(served) / static_cast<double>(total);
+  return m;
+}
+
+}  // namespace dosn::sim

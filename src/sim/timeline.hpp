@@ -1,0 +1,54 @@
+// Absolute-timeline evaluation: how good is the daily-projection
+// approximation?
+//
+// The paper (and this library's Study) projects every session onto one
+// 24-hour cycle and measures availability there. In reality sessions
+// happen at absolute times across weeks: a user "covered" in the projected
+// day by sessions from different weeks is NOT covered on most actual days.
+// This module rebuilds Sporadic sessions at their *absolute* times,
+// evaluates the same replica configurations on the true timeline, and
+// reports both views side by side — quantifying how much the projection
+// inflates the availability metrics ("plan on the daily model, live on
+// the real timeline").
+#pragma once
+
+#include <span>
+
+#include "interval/interval_set.hpp"
+#include "trace/dataset.hpp"
+#include "util/rng.hpp"
+
+namespace dosn::sim {
+
+/// A user's online time as absolute intervals across the trace span.
+struct TimelineSchedules {
+  std::vector<interval::IntervalSet> online;  // per user, absolute seconds
+  interval::Seconds span_start = 0;
+  interval::Seconds span_end = 0;  // exclusive
+
+  interval::Seconds span() const { return span_end - span_start; }
+};
+
+/// Sporadic sessions at their true absolute times (one session of
+/// `session_length` per created activity, uniform random offset — the
+/// same construction the daily model projects).
+TimelineSchedules timeline_sporadic(const trace::Dataset& dataset,
+                                    interval::Seconds session_length,
+                                    util::Rng& rng);
+
+/// Metrics of one user's replica configuration on the absolute timeline.
+struct TimelineMetrics {
+  /// Fraction of the trace span with >= 1 replica (or the owner) online.
+  double availability = 0.0;
+  /// Fraction of the friends' absolute online time covered.
+  double aod_time = 0.0;
+  /// Fraction of received activities whose absolute instant was covered.
+  double aod_activity = 1.0;
+};
+
+TimelineMetrics evaluate_on_timeline(const trace::Dataset& dataset,
+                                     const TimelineSchedules& timeline,
+                                     graph::UserId user,
+                                     std::span<const graph::UserId> replicas);
+
+}  // namespace dosn::sim

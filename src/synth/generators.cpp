@@ -1,0 +1,199 @@
+#include "synth/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "interval/day_schedule.hpp"
+#include "util/alias.hpp"
+
+namespace dosn::synth {
+
+using graph::GraphKind;
+using graph::SocialGraph;
+using graph::SocialGraphBuilder;
+using graph::UserId;
+using interval::kDaySeconds;
+using trace::Activity;
+using trace::Seconds;
+
+namespace {
+
+std::vector<double> draw_weights(const GraphGenConfig& config,
+                                 util::Rng& rng) {
+  std::vector<double> w(config.users);
+  for (auto& x : w) x = rng.pareto(config.min_weight, config.weight_alpha);
+  // Clamp the extreme tail so no single hub absorbs a constant fraction of
+  // all stubs (that would distort the whole degree distribution).
+  const double cap =
+      config.min_weight * std::pow(static_cast<double>(config.users), 0.6);
+  for (auto& x : w) x = std::min(x, cap);
+  return w;
+}
+
+/// Wrapped-normal time-of-day sample around `mean_h` hours.
+Seconds diurnal_sample(double mean_h, double stddev_h, util::Rng& rng) {
+  const double h = rng.normal(mean_h, stddev_h);
+  const double wrapped = h - 24.0 * std::floor(h / 24.0);
+  return std::min<Seconds>(kDaySeconds - 1,
+                           static_cast<Seconds>(wrapped * 3600.0));
+}
+
+/// Global two-peak diurnal mixture: lunchtime and evening, as observed in
+/// OSN traffic studies, plus a uniform floor.
+Seconds global_diurnal_sample(util::Rng& rng) {
+  const double u = rng.uniform();
+  if (u < 0.20) return static_cast<Seconds>(rng.below(kDaySeconds));
+  if (u < 0.55) return diurnal_sample(13.0, 2.0, rng);
+  return diurnal_sample(21.0, 2.5, rng);
+}
+
+}  // namespace
+
+SocialGraph generate_power_law_graph(const GraphGenConfig& config,
+                                     GraphKind kind, util::Rng& rng) {
+  DOSN_REQUIRE(config.users >= 2, "graph gen: need at least two users");
+  DOSN_REQUIRE(config.avg_degree > 0, "graph gen: avg_degree must be > 0");
+  DOSN_REQUIRE(config.weight_alpha > 1.0,
+               "graph gen: weight_alpha must exceed 1 (finite mean)");
+
+  const auto weights = draw_weights(config, rng);
+  util::DiscreteSampler popular(weights);
+
+  const double n = static_cast<double>(config.users);
+  // Contacts view: undirected edges contribute to two users' degrees,
+  // directed (follow) edges only to the followee's follower count.
+  const double target_edges = kind == GraphKind::kUndirected
+                                  ? config.avg_degree * n / 2.0
+                                  : config.avg_degree * n;
+  // Oversample slightly: duplicates and self-loops are dropped downstream.
+  const auto draws = static_cast<std::size_t>(target_edges * 1.04);
+
+  SocialGraphBuilder builder(kind, config.users);
+  if (kind == GraphKind::kUndirected) {
+    std::vector<std::pair<UserId, UserId>> base;
+    base.reserve(draws);
+    for (std::size_t i = 0; i < draws; ++i) {
+      const auto a = static_cast<UserId>(popular.draw(rng));
+      const auto b = static_cast<UserId>(popular.draw(rng));
+      if (a != b) base.emplace_back(a, b);
+    }
+    for (const auto& [a, b] : base) builder.add_edge(a, b);
+
+    if (config.triadic_closure > 0.0) {
+      // Close triangles: for each node, link random neighbour pairs.
+      std::vector<std::vector<UserId>> adjacency(config.users);
+      for (const auto& [a, b] : base) {
+        adjacency[a].push_back(b);
+        adjacency[b].push_back(a);
+      }
+      for (UserId u = 0; u < config.users; ++u) {
+        const auto& nbrs = adjacency[u];
+        if (nbrs.size() < 2) continue;
+        const double want = config.triadic_closure;
+        auto attempts = static_cast<std::size_t>(want);
+        if (rng.uniform() < want - std::floor(want)) ++attempts;
+        for (std::size_t t = 0; t < attempts; ++t) {
+          const UserId x = nbrs[rng.below(nbrs.size())];
+          const UserId y = nbrs[rng.below(nbrs.size())];
+          if (x != y) builder.add_edge(x, y);
+        }
+      }
+    }
+  } else {
+    // Followers have a damped popularity bias: being popular makes you
+    // followed much more than it makes you follow.
+    std::vector<double> damped(weights.size());
+    for (std::size_t i = 0; i < weights.size(); ++i)
+      damped[i] = std::sqrt(weights[i]);
+    util::DiscreteSampler follower(damped);
+    for (std::size_t i = 0; i < draws; ++i) {
+      const auto src = static_cast<UserId>(follower.draw(rng));  // follower
+      const auto dst = static_cast<UserId>(popular.draw(rng));   // followee
+      if (src != dst) builder.add_edge(src, dst);
+    }
+  }
+  return std::move(builder).build();
+}
+
+trace::ActivityTrace generate_activities(const SocialGraph& graph,
+                                         const ActivityGenConfig& config,
+                                         util::Rng& rng) {
+  DOSN_REQUIRE(config.num_days > 0, "activity gen: num_days must be > 0");
+  DOSN_REQUIRE(config.mean_activities > 0,
+               "activity gen: mean_activities must be > 0");
+  DOSN_REQUIRE(config.volume_alpha > 1.0,
+               "activity gen: volume_alpha must exceed 1");
+
+  const std::size_t n = graph.num_users();
+  std::vector<Activity> activities;
+  activities.reserve(static_cast<std::size_t>(
+      config.mean_activities * static_cast<double>(n)));
+
+  // Normalize volumes so the realized mean tracks mean_activities: compute
+  // raw volume factors first, then scale.
+  std::vector<double> raw(n);
+  double raw_sum = 0.0;
+  // Pareto noise with unit mean: x_min = (alpha - 1) / alpha.
+  const double x_min = (config.volume_alpha - 1.0) / config.volume_alpha;
+  for (std::size_t u = 0; u < n; ++u) {
+    const double sociability = std::pow(
+        static_cast<double>(graph.degree(static_cast<UserId>(u)) + 1),
+        config.degree_coupling);
+    raw[u] = sociability * rng.pareto(x_min, config.volume_alpha);
+    raw_sum += raw[u];
+  }
+  const double scale =
+      config.mean_activities * static_cast<double>(n) / raw_sum;
+
+  for (UserId u = 0; u < n; ++u) {
+    auto count = static_cast<std::size_t>(std::llround(raw[u] * scale));
+    count = std::min(count, config.max_per_user);
+
+    // Persistent per-user diurnal habit.
+    const double home_h =
+        static_cast<double>(global_diurnal_sample(rng)) / 3600.0;
+
+    // Per-user preference order over partners with Zipf weights: the first
+    // few neighbours receive most interactions, skewed towards sociable
+    // (high-degree) partners.
+    const auto partners = graph.out_neighbors(u);
+    std::vector<UserId> pref(partners.begin(), partners.end());
+    rng.shuffle(pref);
+    if (config.partner_degree_bias > 0.0 && pref.size() > 1) {
+      std::vector<std::pair<double, UserId>> keyed;
+      keyed.reserve(pref.size());
+      for (UserId v : pref) {
+        const double key =
+            config.partner_degree_bias *
+                std::log(static_cast<double>(graph.degree(v) + 1)) +
+            rng.normal();
+        keyed.emplace_back(-key, v);
+      }
+      std::sort(keyed.begin(), keyed.end());
+      for (std::size_t i = 0; i < keyed.size(); ++i) pref[i] = keyed[i].second;
+    }
+    std::optional<util::ZipfTable> zipf;
+    if (!pref.empty()) zipf.emplace(pref.size(), config.partner_zipf);
+
+    for (std::size_t k = 0; k < count; ++k) {
+      Activity a;
+      a.creator = u;
+      if (pref.empty() || rng.chance(config.self_post_prob)) {
+        a.receiver = u;
+      } else {
+        a.receiver = pref[zipf->draw(rng) - 1];
+      }
+      const auto day = static_cast<Seconds>(
+          rng.below(static_cast<std::uint64_t>(config.num_days)));
+      const Seconds tod =
+          rng.chance(config.home_concentration)
+              ? diurnal_sample(home_h, config.home_stddev_h, rng)
+              : global_diurnal_sample(rng);
+      a.timestamp = config.start_timestamp + day * kDaySeconds + tod;
+      activities.push_back(a);
+    }
+  }
+  return trace::ActivityTrace(n, std::move(activities));
+}
+
+}  // namespace dosn::synth

@@ -1,0 +1,84 @@
+// Synthetic social-network dataset generation.
+//
+// The paper's raw traces (Facebook New Orleans wall posts, the WOSN'10
+// Twitter trace) are not redistributable, so the study ships with generators
+// that reproduce the three properties every metric in the paper depends on:
+//
+//   1. a heavy-tailed degree distribution (Fig 2) — users get power-law
+//      weights and edges are drawn with endpoint probability proportional
+//      to weight (Chung–Lu style stub sampling via an alias table);
+//   2. heavy-tailed, degree-correlated activity volume — so that the
+//      "filter users with < 10 activities" pipeline reshapes the dataset
+//      the way it reshaped the real traces;
+//   3. diurnal, per-user-clustered activity timestamps — each user has a
+//      persistent "home" hour around which most of his actions happen, so
+//      the FixedLength online-time model (window centred on the activity
+//      mode) and the Sporadic model both behave as they would on real data.
+#pragma once
+
+#include "graph/social_graph.hpp"
+#include "trace/activity.hpp"
+#include "util/rng.hpp"
+
+namespace dosn::synth {
+
+struct GraphGenConfig {
+  std::size_t users = 1000;
+  /// Expected mean of the contacts view (friends resp. followers).
+  double avg_degree = 20.0;
+  /// Pareto shape of user popularity weights; smaller = heavier tail.
+  double weight_alpha = 1.8;
+  double min_weight = 1.0;
+  /// Expected triadic-closure attempts per node (undirected graphs only):
+  /// each attempt links two random neighbours of a node, raising the
+  /// clustering coefficient towards real social-graph levels. The study's
+  /// metrics are triangle-insensitive (placement happens inside each ego
+  /// neighbourhood), so the default is off.
+  double triadic_closure = 0.0;
+};
+
+/// Generates an undirected friendship graph or a directed follow graph with
+/// a power-law degree distribution. For directed graphs the *followee* is
+/// drawn proportionally to weight (popular accounts attract followers) and
+/// the follower with a damped weight bias.
+graph::SocialGraph generate_power_law_graph(const GraphGenConfig& config,
+                                            graph::GraphKind kind,
+                                            util::Rng& rng);
+
+struct ActivityGenConfig {
+  /// Expected activities per user before filtering.
+  double mean_activities = 14.0;
+  /// Pareto shape of per-user volume noise; smaller = heavier tail.
+  double volume_alpha = 1.6;
+  /// Exponent coupling volume to (degree + 1): sociable users post more.
+  double degree_coupling = 0.8;
+  /// Trace length in days.
+  int num_days = 14;
+  /// Absolute timestamp of day 0, 00:00.
+  trace::Seconds start_timestamp = 1'250'000'000;
+  /// Zipf exponent for choosing interaction partners among neighbours:
+  /// larger = interactions concentrate on few friends (drives MostActive).
+  double partner_zipf = 1.0;
+  /// Strength of the preference for high-degree partners (0 = partner
+  /// order fully random). Real interactions skew towards sociable users —
+  /// and such partners survive the activity filter, like in the traces.
+  double partner_degree_bias = 0.75;
+  /// Probability an activity targets the creator's own profile (own wall
+  /// post / plain tweet) rather than a neighbour's.
+  double self_post_prob = 0.3;
+  /// Probability an activity happens near the user's home hour.
+  double home_concentration = 0.7;
+  /// Spread (hours) around the home hour.
+  double home_stddev_h = 1.5;
+  /// Hard cap on one user's activity count (keeps the tail sane).
+  std::size_t max_per_user = 2000;
+};
+
+/// Generates a timestamped activity trace over `graph`. Partners are the
+/// creator's out-neighbours (friends resp. followees), picked with a Zipf
+/// bias over a per-user random preference order.
+trace::ActivityTrace generate_activities(const graph::SocialGraph& graph,
+                                         const ActivityGenConfig& config,
+                                         util::Rng& rng);
+
+}  // namespace dosn::synth

@@ -1,0 +1,78 @@
+#include "trace/activity.hpp"
+
+#include <algorithm>
+
+namespace dosn::trace {
+
+ActivityTrace::ActivityTrace(std::size_t num_users,
+                             std::vector<Activity> activities)
+    : by_receiver_(std::move(activities)) {
+  for (const auto& a : by_receiver_)
+    DOSN_REQUIRE(a.creator < num_users && a.receiver < num_users,
+                 "ActivityTrace: user id out of range");
+
+  std::sort(by_receiver_.begin(), by_receiver_.end(),
+            [](const Activity& a, const Activity& b) {
+              if (a.receiver != b.receiver) return a.receiver < b.receiver;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.creator < b.creator;
+            });
+
+  received_offsets_.assign(num_users + 1, 0);
+  for (const auto& a : by_receiver_) ++received_offsets_[a.receiver + 1];
+  for (std::size_t i = 1; i <= num_users; ++i)
+    received_offsets_[i] += received_offsets_[i - 1];
+
+  created_.resize(by_receiver_.size());
+  for (std::uint32_t i = 0; i < created_.size(); ++i) created_[i] = i;
+  std::sort(created_.begin(), created_.end(),
+            [this](std::uint32_t x, std::uint32_t y) {
+              const Activity& a = by_receiver_[x];
+              const Activity& b = by_receiver_[y];
+              if (a.creator != b.creator) return a.creator < b.creator;
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return x < y;
+            });
+  created_offsets_.assign(num_users + 1, 0);
+  for (std::uint32_t idx : created_)
+    ++created_offsets_[by_receiver_[idx].creator + 1];
+  for (std::size_t i = 1; i <= num_users; ++i)
+    created_offsets_[i] += created_offsets_[i - 1];
+
+  if (!by_receiver_.empty()) {
+    auto [lo, hi] = std::minmax_element(
+        by_receiver_.begin(), by_receiver_.end(),
+        [](const Activity& a, const Activity& b) {
+          return a.timestamp < b.timestamp;
+        });
+    min_ts_ = lo->timestamp;
+    max_ts_ = hi->timestamp;
+  }
+}
+
+std::span<const Activity> ActivityTrace::received_by(UserId u) const {
+  DOSN_ASSERT(static_cast<std::size_t>(u) + 1 < received_offsets_.size());
+  return {by_receiver_.data() + received_offsets_[u],
+          received_offsets_[u + 1] - received_offsets_[u]};
+}
+
+std::span<const std::uint32_t> ActivityTrace::created_index(UserId u) const {
+  DOSN_ASSERT(static_cast<std::size_t>(u) + 1 < created_offsets_.size());
+  return {created_.data() + created_offsets_[u],
+          created_offsets_[u + 1] - created_offsets_[u]};
+}
+
+std::size_t ActivityTrace::interaction_count(UserId u, UserId f) const {
+  std::size_t count = 0;
+  for (const auto& a : received_by(u))
+    if (a.creator == f) ++count;
+  return count;
+}
+
+double ActivityTrace::average_activities_per_user() const {
+  const std::size_t n = num_users();
+  if (n == 0) return 0.0;
+  return static_cast<double>(size()) / static_cast<double>(n);
+}
+
+}  // namespace dosn::trace

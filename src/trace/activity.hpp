@@ -1,0 +1,87 @@
+// Activity traces: timestamped interactions between users.
+//
+// One Activity models a Facebook wall post or a tweet: it has a creator, a
+// receiver (whose profile/wall it lands on) and an absolute timestamp in
+// seconds. The trace is the ground truth from which the study derives user
+// online times, friend-activity ranks (MostActive placement) and the
+// availability-on-demand-activity metric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+#include "interval/interval_set.hpp"
+
+namespace dosn::trace {
+
+using graph::UserId;
+using interval::Seconds;
+
+struct Activity {
+  UserId creator = 0;   ///< who performed the action
+  UserId receiver = 0;  ///< whose profile received it
+  Seconds timestamp = 0;  ///< absolute seconds (e.g. unix time)
+
+  friend bool operator==(const Activity&, const Activity&) = default;
+};
+
+/// Immutable activity trace with per-user indexes.
+class ActivityTrace {
+ public:
+  ActivityTrace() = default;
+
+  /// Takes an arbitrary activity list; user ids must be < num_users.
+  ActivityTrace(std::size_t num_users, std::vector<Activity> activities);
+
+  std::size_t num_users() const {
+    return received_offsets_.empty() ? 0 : received_offsets_.size() - 1;
+  }
+  std::size_t size() const { return by_receiver_.size(); }
+  bool empty() const { return by_receiver_.empty(); }
+
+  /// All activities, ordered by (receiver, timestamp).
+  std::span<const Activity> all() const { return by_receiver_; }
+
+  /// Activities that landed on u's profile, ordered by timestamp.
+  std::span<const Activity> received_by(UserId u) const;
+
+  /// Indices (into creator_order()) of activities created by u, ordered by
+  /// timestamp; resolve through `activity(i)`.
+  std::span<const std::uint32_t> created_index(UserId u) const;
+
+  /// Activity by index into the (receiver, timestamp) ordering.
+  const Activity& activity(std::uint32_t index) const {
+    DOSN_ASSERT(index < by_receiver_.size());
+    return by_receiver_[index];
+  }
+
+  std::size_t activities_created(UserId u) const {
+    return created_index(u).size();
+  }
+  std::size_t activities_received(UserId u) const {
+    return received_by(u).size();
+  }
+
+  /// Number of activities f created on u's profile — the paper's friend
+  /// "activity" used by MostActive placement.
+  std::size_t interaction_count(UserId u, UserId f) const;
+
+  /// Earliest and one-past-latest timestamp in the trace; {0, 0} if empty.
+  Seconds min_timestamp() const { return min_ts_; }
+  Seconds max_timestamp() const { return max_ts_; }
+
+  /// Average number of activities created per user.
+  double average_activities_per_user() const;
+
+ private:
+  std::vector<Activity> by_receiver_;             // sorted (receiver, ts)
+  std::vector<std::size_t> received_offsets_;     // CSR over by_receiver_
+  std::vector<std::uint32_t> created_;            // indices, sorted (creator, ts)
+  std::vector<std::size_t> created_offsets_;      // CSR over created_
+  Seconds min_ts_ = 0;
+  Seconds max_ts_ = 0;
+};
+
+}  // namespace dosn::trace

@@ -1,0 +1,92 @@
+#include "trace/dataset.hpp"
+
+#include <algorithm>
+
+namespace dosn::trace {
+
+DatasetStats stats_of(const Dataset& dataset) {
+  DatasetStats s;
+  s.users = dataset.graph.num_users();
+  s.edges = dataset.graph.num_edges();
+  s.activities = dataset.trace.size();
+  s.average_degree = dataset.graph.average_degree();
+  s.average_activities = dataset.trace.average_activities_per_user();
+  return s;
+}
+
+Dataset filter_users(const Dataset& dataset, const std::vector<bool>& keep,
+                     std::vector<graph::UserId>* old_of_new) {
+  DOSN_REQUIRE(keep.size() == dataset.num_users(),
+               "filter_users: mask size mismatch");
+  std::vector<graph::UserId> old_ids;
+  graph::SocialGraph new_graph = dataset.graph.induced(keep, &old_ids);
+
+  std::vector<graph::UserId> new_of_old(dataset.num_users(), 0);
+  for (std::size_t i = 0; i < old_ids.size(); ++i)
+    new_of_old[old_ids[i]] = static_cast<graph::UserId>(i);
+
+  std::vector<Activity> kept;
+  for (const auto& a : dataset.trace.all()) {
+    if (!keep[a.creator] || !keep[a.receiver]) continue;
+    kept.push_back(
+        {new_of_old[a.creator], new_of_old[a.receiver], a.timestamp});
+  }
+
+  Dataset out;
+  out.name = dataset.name;
+  out.graph = std::move(new_graph);
+  out.trace = ActivityTrace(out.graph.num_users(), std::move(kept));
+  if (old_of_new) *old_of_new = std::move(old_ids);
+  return out;
+}
+
+Dataset filter_min_activity(const Dataset& dataset, std::size_t min_created,
+                            std::vector<graph::UserId>* old_of_new) {
+  std::vector<bool> keep(dataset.num_users());
+  for (graph::UserId u = 0; u < dataset.num_users(); ++u)
+    keep[u] = dataset.trace.activities_created(u) >= min_created;
+  return filter_users(dataset, keep, old_of_new);
+}
+
+Dataset filter_isolated(const Dataset& dataset,
+                        std::vector<graph::UserId>* old_of_new) {
+  std::vector<bool> keep(dataset.num_users());
+  for (graph::UserId u = 0; u < dataset.num_users(); ++u)
+    keep[u] = dataset.graph.degree(u) > 0;
+  return filter_users(dataset, keep, old_of_new);
+}
+
+TemporalSplit split_by_time(const Dataset& dataset, double fraction) {
+  DOSN_REQUIRE(fraction > 0.0 && fraction < 1.0,
+               "split_by_time: fraction must be in (0, 1)");
+  std::vector<Seconds> times;
+  times.reserve(dataset.trace.size());
+  for (const auto& a : dataset.trace.all()) times.push_back(a.timestamp);
+  std::sort(times.begin(), times.end());
+
+  TemporalSplit out;
+  if (times.empty()) {
+    out.past.name = dataset.name + "-past";
+    out.past.graph = dataset.graph;
+    out.future.name = dataset.name + "-future";
+    out.future.graph = dataset.graph;
+    return out;
+  }
+  const auto cut_index = static_cast<std::size_t>(
+      fraction * static_cast<double>(times.size()));
+  out.split_at = times[std::min(cut_index, times.size() - 1)];
+
+  std::vector<Activity> past, future;
+  for (const auto& a : dataset.trace.all())
+    (a.timestamp < out.split_at ? past : future).push_back(a);
+
+  out.past.name = dataset.name + "-past";
+  out.past.graph = dataset.graph;
+  out.past.trace = ActivityTrace(dataset.num_users(), std::move(past));
+  out.future.name = dataset.name + "-future";
+  out.future.graph = dataset.graph;
+  out.future.trace = ActivityTrace(dataset.num_users(), std::move(future));
+  return out;
+}
+
+}  // namespace dosn::trace

@@ -1,0 +1,64 @@
+// A Dataset bundles the social graph with its activity trace and implements
+// the paper's filtering pipeline (Sec IV-A): drop users with fewer than a
+// minimum number of created activities, then take the induced subgraph and
+// the restricted trace.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+#include "trace/activity.hpp"
+
+namespace dosn::trace {
+
+struct Dataset {
+  std::string name;
+  graph::SocialGraph graph;
+  ActivityTrace trace;
+
+  std::size_t num_users() const { return graph.num_users(); }
+};
+
+struct DatasetStats {
+  std::size_t users = 0;
+  std::size_t edges = 0;
+  std::size_t activities = 0;
+  double average_degree = 0.0;
+  double average_activities = 0.0;
+};
+
+DatasetStats stats_of(const Dataset& dataset);
+
+/// Keeps only users with keep[u] == true; the graph becomes the induced
+/// subgraph, activities whose creator or receiver was dropped disappear,
+/// and ids are renumbered densely. `old_of_new` (optional) receives the
+/// surviving users' original ids.
+Dataset filter_users(const Dataset& dataset, const std::vector<bool>& keep,
+                     std::vector<graph::UserId>* old_of_new = nullptr);
+
+/// The paper's activity filter: keep users who created at least
+/// `min_created` activities (wall posts / tweets). Note that activities
+/// whose partner is dropped disappear with him, so counts *within the
+/// filtered trace* can be lower (single-pass filter, as in the paper).
+Dataset filter_min_activity(const Dataset& dataset, std::size_t min_created,
+                            std::vector<graph::UserId>* old_of_new = nullptr);
+
+/// The paper's Twitter pre-filter: keep users that have at least one
+/// contact (follower / friend) present in the dataset.
+Dataset filter_isolated(const Dataset& dataset,
+                        std::vector<graph::UserId>* old_of_new = nullptr);
+
+/// Splits the trace at the timestamp below which `fraction` of the
+/// activities fall: the "past" (used to estimate online times and friend
+/// activity) and the "future" (used to evaluate). Both keep the full
+/// graph and user ids.
+struct TemporalSplit {
+  Dataset past;
+  Dataset future;
+  Seconds split_at = 0;
+};
+
+TemporalSplit split_by_time(const Dataset& dataset, double fraction);
+
+}  // namespace dosn::trace

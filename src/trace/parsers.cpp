@@ -1,0 +1,149 @@
+#include "trace/parsers.hpp"
+
+#include <filesystem>
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace dosn::trace {
+namespace {
+
+bool is_comment_or_blank(std::string_view line) {
+  const auto t = util::trim(line);
+  return t.empty() || t.front() == '#' || t.front() == '%';
+}
+
+std::ifstream open_or_throw(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw IoError("cannot open " + path);
+  return in;
+}
+
+[[noreturn]] void bad_line(const std::string& path, std::size_t line_no,
+                           const std::string& why) {
+  throw ParseError(path + ":" + std::to_string(line_no) + ": " + why);
+}
+
+}  // namespace
+
+UserId IdMap::intern(std::string_view token) {
+  auto it = ids_.find(std::string(token));
+  if (it != ids_.end()) return it->second;
+  const auto id = static_cast<UserId>(names_.size());
+  names_.emplace_back(token);
+  ids_.emplace(names_.back(), id);
+  return id;
+}
+
+std::optional<UserId> IdMap::find(std::string_view token) const {
+  auto it = ids_.find(std::string(token));
+  if (it == ids_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<RawEdge> load_edge_list(const std::string& path, IdMap& ids) {
+  auto in = open_or_throw(path);
+  std::vector<RawEdge> edges;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    const auto fields = util::split_ws(line);
+    if (fields.size() < 2)
+      bad_line(path, line_no, "edge line needs at least two fields");
+    // Intern in field order (argument evaluation order is unspecified).
+    const UserId a = ids.intern(fields[0]);
+    const UserId b = ids.intern(fields[1]);
+    edges.emplace_back(a, b);
+  }
+  return edges;
+}
+
+std::vector<Activity> load_activities(const std::string& path, IdMap& ids) {
+  auto in = open_or_throw(path);
+  std::vector<Activity> activities;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (is_comment_or_blank(line)) continue;
+    const auto fields = util::split_ws(line);
+    if (fields.size() < 3)
+      bad_line(path, line_no,
+               "activity line needs `receiver creator timestamp`");
+    Activity a;
+    a.receiver = ids.intern(fields[0]);
+    a.creator = ids.intern(fields[1]);
+    try {
+      a.timestamp = util::parse_i64(fields[2]);
+    } catch (const ParseError&) {
+      bad_line(path, line_no, "bad timestamp '" + std::string(fields[2]) + "'");
+    }
+    activities.push_back(a);
+  }
+  return activities;
+}
+
+Dataset load_dataset(const std::string& name, const std::string& edges_path,
+                     const std::string& activities_path,
+                     graph::GraphKind kind) {
+  IdMap ids;
+  auto edges = load_edge_list(edges_path, ids);
+  auto activities = load_activities(activities_path, ids);
+
+  graph::SocialGraphBuilder builder(kind, ids.size());
+  for (const auto& [u, v] : edges) builder.add_edge(u, v);
+
+  Dataset out;
+  out.name = name;
+  out.graph = std::move(builder).build();
+  out.trace = ActivityTrace(ids.size(), std::move(activities));
+  return out;
+}
+
+namespace {
+
+std::ofstream create_or_throw(const std::string& path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) throw IoError("cannot create directory " + parent.string());
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw IoError("cannot open for writing: " + path);
+  return out;
+}
+
+}  // namespace
+
+void save_edge_list(const std::string& path, const graph::SocialGraph& g) {
+  auto out = create_or_throw(path);
+  out << "# edge list (" << (g.kind() == graph::GraphKind::kUndirected
+                                 ? "undirected"
+                                 : "directed: a follows b")
+      << ")\n";
+  for (UserId u = 0; u < g.num_users(); ++u) {
+    for (UserId v : g.out_neighbors(u)) {
+      if (g.kind() == graph::GraphKind::kUndirected && v < u) continue;
+      out << u << '\t' << v << '\n';
+    }
+  }
+  if (!out) throw IoError("write failure on " + path);
+}
+
+void save_activities(const std::string& path, const ActivityTrace& trace) {
+  auto out = create_or_throw(path);
+  out << "# receiver\tcreator\ttimestamp\n";
+  for (const auto& a : trace.all())
+    out << a.receiver << '\t' << a.creator << '\t' << a.timestamp << '\n';
+  if (!out) throw IoError("write failure on " + path);
+}
+
+void save_dataset(const std::string& prefix, const Dataset& dataset) {
+  save_edge_list(prefix + ".edges", dataset.graph);
+  save_activities(prefix + ".activities", dataset.trace);
+}
+
+}  // namespace dosn::trace

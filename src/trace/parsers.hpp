@@ -1,0 +1,72 @@
+// Parsers for on-disk dataset formats.
+//
+// The paper evaluates on the Facebook New Orleans trace (Viswanath et al.,
+// WOSN'09) and a Twitter trace (Galuba et al., WOSN'10). Those files are
+// simple whitespace-separated text:
+//
+//   * edge list   — one edge per line: `<userA> <userB>` (plus an optional
+//     trailing field such as the link-creation timestamp or `\N`, which is
+//     ignored). For a directed graph the line means "<userA> follows
+//     <userB>".
+//   * activities  — one activity per line: `<receiver> <creator>
+//     <unix-timestamp>`: for Facebook, <creator> posted on <receiver>'s
+//     wall; for Twitter, <creator> tweeted and <receiver> is the account
+//     whose timeline records it (the creator himself for plain tweets).
+//
+// Lines starting with '#' or '%' are comments. User ids are arbitrary
+// tokens, interned into dense UserIds shared between the two files.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/dataset.hpp"
+
+namespace dosn::trace {
+
+/// Dense interning of external user id tokens.
+class IdMap {
+ public:
+  /// Returns the dense id for a token, creating one on first sight.
+  UserId intern(std::string_view token);
+
+  /// Dense id if known; nullopt otherwise.
+  std::optional<UserId> find(std::string_view token) const;
+
+  std::size_t size() const { return names_.size(); }
+  const std::string& name_of(UserId id) const {
+    DOSN_ASSERT(id < names_.size());
+    return names_[id];
+  }
+
+ private:
+  std::unordered_map<std::string, UserId> ids_;
+  std::vector<std::string> names_;
+};
+
+/// Raw edge read from an edge-list file (dense ids).
+using RawEdge = std::pair<UserId, UserId>;
+
+/// Parses an edge-list file, interning ids into `ids`.
+std::vector<RawEdge> load_edge_list(const std::string& path, IdMap& ids);
+
+/// Parses an activity file (`receiver creator timestamp`), interning ids.
+std::vector<Activity> load_activities(const std::string& path, IdMap& ids);
+
+/// Loads a complete dataset from an edge-list file and an activity file
+/// sharing a user-id namespace.
+Dataset load_dataset(const std::string& name, const std::string& edges_path,
+                     const std::string& activities_path,
+                     graph::GraphKind kind);
+
+/// Writes an edge list readable by load_edge_list (ids written as numbers).
+void save_edge_list(const std::string& path, const graph::SocialGraph& g);
+
+/// Writes an activity file readable by load_activities.
+void save_activities(const std::string& path, const ActivityTrace& trace);
+
+/// Saves both files of a dataset: `<prefix>.edges` and `<prefix>.activities`.
+void save_dataset(const std::string& prefix, const Dataset& dataset);
+
+}  // namespace dosn::trace

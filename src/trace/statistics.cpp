@@ -1,0 +1,104 @@
+#include "trace/statistics.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "interval/day_schedule.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::trace {
+
+TraceStatistics trace_statistics(const Dataset& dataset) {
+  TraceStatistics stats;
+  const auto& trace = dataset.trace;
+  if (trace.empty()) return stats;
+
+  // Diurnal profile.
+  std::array<double, 24> counts{};
+  std::size_t self_posts = 0;
+  for (const auto& a : trace.all()) {
+    ++counts[static_cast<std::size_t>(
+        interval::time_of_day(a.timestamp) / 3600)];
+    if (a.creator == a.receiver) ++self_posts;
+  }
+  const auto total = static_cast<double>(trace.size());
+  int peak = 0;
+  for (int h = 0; h < 24; ++h) {
+    stats.hourly_profile[static_cast<std::size_t>(h)] =
+        counts[static_cast<std::size_t>(h)] / total;
+    if (counts[static_cast<std::size_t>(h)] >
+        counts[static_cast<std::size_t>(peak)])
+      peak = h;
+  }
+  stats.peak_hour = peak;
+  stats.self_post_fraction = static_cast<double>(self_posts) / total;
+
+  // Inter-arrival gaps per creator (created_index is time-ordered).
+  std::vector<double> gaps;
+  for (graph::UserId u = 0; u < dataset.num_users(); ++u) {
+    const auto idx = trace.created_index(u);
+    for (std::size_t i = 1; i < idx.size(); ++i)
+      gaps.push_back(static_cast<double>(trace.activity(idx[i]).timestamp -
+                                         trace.activity(idx[i - 1]).timestamp));
+  }
+  if (!gaps.empty()) {
+    stats.median_interarrival =
+        static_cast<Seconds>(util::percentile(gaps, 0.5));
+    stats.p90_interarrival =
+        static_cast<Seconds>(util::percentile(gaps, 0.9));
+  }
+
+  // Interaction concentration: per creator, the share of his non-self
+  // activities going to his most-contacted partner.
+  util::RunningStats concentration;
+  std::map<graph::UserId, std::size_t> partner_counts;
+  for (graph::UserId u = 0; u < dataset.num_users(); ++u) {
+    partner_counts.clear();
+    std::size_t outgoing = 0;
+    for (std::uint32_t i : trace.created_index(u)) {
+      const auto& a = trace.activity(i);
+      if (a.receiver == u) continue;
+      ++partner_counts[a.receiver];
+      ++outgoing;
+    }
+    if (outgoing == 0) continue;
+    std::size_t top = 0;
+    for (const auto& [partner, count] : partner_counts)
+      top = std::max(top, count);
+    concentration.add(static_cast<double>(top) /
+                      static_cast<double>(outgoing));
+  }
+  stats.top_partner_share = concentration.mean();
+
+  stats.span_days = static_cast<double>(trace.max_timestamp() -
+                                        trace.min_timestamp()) /
+                    86400.0;
+  return stats;
+}
+
+std::string to_string(const TraceStatistics& stats) {
+  std::ostringstream os;
+  os << util::format("trace span: %.1f days; peak hour: %02d:00; "
+                     "self posts: %.1f%%\n",
+                     stats.span_days, stats.peak_hour,
+                     100.0 * stats.self_post_fraction);
+  os << util::format(
+      "inter-arrival per creator: median %s, p90 %s\n",
+      util::format_duration_s(static_cast<double>(stats.median_interarrival))
+          .c_str(),
+      util::format_duration_s(static_cast<double>(stats.p90_interarrival))
+          .c_str());
+  os << util::format("top-partner share of outgoing activity: %.1f%%\n",
+                     100.0 * stats.top_partner_share);
+  os << "hourly profile:";
+  for (int h = 0; h < 24; ++h)
+    os << util::format(" %02d:%.1f%%", h,
+                       100.0 * stats.hourly_profile[static_cast<std::size_t>(
+                           h)]);
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace dosn::trace

@@ -1,0 +1,36 @@
+// Descriptive statistics of an activity trace — the characterization a
+// measurement paper reports about its dataset (Sec IV-A style).
+#pragma once
+
+#include <array>
+
+#include "trace/dataset.hpp"
+
+namespace dosn::trace {
+
+struct TraceStatistics {
+  /// Activities per hour-of-day (diurnal profile), fractions summing to 1
+  /// (all zeros for an empty trace).
+  std::array<double, 24> hourly_profile{};
+  /// The hour with the most activity.
+  int peak_hour = 0;
+  /// Median / P90 gap between consecutive activities of the same creator,
+  /// in seconds (0 when no user has two activities).
+  Seconds median_interarrival = 0;
+  Seconds p90_interarrival = 0;
+  /// Fraction of activities whose receiver is the creator (self posts).
+  double self_post_fraction = 0.0;
+  /// Fraction of (creator -> receiver) activity mass carried by each
+  /// creator's single most-contacted partner, averaged over creators with
+  /// partners — the interaction concentration MostActive exploits.
+  double top_partner_share = 0.0;
+  /// Trace span in days.
+  double span_days = 0.0;
+};
+
+TraceStatistics trace_statistics(const Dataset& dataset);
+
+/// Renders the statistics as an aligned text block.
+std::string to_string(const TraceStatistics& stats);
+
+}  // namespace dosn::trace

@@ -1,0 +1,56 @@
+#include "util/alias.hpp"
+
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace dosn::util {
+
+DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
+  DOSN_REQUIRE(!weights.empty(), "DiscreteSampler: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    DOSN_REQUIRE(w >= 0.0, "DiscreteSampler: negative weight");
+    total += w;
+  }
+  DOSN_REQUIRE(total > 0.0, "DiscreteSampler: all weights zero");
+
+  const std::size_t n = weights.size();
+  prob_.resize(n);
+  alias_.resize(n);
+  std::vector<double> scaled(n);
+  for (std::size_t i = 0; i < n; ++i)
+    scaled[i] = weights[i] / total * static_cast<double>(n);
+
+  std::vector<std::uint32_t> small, large;
+  for (std::size_t i = 0; i < n; ++i)
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<std::uint32_t>(i));
+
+  while (!small.empty() && !large.empty()) {
+    const std::uint32_t s = small.back();
+    small.pop_back();
+    const std::uint32_t l = large.back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      large.pop_back();
+      small.push_back(l);
+    }
+  }
+  for (std::uint32_t i : large) {
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+  for (std::uint32_t i : small) {  // numerical leftovers
+    prob_[i] = 1.0;
+    alias_[i] = i;
+  }
+}
+
+std::size_t DiscreteSampler::draw(Rng& rng) const {
+  const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
+  return rng.uniform() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace dosn::util

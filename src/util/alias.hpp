@@ -1,0 +1,29 @@
+// Walker alias method: O(1) sampling from a fixed discrete distribution.
+// Used by the synthetic generators to draw edge endpoints and interaction
+// partners proportionally to power-law weights.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dosn::util {
+
+class DiscreteSampler {
+ public:
+  /// Builds the alias table from non-negative weights (not all zero).
+  explicit DiscreteSampler(std::span<const double> weights);
+
+  /// Draws an index in [0, size()) with probability proportional to its
+  /// weight.
+  std::size_t draw(Rng& rng) const;
+
+  std::size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<std::uint32_t> alias_;
+};
+
+}  // namespace dosn::util

@@ -1,0 +1,117 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::util {
+namespace {
+
+constexpr char kGlyphs[] = {'*', 'o', '+', 'x', '#', '@', '%', '&'};
+
+double transform_x(double x, bool log_x) {
+  if (!log_x) return x;
+  DOSN_REQUIRE(x > 0.0, "log_x chart requires positive x values");
+  return std::log10(x);
+}
+
+}  // namespace
+
+std::string render_chart(std::span<const Series> series,
+                         const ChartOptions& options) {
+  DOSN_REQUIRE(!series.empty(), "render_chart: no series");
+  const int w = std::max(options.width, 8);
+  const int h = std::max(options.height, 4);
+
+  double x_lo = 0, x_hi = 0, y_lo = 0, y_hi = 0;
+  bool first = true;
+  for (const auto& s : series) {
+    DOSN_REQUIRE(s.x.size() == s.y.size(), "render_chart: ragged series");
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const double tx = transform_x(s.x[i], options.log_x);
+      if (first) {
+        x_lo = x_hi = tx;
+        y_lo = y_hi = s.y[i];
+        first = false;
+      } else {
+        x_lo = std::min(x_lo, tx);
+        x_hi = std::max(x_hi, tx);
+        y_lo = std::min(y_lo, s.y[i]);
+        y_hi = std::max(y_hi, s.y[i]);
+      }
+    }
+  }
+  DOSN_REQUIRE(!first, "render_chart: all series empty");
+
+  if (options.y_max >= options.y_min) {
+    y_lo = options.y_min;
+    y_hi = options.y_max;
+  } else {
+    y_lo = std::min(y_lo, 0.0);
+  }
+  if (y_hi <= y_lo) y_hi = y_lo + 1.0;
+  if (x_hi <= x_lo) x_hi = x_lo + 1.0;
+
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+
+  auto plot = [&](double tx, double y, char glyph) {
+    int cx = static_cast<int>(std::lround((tx - x_lo) / (x_hi - x_lo) *
+                                          static_cast<double>(w - 1)));
+    int cy = static_cast<int>(std::lround((y - y_lo) / (y_hi - y_lo) *
+                                          static_cast<double>(h - 1)));
+    cx = std::clamp(cx, 0, w - 1);
+    cy = std::clamp(cy, 0, h - 1);
+    grid[static_cast<std::size_t>(h - 1 - cy)][static_cast<std::size_t>(cx)] =
+        glyph;
+  };
+
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    const auto& s = series[si];
+    // Interpolated trace between data points keeps trends readable.
+    for (std::size_t i = 0; i + 1 < s.x.size(); ++i) {
+      const double tx0 = transform_x(s.x[i], options.log_x);
+      const double tx1 = transform_x(s.x[i + 1], options.log_x);
+      const int steps = w;
+      for (int t = 0; t <= steps; ++t) {
+        const double f = static_cast<double>(t) / steps;
+        plot(tx0 + f * (tx1 - tx0), s.y[i] + f * (s.y[i + 1] - s.y[i]), glyph);
+      }
+    }
+    if (s.x.size() == 1) plot(transform_x(s.x[0], options.log_x), s.y[0], glyph);
+  }
+
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << '\n';
+  for (int r = 0; r < h; ++r) {
+    const double y_at =
+        y_hi - (y_hi - y_lo) * static_cast<double>(r) / (h - 1);
+    if (r % 4 == 0 || r == h - 1)
+      os << format("%8.2f |", y_at);
+    else
+      os << "         |";
+    os << grid[static_cast<std::size_t>(r)] << '\n';
+  }
+  os << "         +" << std::string(static_cast<std::size_t>(w), '-') << '\n';
+  const double x_display_lo = options.log_x ? std::pow(10.0, x_lo) : x_lo;
+  const double x_display_hi = options.log_x ? std::pow(10.0, x_hi) : x_hi;
+  os << "          " << format("%-10.4g", x_display_lo);
+  const int pad = w - 20;
+  if (pad > 0) os << std::string(static_cast<std::size_t>(pad), ' ');
+  os << format("%10.4g", x_display_hi) << '\n';
+  if (!options.x_label.empty())
+    os << "          x: " << options.x_label
+       << (options.log_x ? " (log scale)" : "") << '\n';
+  if (!options.y_label.empty()) os << "          y: " << options.y_label << '\n';
+  os << "          legend:";
+  for (std::size_t si = 0; si < series.size(); ++si)
+    os << "  " << kGlyphs[si % sizeof(kGlyphs)] << " " << series[si].name;
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace dosn::util

@@ -1,0 +1,28 @@
+// Terminal line charts so figure harnesses can show the paper's plot shapes
+// directly in the console (the CSV next to it holds exact values).
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "util/stats.hpp"
+
+namespace dosn::util {
+
+struct ChartOptions {
+  int width = 72;        ///< plot area columns
+  int height = 18;       ///< plot area rows
+  bool log_x = false;    ///< logarithmic x axis (Fig 8 session-length sweep)
+  double y_min = 0.0;    ///< fixed lower y bound
+  double y_max = -1.0;   ///< fixed upper y bound; < y_min means auto-scale
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// Renders the series overlaid in one plot; each series uses its own glyph
+/// and is listed in a legend below the axes.
+std::string render_chart(std::span<const Series> series,
+                         const ChartOptions& options);
+
+}  // namespace dosn::util

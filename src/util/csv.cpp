@@ -1,0 +1,92 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <filesystem>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::util {
+namespace {
+
+bool needs_quoting(const std::string& f) {
+  return f.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quoted(const std::string& f) {
+  std::string out = "\"";
+  for (char c : f) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string format_value(double v) {
+  if (std::isnan(v)) return "nan";
+  if (v == std::floor(v) && std::abs(v) < 1e15)
+    return format("%lld", static_cast<long long>(v));
+  return format("%.6g", v);
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : path_(path) {
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(parent, ec);
+    if (ec) throw IoError("cannot create directory " + parent.string());
+  }
+  out_.open(path, std::ios::trunc);
+  if (!out_) throw IoError("cannot open for writing: " + path);
+}
+
+void CsvWriter::header(std::span<const std::string> names) {
+  write_fields(names);
+}
+
+void CsvWriter::row(std::span<const double> values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) fields.push_back(format_value(v));
+  write_fields(fields);
+}
+
+void CsvWriter::raw_row(std::span<const std::string> fields) {
+  write_fields(fields);
+}
+
+void CsvWriter::write_fields(std::span<const std::string> fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << (needs_quoting(fields[i]) ? quoted(fields[i]) : fields[i]);
+  }
+  out_ << '\n';
+  if (!out_) throw IoError("write failure on " + path_);
+}
+
+void write_series_csv(const std::string& path, const std::string& x_name,
+                      std::span<const Series> series) {
+  DOSN_REQUIRE(!series.empty(), "write_series_csv: no series");
+  const auto& x = series.front().x;
+  for (const auto& s : series)
+    DOSN_REQUIRE(s.x == x, "write_series_csv: series share one x-axis");
+
+  CsvWriter csv(path);
+  std::vector<std::string> names{x_name};
+  for (const auto& s : series) names.push_back(s.name);
+  csv.header(names);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    std::vector<double> row{x[i]};
+    for (const auto& s : series) {
+      DOSN_REQUIRE(s.y.size() == x.size(),
+                   "write_series_csv: y length mismatch in " + s.name);
+      row.push_back(s.y[i]);
+    }
+    csv.row(row);
+  }
+}
+
+}  // namespace dosn::util

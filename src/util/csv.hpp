@@ -1,0 +1,38 @@
+// CSV output for experiment results. Every figure harness writes its series
+// to results/<figure>.csv so plots can be regenerated outside the binary.
+#pragma once
+
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace dosn::util {
+
+/// Streams rows to a CSV file; quotes fields only when needed.
+class CsvWriter {
+ public:
+  /// Creates/overwrites `path`, creating parent directories as needed.
+  explicit CsvWriter(const std::string& path);
+
+  void header(std::span<const std::string> names);
+  void row(std::span<const double> values);
+  void raw_row(std::span<const std::string> fields);
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void write_fields(std::span<const std::string> fields);
+
+  std::string path_;
+  std::ofstream out_;
+};
+
+/// Writes a set of series sharing one x-axis as columns:
+/// x,<name1>,<name2>,... Each series must have the same x vector.
+void write_series_csv(const std::string& path, const std::string& x_name,
+                      std::span<const Series> series);
+
+}  // namespace dosn::util

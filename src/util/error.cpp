@@ -1,0 +1,17 @@
+#include "util/error.hpp"
+
+#include <sstream>
+
+namespace dosn::detail {
+
+void throw_check_failure(const char* expr, const char* file, int line,
+                         const std::string& msg) {
+  std::ostringstream os;
+  os << "DOSN_ASSERT failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw std::logic_error(os.str());
+}
+
+void throw_config_failure(const std::string& msg) { throw ConfigError(msg); }
+
+}  // namespace dosn::detail

@@ -1,0 +1,64 @@
+// Error hierarchy and checking macros used across the library.
+//
+// Library errors are reported with exceptions (never error codes): a
+// dosn::Error for environment/usage failures a caller can reasonably handle
+// (bad input files, invalid configurations), and std::logic_error via
+// DOSN_ASSERT for broken internal invariants that indicate a bug.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace dosn {
+
+/// Base class of all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or unusable input data (trace files, graph files, ...).
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+/// Invalid experiment / model / policy configuration supplied by the caller.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what) : Error(what) {}
+};
+
+/// I/O failure (file not found, write failure, ...).
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_check_failure(const char* expr, const char* file,
+                                      int line, const std::string& msg);
+[[noreturn]] void throw_config_failure(const std::string& msg);
+}  // namespace detail
+
+}  // namespace dosn
+
+/// Internal invariant check: throws std::logic_error when violated.
+/// Active in all build types; the checked conditions are cheap.
+#define DOSN_ASSERT(expr)                                                \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::dosn::detail::throw_check_failure(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define DOSN_ASSERT_MSG(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::dosn::detail::throw_check_failure(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Precondition on caller-supplied configuration: throws dosn::ConfigError.
+#define DOSN_REQUIRE(expr, msg)                    \
+  do {                                             \
+    if (!(expr)) ::dosn::detail::throw_config_failure((msg)); \
+  } while (false)

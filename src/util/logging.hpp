@@ -1,0 +1,24 @@
+// Minimal leveled logger for the experiment drivers. Not thread-global
+// mutable state beyond an atomic level; output goes to stderr so that
+// harness stdout stays machine-parsable.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+namespace dosn::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits "[level] message" to stderr when `level` is enabled.
+void log(LogLevel level, const std::string& message);
+
+void log_debug(const std::string& message);
+void log_info(const std::string& message);
+void log_warn(const std::string& message);
+void log_error(const std::string& message);
+
+}  // namespace dosn::util

@@ -1,0 +1,88 @@
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <unordered_set>
+
+namespace dosn::util {
+
+double Rng::normal() {
+  // Box–Muller; u1 is kept away from zero so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::exponential(double rate) {
+  DOSN_ASSERT(rate > 0.0);
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+double Rng::pareto(double x_min, double alpha) {
+  DOSN_ASSERT(x_min > 0.0 && alpha > 0.0);
+  double u = 0.0;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return x_min / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::zipf(std::uint64_t n, double s) {
+  ZipfTable table(static_cast<std::size_t>(n), s);
+  return table.draw(*this);
+}
+
+std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
+  DOSN_ASSERT(k <= n);
+  if (k == 0) return {};
+  // For dense requests a partial Fisher–Yates over an index array is both
+  // simple and O(n); for sparse requests rejection sampling avoids the
+  // allocation of the full index range.
+  if (k * 3 >= n) {
+    std::vector<std::size_t> idx(n);
+    for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::size_t j = i + static_cast<std::size_t>(below(n - i));
+      std::swap(idx[i], idx[j]);
+    }
+    idx.resize(k);
+    return idx;
+  }
+  std::unordered_set<std::size_t> seen;
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  while (out.size() < k) {
+    std::size_t v = static_cast<std::size_t>(below(n));
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  return out;
+}
+
+ZipfTable::ZipfTable(std::size_t n, double exponent) {
+  DOSN_REQUIRE(n > 0, "ZipfTable: support size must be positive");
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (std::size_t k = 1; k <= n; ++k) {
+    acc += 1.0 / std::pow(static_cast<double>(k), exponent);
+    cdf_[k - 1] = acc;
+  }
+  for (auto& c : cdf_) c /= acc;
+  cdf_.back() = 1.0;  // guard against rounding drift
+}
+
+std::size_t ZipfTable::draw(Rng& rng) const {
+  const double u = rng.uniform();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+}  // namespace dosn::util

@@ -1,0 +1,150 @@
+// Deterministic, seedable random number generation.
+//
+// Every randomized component of the library (synthetic datasets, Random
+// placement, RandomLength online times, repetition loops) draws from an
+// explicitly passed Rng so that experiments are exactly reproducible from a
+// single seed. The engine is xoshiro256** seeded through splitmix64, which is
+// fast, high quality, and — unlike std::mt19937 plus std distributions —
+// produces identical streams on every platform and standard library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace dosn::util {
+
+/// splitmix64 step; used for seeding and for cheap hash mixing.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Stateless mix of two 64-bit values into one; handy for deriving
+/// per-entity sub-seeds (e.g. seed ^ user id) without correlation.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(s);
+}
+
+/// xoshiro256** engine. Satisfies std::uniform_random_bit_generator, so it
+/// can also feed std::shuffle etc., but the member helpers below are the
+/// portable way to draw values.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from a single 64-bit seed via splitmix64.
+  explicit Rng(std::uint64_t seed = 0x9d2c5680u) {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses Lemire's unbiased bounded generation.
+  std::uint64_t below(std::uint64_t n) {
+    DOSN_ASSERT(n > 0);
+    // Rejection sampling on the top bits: unbiased and portable.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    DOSN_ASSERT(lo <= hi);
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box–Muller (no caching: keeps the stream simple).
+  double normal();
+
+  /// Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Exponential with the given rate (mean 1/rate).
+  double exponential(double rate);
+
+  /// Pareto (power-law tail) with scale x_min > 0 and shape alpha > 0.
+  double pareto(double x_min, double alpha);
+
+  /// Zipf-like integer in [1, n]: P(k) proportional to k^-s, drawn by
+  /// inversion on the precomputed CDF supplied by ZipfTable (see below) —
+  /// this overload is for small n and builds the table on the fly.
+  std::uint64_t zipf(std::uint64_t n, double s);
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) in selection order.
+  std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+  /// Derive an independent child generator; the child stream does not
+  /// overlap with this one for any practical output volume.
+  Rng fork() { return Rng(mix64((*this)(), (*this)())); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+};
+
+/// Precomputed CDF for repeated Zipf draws over a fixed support size.
+class ZipfTable {
+ public:
+  ZipfTable(std::size_t n, double exponent);
+
+  /// Draws a value in [1, n].
+  std::size_t draw(Rng& rng) const;
+
+  std::size_t support() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace dosn::util

@@ -1,0 +1,115 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace dosn::util {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double delta = other.mean_ - mean_;
+  const auto n1 = static_cast<double>(n_);
+  const auto n2 = static_cast<double>(other.n_);
+  const double total = n1 + n2;
+  mean_ += delta * n2 / total;
+  m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  DOSN_ASSERT_MSG(n_ > 0, "min() of empty RunningStats");
+  return min_;
+}
+
+double RunningStats::max() const {
+  DOSN_ASSERT_MSG(n_ > 0, "max() of empty RunningStats");
+  return max_;
+}
+
+double percentile(std::span<const double> values, double q) {
+  DOSN_REQUIRE(!values.empty(), "percentile of empty sample");
+  DOSN_REQUIRE(q >= 0.0 && q <= 1.0, "percentile rank must be in [0,1]");
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double mean_of(std::span<const double> values) {
+  RunningStats s;
+  for (double v : values) s.add(v);
+  return s.mean();
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0.0) {
+  DOSN_REQUIRE(hi > lo, "Histogram: hi must exceed lo");
+  DOSN_REQUIRE(bins > 0, "Histogram: need at least one bin");
+}
+
+void Histogram::add(double x, double weight) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto raw = static_cast<long long>(std::floor((x - lo_) / width));
+  raw = std::clamp<long long>(raw, 0,
+                              static_cast<long long>(counts_.size()) - 1);
+  counts_[static_cast<std::size_t>(raw)] += weight;
+  total_ += weight;
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return lo_ + width * static_cast<double>(i + 1);
+}
+
+std::vector<double> average_series(
+    const std::vector<std::vector<double>>& runs) {
+  DOSN_REQUIRE(!runs.empty(), "average_series: no runs");
+  const std::size_t n = runs.front().size();
+  for (const auto& run : runs)
+    DOSN_REQUIRE(run.size() == n, "average_series: run length mismatch");
+  std::vector<double> out(n, 0.0);
+  for (const auto& run : runs)
+    for (std::size_t i = 0; i < n; ++i) out[i] += run[i];
+  for (auto& v : out) v /= static_cast<double>(runs.size());
+  return out;
+}
+
+}  // namespace dosn::util

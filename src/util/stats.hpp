@@ -1,0 +1,76 @@
+// Small statistics toolkit used by the experiment drivers: running moments,
+// percentiles, fixed-bin histograms and series averaging across repetitions.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dosn::util {
+
+/// Single-pass accumulator for mean / variance / min / max (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+
+  /// Merge another accumulator (parallel Welford combination).
+  void merge(const RunningStats& other);
+
+  std::size_t count() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return mean() * static_cast<double>(n_); }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics; `q` in [0, 1]. The input span is copied and sorted.
+double percentile(std::span<const double> values, double q);
+
+double mean_of(std::span<const double> values);
+
+/// Fixed-width histogram over [lo, hi); values outside are clamped into the
+/// first/last bin so that totals are preserved.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x, double weight = 1.0);
+
+  std::size_t bins() const { return counts_.size(); }
+  double bin_lo(std::size_t i) const;
+  double bin_hi(std::size_t i) const;
+  double count(std::size_t i) const { return counts_[i]; }
+  double total() const { return total_; }
+
+ private:
+  double lo_, hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Element-wise mean of equally sized series; used for "repeat 5 times and
+/// average" experiment repetitions. Throws ConfigError on shape mismatch.
+std::vector<double> average_series(
+    const std::vector<std::vector<double>>& runs);
+
+/// A named (x, y) series, the unit all experiment harnesses report in.
+struct Series {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+}  // namespace dosn::util

@@ -1,0 +1,33 @@
+// String utilities for the trace parsers and report writers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosn::util {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+std::string_view trim(std::string_view s);
+
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Strict integer parse of the whole field; throws ParseError on junk.
+std::int64_t parse_i64(std::string_view s);
+
+/// Strict double parse of the whole field; throws ParseError on junk.
+double parse_f64(std::string_view s);
+
+/// printf-style helper returning std::string.
+std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/// Human-readable duration, e.g. "17.3 h", "42 min", "980 s".
+std::string format_duration_s(double seconds);
+
+}  // namespace dosn::util

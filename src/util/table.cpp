@@ -1,0 +1,51 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace dosn::util {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TextTable::add_row(const std::string& label,
+                        const std::vector<double>& values, const char* fmt) {
+  std::vector<std::string> cells{label};
+  for (double v : values) cells.push_back(format(fmt, v));
+  add_row(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size() && i < widths.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string{};
+      os << c << std::string(widths[i] - c.size(), ' ');
+      if (i + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+  };
+  emit(header_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+}  // namespace dosn::util

@@ -1,0 +1,27 @@
+// Aligned plain-text tables for console reports.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dosn::util {
+
+/// Collects rows of string cells and renders them column-aligned.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: first cell is a label, the rest are formatted numbers.
+  void add_row(const std::string& label, const std::vector<double>& values,
+               const char* fmt = "%.3f");
+
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace dosn::util

@@ -1,0 +1,307 @@
+// Unit tests for the DOSN core: version vectors, profiles (eventual
+// consistency), and the network-wide replica manager.
+#include <gtest/gtest.h>
+
+#include "core/profile.hpp"
+#include "core/replica_manager.hpp"
+#include "core/version_vector.hpp"
+#include "graph/social_graph.hpp"
+#include "util/error.hpp"
+
+namespace dosn::core {
+namespace {
+
+constexpr interval::Seconds kH = 3600;
+
+TEST(VersionVector, EmptyIsZeroEverywhere) {
+  VersionVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.seq_of(7), 0u);
+}
+
+TEST(VersionVector, AdvanceIsMonotone) {
+  VersionVector v;
+  v.advance(1, 5);
+  v.advance(1, 3);  // lowering ignored
+  EXPECT_EQ(v.seq_of(1), 5u);
+  v.advance(1, 9);
+  EXPECT_EQ(v.seq_of(1), 9u);
+  v.advance(2, 0);  // zero ignored
+  EXPECT_EQ(v.authors(), 1u);
+}
+
+TEST(VersionVector, MergeIsPointwiseMax) {
+  VersionVector a, b;
+  a.advance(1, 5);
+  a.advance(2, 1);
+  b.advance(1, 3);
+  b.advance(3, 7);
+  a.merge(b);
+  EXPECT_EQ(a.seq_of(1), 5u);
+  EXPECT_EQ(a.seq_of(2), 1u);
+  EXPECT_EQ(a.seq_of(3), 7u);
+}
+
+TEST(VersionVector, CompareOrderings) {
+  VersionVector a, b;
+  EXPECT_EQ(a.compare(b), Ordering::kEqual);
+  a.advance(1, 2);
+  EXPECT_EQ(a.compare(b), Ordering::kAfter);
+  EXPECT_EQ(b.compare(a), Ordering::kBefore);
+  b.advance(2, 1);
+  EXPECT_EQ(a.compare(b), Ordering::kConcurrent);
+  b.advance(1, 2);
+  a.advance(2, 1);
+  EXPECT_EQ(a.compare(b), Ordering::kEqual);
+}
+
+TEST(VersionVector, IncludesIsPartialOrder) {
+  VersionVector a, b;
+  a.advance(1, 3);
+  a.advance(2, 2);
+  b.advance(1, 2);
+  EXPECT_TRUE(a.includes(b));
+  EXPECT_FALSE(b.includes(a));
+  EXPECT_TRUE(a.includes(a));
+}
+
+TEST(VersionVector, ToString) {
+  VersionVector v;
+  v.advance(2, 3);
+  v.advance(1, 1);
+  EXPECT_EQ(v.to_string(), "{1:1 2:3}");
+}
+
+TEST(Profile, AppendAssignsSequentialIds) {
+  Profile p(0);
+  const auto& first = p.append(0, 100, "hello");
+  EXPECT_EQ(first.id, (PostId{0, 1}));
+  const auto& second = p.append(0, 200, "again");
+  EXPECT_EQ(second.id, (PostId{0, 2}));
+  EXPECT_EQ(p.size(), 2u);
+  EXPECT_EQ(p.version().seq_of(0), 2u);
+}
+
+TEST(Profile, PostsOrderedForDisplay) {
+  Profile p(0);
+  p.append(1, 300, "late");
+  p.append(2, 100, "early");
+  p.append(1, 200, "middle");
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_EQ(p.posts()[0].timestamp, 100);
+  EXPECT_EQ(p.posts()[1].timestamp, 200);
+  EXPECT_EQ(p.posts()[2].timestamp, 300);
+}
+
+TEST(Profile, InsertIgnoresDuplicates) {
+  Profile p(0);
+  Post post{{1, 1}, 50, "x"};
+  EXPECT_TRUE(p.insert(post));
+  EXPECT_FALSE(p.insert(post));
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Profile, InsertRejectsZeroSeq) {
+  Profile p(0);
+  EXPECT_THROW(p.insert(Post{{1, 0}, 50, "x"}), ConfigError);
+}
+
+TEST(Profile, FindAndContains) {
+  Profile p(0);
+  p.append(3, 10, "a");
+  EXPECT_TRUE(p.contains(PostId{3, 1}));
+  EXPECT_FALSE(p.contains(PostId{3, 2}));
+  const auto found = p.find(PostId{3, 1});
+  ASSERT_TRUE(found.has_value());
+  EXPECT_EQ(found->body, "a");
+}
+
+TEST(Profile, MergeIsIdempotentCommutativeAssociative) {
+  auto make = [](UserId author, int n, interval::Seconds base) {
+    Profile p(0);
+    for (int i = 0; i < n; ++i)
+      p.append(author, base + i, "post");
+    return p;
+  };
+  const auto a = make(1, 3, 100);
+  const auto b = make(2, 2, 50);
+  const auto c = make(3, 4, 200);
+
+  // Commutative.
+  Profile ab = a;
+  ab.merge(b);
+  Profile ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab.posts(), ba.posts());
+  EXPECT_EQ(ab.version(), ba.version());
+
+  // Idempotent.
+  Profile aa = a;
+  EXPECT_EQ(aa.merge(a), 0u);
+  EXPECT_EQ(aa.posts(), a.posts());
+
+  // Associative.
+  Profile ab_c = ab;
+  ab_c.merge(c);
+  Profile bc = b;
+  bc.merge(c);
+  Profile a_bc = a;
+  a_bc.merge(bc);
+  EXPECT_EQ(ab_c.posts(), a_bc.posts());
+}
+
+TEST(Profile, MergeCountsOnlyNewPosts) {
+  Profile a(0), b(0);
+  a.append(1, 10, "x");
+  b.merge(a);
+  EXPECT_EQ(b.size(), 1u);
+  a.append(1, 20, "y");
+  EXPECT_EQ(b.merge(a), 1u);
+}
+
+TEST(Profile, MissingForShipsExactlyTheGap) {
+  Profile a(0);
+  for (int i = 0; i < 5; ++i) a.append(1, 10 * i, "p");
+  VersionVector have;
+  have.advance(1, 2);
+  const auto missing = a.missing_for(have);
+  ASSERT_EQ(missing.size(), 3u);
+  for (const auto& post : missing) EXPECT_GT(post.id.seq, 2u);
+
+  // Applying the payload converges the replica.
+  Profile b(0);
+  Post p1{{1, 1}, 0, "p"}, p2{{1, 2}, 10, "p"};
+  b.insert(p1);
+  b.insert(p2);
+  for (const auto& post : missing) b.insert(post);
+  EXPECT_EQ(b.posts(), a.posts());
+  EXPECT_EQ(b.version(), a.version());
+}
+
+TEST(Profile, WallForEnforcesVisibility) {
+  Profile p(0);
+  Post pub{{1, 1}, 10, "public post", Visibility::kPublic};
+  Post priv{{1, 2}, 20, "friends only", Visibility::kFriendsOnly};
+  p.insert(pub);
+  p.insert(priv);
+
+  // Owner and friends see everything.
+  EXPECT_EQ(p.wall_for(0, false).size(), 2u);
+  EXPECT_EQ(p.wall_for(7, true).size(), 2u);
+  // Strangers see only public posts.
+  const auto stranger_view = p.wall_for(7, false);
+  ASSERT_EQ(stranger_view.size(), 1u);
+  EXPECT_EQ(stranger_view[0].body, "public post");
+}
+
+TEST(Profile, VisibilitySurvivesMerge) {
+  Profile a(0), b(0);
+  a.insert(Post{{1, 1}, 10, "secret", Visibility::kFriendsOnly});
+  b.merge(a);
+  EXPECT_EQ(b.wall_for(9, false).size(), 0u);
+  EXPECT_EQ(b.wall_for(9, true).size(), 1u);
+}
+
+TEST(Profile, DefaultVisibilityIsFriendsOnly) {
+  Profile p(0);
+  p.append(1, 10, "wall post");
+  EXPECT_TRUE(p.wall_for(9, false).empty());
+}
+
+// --- replica manager ---------------------------------------------------
+
+trace::Dataset line_dataset() {
+  // 0-1-2-3 path; everyone online in staggered overlapping windows.
+  graph::SocialGraphBuilder b(graph::GraphKind::kUndirected, 4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  trace::Dataset d;
+  d.name = "line";
+  d.graph = std::move(b).build();
+  d.trace = trace::ActivityTrace(4, {{1, 0, 9 * kH}, {2, 1, 10 * kH}});
+  return d;
+}
+
+std::vector<DaySchedule> staggered_schedules() {
+  std::vector<DaySchedule> s;
+  for (int i = 0; i < 4; ++i)
+    s.push_back(DaySchedule(interval::IntervalSet::single(
+        (8 + i) * kH, (11 + i) * kH)));
+  return s;
+}
+
+TEST(ReplicaManager, AssignsForAllUsersByDefault) {
+  const auto d = line_dataset();
+  const auto schedules = staggered_schedules();
+  AssignmentConfig cfg;
+  cfg.max_replicas = 2;
+  util::Rng rng(1);
+  const auto a = assign_replicas(d, schedules, cfg, rng);
+  EXPECT_EQ(a.users.size(), 4u);
+  EXPECT_EQ(a.replicas.size(), 4u);
+  EXPECT_EQ(a.host_load.size(), 4u);
+  // Every selected host must be a contact of the owner.
+  for (std::size_t i = 0; i < a.users.size(); ++i)
+    for (graph::UserId host : a.replicas[i])
+      EXPECT_TRUE(d.graph.has_edge(a.users[i], host));
+}
+
+TEST(ReplicaManager, CohortRestrictsUsers) {
+  const auto d = line_dataset();
+  const auto schedules = staggered_schedules();
+  AssignmentConfig cfg;
+  cfg.max_replicas = 1;
+  util::Rng rng(1);
+  const std::vector<graph::UserId> cohort{1, 2};
+  const auto a = assign_replicas(d, schedules, cfg, rng, cohort);
+  EXPECT_EQ(a.users, cohort);
+  EXPECT_EQ(a.replicas.size(), 2u);
+}
+
+TEST(ReplicaManager, HostLoadCountsPlacements) {
+  const auto d = line_dataset();
+  const auto schedules = staggered_schedules();
+  AssignmentConfig cfg;
+  cfg.max_replicas = 3;
+  util::Rng rng(1);
+  const auto a = assign_replicas(d, schedules, cfg, rng);
+  std::size_t total_load = 0, total_replicas = 0;
+  for (std::size_t load : a.host_load) total_load += load;
+  for (const auto& r : a.replicas) total_replicas += r.size();
+  EXPECT_EQ(total_load, total_replicas);
+  EXPECT_GT(total_replicas, 0u);
+  EXPECT_GT(a.average_replication_degree(), 0.0);
+}
+
+TEST(ReplicaManager, ScheduleCountValidated) {
+  const auto d = line_dataset();
+  AssignmentConfig cfg;
+  util::Rng rng(1);
+  std::vector<DaySchedule> wrong(2);
+  EXPECT_THROW(assign_replicas(d, wrong, cfg, rng), ConfigError);
+}
+
+TEST(LoadStats, UniformLoadHasZeroGini) {
+  const std::vector<std::size_t> even{3, 3, 3, 3};
+  const auto s = load_stats(even);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_EQ(s.max, 3u);
+  EXPECT_NEAR(s.gini, 0.0, 1e-9);
+}
+
+TEST(LoadStats, ConcentratedLoadNearOne) {
+  const std::vector<std::size_t> skewed{0, 0, 0, 0, 0, 0, 0, 0, 0, 10};
+  const auto s = load_stats(skewed);
+  EXPECT_GT(s.gini, 0.85);
+  EXPECT_EQ(s.max, 10u);
+}
+
+TEST(LoadStats, EmptyAndZeroSafe) {
+  EXPECT_DOUBLE_EQ(load_stats({}).gini, 0.0);
+  const std::vector<std::size_t> zeros{0, 0};
+  EXPECT_DOUBLE_EQ(load_stats(zeros).gini, 0.0);
+}
+
+}  // namespace
+}  // namespace dosn::core

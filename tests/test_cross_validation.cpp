@@ -1,0 +1,124 @@
+// Cross-validation between the three layers of the delay story on the
+// same inputs: the analytic worst case, the instant-exchange simulator,
+// and the message-level gossip protocol. Also fuzzes DHT churn.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "metrics/delay.hpp"
+#include "net/dht.hpp"
+#include "net/gossip.hpp"
+#include "net/replica_sim.hpp"
+#include "util/rng.hpp"
+
+namespace dosn {
+namespace {
+
+using interval::DaySchedule;
+using interval::IntervalSet;
+using interval::kDaySeconds;
+using interval::Seconds;
+
+DaySchedule random_schedule(util::Rng& rng, int pieces) {
+  IntervalSet s;
+  for (int i = 0; i < pieces; ++i) {
+    const Seconds start = rng.range(0, kDaySeconds - 4 * 3600);
+    const Seconds len = rng.range(1800, 3 * 3600);
+    s.add(start, start + len);
+  }
+  return DaySchedule(std::move(s));
+}
+
+class GossipVsInstant : public ::testing::TestWithParam<std::uint64_t> {};
+
+// For identical schedules and updates, the gossip protocol can never beat
+// the instant-exchange model: every gossip delivery implies an instant-
+// model delivery, no earlier than it.
+TEST_P(GossipVsInstant, GossipNeverBeatsInstantExchange) {
+  util::Rng rng(GetParam());
+  const std::size_t n = 3 + rng.below(3);
+  std::vector<DaySchedule> nodes;
+  for (std::size_t i = 0; i < n; ++i)
+    nodes.push_back(random_schedule(rng, 1 + static_cast<int>(rng.below(3))));
+
+  const int horizon = 20;
+  const auto specs = net::updates_within_schedules(nodes, 40, horizon - 8,
+                                                   rng);
+
+  net::ReplicaSimConfig instant_cfg;
+  instant_cfg.horizon_days = horizon;
+  const auto instant = net::simulate_replica_group(nodes, specs, instant_cfg);
+
+  std::vector<net::GossipWrite> writes;
+  for (const auto& s : specs)
+    writes.push_back({s.time, s.origin, /*author=*/1});
+  net::GossipConfig gossip_cfg;
+  gossip_cfg.sync_period = 120;
+  gossip_cfg.link_latency = 1;
+  gossip_cfg.horizon_days = horizon;
+  util::Rng grng = rng.fork();
+  const auto gossip = net::simulate_gossip(nodes, writes, gossip_cfg, grng);
+
+  for (std::size_t w = 0; w < specs.size(); ++w) {
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      const auto& g = gossip.arrival[w][i];
+      const auto& ideal = instant.deliveries[w].arrival[i];
+      if (g.has_value()) {
+        // Anything gossip delivered, the instant model delivered too —
+        // and no later.
+        ASSERT_TRUE(ideal.has_value());
+        EXPECT_LE(*ideal, *g);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GossipVsInstant,
+                         ::testing::Values(3, 14, 159, 2653));
+
+class DhtChurn : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random join/leave/put/get sequences: the ring must always serve every
+// key that has at least one surviving responsible holder, and lookups
+// must always find the true owner.
+TEST_P(DhtChurn, ConsistentUnderRandomChurn) {
+  util::Rng rng(GetParam());
+  net::DhtRing ring(2);
+  std::set<std::uint64_t> members;
+  std::set<std::string> keys;
+  std::uint64_t next_id = 1;
+
+  for (int step = 0; step < 150; ++step) {
+    const double action = rng.uniform();
+    if (action < 0.3 || members.size() < 3) {
+      ring.join(next_id);
+      members.insert(next_id);
+      ++next_id;
+    } else if (action < 0.45 && members.size() > 3) {
+      const auto victim = *std::next(
+          members.begin(),
+          static_cast<std::ptrdiff_t>(rng.below(members.size())));
+      ring.leave(victim);  // graceful leave: keys hand off
+      members.erase(victim);
+    } else if (action < 0.75) {
+      const auto key = "k" + std::to_string(rng.below(60));
+      ring.put(key, "v-" + key);
+      keys.insert(key);
+    } else if (!keys.empty()) {
+      const auto key = *std::next(
+          keys.begin(), static_cast<std::ptrdiff_t>(rng.below(keys.size())));
+      // Graceful-leave model: every stored key stays retrievable.
+      const auto value = ring.get(key);
+      ASSERT_TRUE(value.has_value()) << key;
+      EXPECT_EQ(*value, "v-" + key);
+      // Lookup routes to the owner.
+      EXPECT_EQ(ring.lookup(key, rng).owner, ring.responsible_nodes(key)[0]);
+    }
+  }
+  EXPECT_EQ(ring.size(), members.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DhtChurn, ::testing::Values(7, 77, 777));
+
+}  // namespace
+}  // namespace dosn

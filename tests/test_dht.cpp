@@ -1,0 +1,164 @@
+// Tests for the Chord-style DHT relay substrate.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "net/dht.hpp"
+#include "util/error.hpp"
+#include "util/stats.hpp"
+
+namespace dosn::net {
+namespace {
+
+DhtRing ring_of(std::size_t n, std::size_t replication = 2) {
+  DhtRing ring(replication);
+  for (std::uint64_t id = 1; id <= n; ++id) ring.join(id);
+  return ring;
+}
+
+TEST(Dht, RingHashDeterministicAndSpread) {
+  EXPECT_EQ(ring_hash("a"), ring_hash("a"));
+  EXPECT_NE(ring_hash("a"), ring_hash("b"));
+  // Rough uniformity: bucket 1000 keys into 8 ranges.
+  std::vector<int> buckets(8, 0);
+  for (int i = 0; i < 1000; ++i)
+    ++buckets[ring_hash("key" + std::to_string(i)) >> 61];
+  for (int c : buckets) EXPECT_GT(c, 60);
+}
+
+TEST(Dht, JoinLeaveMembership) {
+  DhtRing ring(1);
+  EXPECT_EQ(ring.size(), 0u);
+  ring.join(7);
+  EXPECT_TRUE(ring.contains_node(7));
+  EXPECT_EQ(ring.size(), 1u);
+  ring.leave(7);
+  EXPECT_FALSE(ring.contains_node(7));
+  ring.leave(7);  // idempotent
+  EXPECT_THROW(ring.put("k", "v"), ConfigError);
+}
+
+TEST(Dht, RejectsDuplicateJoin) {
+  DhtRing ring(1);
+  ring.join(3);
+  EXPECT_THROW(ring.join(3), ConfigError);
+}
+
+TEST(Dht, PutGetRoundTrip) {
+  auto ring = ring_of(10);
+  ring.put("profile:1", "hello");
+  ring.put("profile:2", "world");
+  EXPECT_EQ(ring.get("profile:1"), "hello");
+  EXPECT_EQ(ring.get("profile:2"), "world");
+  EXPECT_EQ(ring.get("missing"), std::nullopt);
+}
+
+TEST(Dht, OverwriteReplacesValue) {
+  auto ring = ring_of(5);
+  ring.put("k", "v1");
+  ring.put("k", "v2");
+  EXPECT_EQ(ring.get("k"), "v2");
+}
+
+TEST(Dht, ReplicationStoresOnDistinctNodes) {
+  auto ring = ring_of(10, 3);
+  const auto owners = ring.responsible_nodes("some-key");
+  ASSERT_EQ(owners.size(), 3u);
+  const std::set<std::uint64_t> unique(owners.begin(), owners.end());
+  EXPECT_EQ(unique.size(), 3u);
+  ring.put("some-key", "v");
+  EXPECT_EQ(ring.stored_entries(), 3u);
+}
+
+TEST(Dht, SurvivesSingleReplicaFailure) {
+  auto ring = ring_of(10, 2);
+  ring.put("k", "v");
+  const auto owners = ring.responsible_nodes("k");
+  EXPECT_EQ(ring.get("k", owners[0]), "v");  // owner down: replica serves
+  EXPECT_EQ(ring.get("k", owners[1]), "v");
+}
+
+TEST(Dht, SingleReplicaLosesDataOnFailure) {
+  auto ring = ring_of(10, 1);
+  ring.put("k", "v");
+  const auto owners = ring.responsible_nodes("k");
+  EXPECT_EQ(ring.get("k", owners[0]), std::nullopt);
+}
+
+TEST(Dht, KeysMoveOnJoin) {
+  DhtRing ring(1);
+  for (std::uint64_t id = 1; id <= 4; ++id) ring.join(id);
+  for (int i = 0; i < 60; ++i)
+    ring.put("key" + std::to_string(i), "v" + std::to_string(i));
+  for (std::uint64_t id = 100; id <= 130; ++id) ring.join(id);
+  // Every key still resolves and lives on its current owner.
+  util::Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    const auto key = "key" + std::to_string(i);
+    EXPECT_EQ(ring.get(key), "v" + std::to_string(i));
+    EXPECT_EQ(ring.lookup(key, rng).owner, ring.responsible_nodes(key)[0]);
+  }
+}
+
+TEST(Dht, KeysSurviveLeave) {
+  auto ring = ring_of(12, 2);
+  for (int i = 0; i < 40; ++i)
+    ring.put("key" + std::to_string(i), "v" + std::to_string(i));
+  // Remove a third of the nodes one by one.
+  for (std::uint64_t id = 1; id <= 4; ++id) ring.leave(id);
+  for (int i = 0; i < 40; ++i)
+    EXPECT_EQ(ring.get("key" + std::to_string(i)), "v" + std::to_string(i));
+}
+
+TEST(Dht, LookupFindsTrueOwner) {
+  auto ring = ring_of(64);
+  util::Rng rng(2);
+  for (int i = 0; i < 200; ++i) {
+    const auto key = "k" + std::to_string(i);
+    const auto result = ring.lookup(key, rng);
+    EXPECT_EQ(result.owner, ring.responsible_nodes(key)[0]);
+  }
+}
+
+TEST(Dht, LookupHopsLogarithmic) {
+  util::Rng rng(3);
+  // Mean hops should grow ~log2(n)/2; verify it stays well below n.
+  for (const std::size_t n : {16u, 256u}) {
+    auto ring = ring_of(n);
+    util::RunningStats hops;
+    for (int i = 0; i < 300; ++i)
+      hops.add(static_cast<double>(
+          ring.lookup("k" + std::to_string(i), rng).hops));
+    const double log2n = std::log2(static_cast<double>(n));
+    EXPECT_LE(hops.mean(), log2n + 2.0) << "n=" << n;
+    EXPECT_GE(hops.mean(), 0.5) << "n=" << n;
+  }
+}
+
+TEST(Dht, SingleNodeOwnsEverything) {
+  DhtRing ring(3);
+  ring.join(42);
+  util::Rng rng(4);
+  const auto r = ring.lookup("anything", rng);
+  EXPECT_EQ(r.owner, 42u);
+  EXPECT_EQ(r.hops, 0u);
+  ring.put("k", "v");
+  EXPECT_EQ(ring.get("k"), "v");
+  EXPECT_EQ(ring.stored_entries(), 1u);  // replication clamped to ring size
+}
+
+TEST(Dht, StorageRoughlyBalanced) {
+  auto ring = ring_of(32, 1);
+  for (int i = 0; i < 3200; ++i) ring.put("key" + std::to_string(i), "v");
+  // Consistent hashing without virtual nodes is skewed but no node should
+  // hold the majority.
+  std::size_t max_at = 0;
+  for (std::uint64_t id = 1; id <= 32; ++id)
+    max_at = std::max(max_at, ring.entries_at(id));
+  EXPECT_LT(max_at, 3200u / 2);
+  EXPECT_EQ(ring.stored_entries(), 3200u);
+}
+
+}  // namespace
+}  // namespace dosn::net

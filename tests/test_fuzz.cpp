@@ -1,0 +1,192 @@
+// Reference-model fuzzing: the optimized data structures are checked
+// against deliberately naive implementations on thousands of random
+// inputs — a second, independent implementation of the same semantics.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "interval/day_schedule.hpp"
+#include "interval/interval_set.hpp"
+#include "net/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace dosn {
+namespace {
+
+using interval::DaySchedule;
+using interval::Interval;
+using interval::IntervalSet;
+using interval::kDaySeconds;
+using interval::Seconds;
+
+/// Naive reference: a set of covered integer points on a coarse grid.
+class PointSet {
+ public:
+  void add(Seconds start, Seconds end) {
+    for (Seconds t = start; t < end; ++t) points_.insert(t);
+  }
+  static PointSet of(const IntervalSet& s) {
+    PointSet p;
+    for (const auto& iv : s.pieces()) p.add(iv.start, iv.end);
+    return p;
+  }
+  PointSet unite(const PointSet& o) const {
+    PointSet r = *this;
+    r.points_.insert(o.points_.begin(), o.points_.end());
+    return r;
+  }
+  PointSet intersect(const PointSet& o) const {
+    PointSet r;
+    for (Seconds t : points_)
+      if (o.points_.count(t)) r.points_.insert(t);
+    return r;
+  }
+  PointSet subtract(const PointSet& o) const {
+    PointSet r;
+    for (Seconds t : points_)
+      if (!o.points_.count(t)) r.points_.insert(t);
+    return r;
+  }
+  std::size_t size() const { return points_.size(); }
+  bool contains(Seconds t) const { return points_.count(t) > 0; }
+  bool operator==(const PointSet&) const = default;
+
+ private:
+  std::set<Seconds> points_;
+};
+
+IntervalSet random_set(util::Rng& rng, Seconds universe, int max_pieces) {
+  IntervalSet s;
+  const auto pieces = rng.below(static_cast<std::uint64_t>(max_pieces) + 1);
+  for (std::uint64_t i = 0; i < pieces; ++i) {
+    const Seconds start = rng.range(0, universe - 2);
+    const Seconds len = rng.range(1, std::min<Seconds>(40, universe - start));
+    s.add(start, start + len);
+  }
+  return s;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeeds, IntervalAlgebraMatchesPointSet) {
+  util::Rng rng(GetParam());
+  constexpr Seconds kUniverse = 300;  // small so PointSet stays cheap
+  for (int round = 0; round < 120; ++round) {
+    const auto a = random_set(rng, kUniverse, 5);
+    const auto b = random_set(rng, kUniverse, 5);
+    const auto pa = PointSet::of(a);
+    const auto pb = PointSet::of(b);
+
+    EXPECT_EQ(PointSet::of(a.unite(b)), pa.unite(pb));
+    EXPECT_EQ(PointSet::of(a.intersect(b)), pa.intersect(pb));
+    EXPECT_EQ(PointSet::of(a.subtract(b)), pa.subtract(pb));
+    EXPECT_EQ(static_cast<std::size_t>(a.measure()), pa.size());
+    EXPECT_EQ(static_cast<std::size_t>(a.intersection_measure(b)),
+              pa.intersect(pb).size());
+
+    const Seconds probe = rng.range(0, kUniverse);
+    EXPECT_EQ(a.contains(probe), pa.contains(probe));
+    EXPECT_EQ(a.intersects(b), pa.intersect(pb).size() > 0);
+
+    const Seconds lo = rng.range(0, kUniverse - 2);
+    const Seconds hi = rng.range(lo + 1, kUniverse);
+    EXPECT_EQ(static_cast<std::size_t>(a.measure_within(lo, hi)),
+              pa.intersect(PointSet::of(IntervalSet::single(lo, hi))).size());
+  }
+}
+
+TEST_P(FuzzSeeds, NextAtOrAfterMatchesScan) {
+  util::Rng rng(GetParam() + 100);
+  for (int round = 0; round < 100; ++round) {
+    const auto a = random_set(rng, 300, 5);
+    const auto pa = PointSet::of(a);
+    const Seconds t = rng.range(0, 320);
+    std::optional<Seconds> expected;
+    for (Seconds probe = t; probe < 340; ++probe) {
+      if (pa.contains(probe)) {
+        expected = probe;
+        break;
+      }
+    }
+    EXPECT_EQ(a.next_at_or_after(t), expected);
+  }
+}
+
+TEST_P(FuzzSeeds, WaitUntilOnlineMatchesScan) {
+  util::Rng rng(GetParam() + 200);
+  for (int round = 0; round < 40; ++round) {
+    // Coarse schedules: pieces aligned to 10-minute slots.
+    IntervalSet s;
+    const auto pieces = 1 + rng.below(4);
+    for (std::uint64_t i = 0; i < pieces; ++i) {
+      const Seconds start = rng.range(0, 143) * 600;
+      const Seconds len = rng.range(1, 6) * 600;
+      s.add(start, std::min(start + len, kDaySeconds));
+    }
+    const DaySchedule sched(std::move(s));
+    for (int probe = 0; probe < 20; ++probe) {
+      const Seconds t = rng.range(0, kDaySeconds - 1);
+      const auto wait = sched.wait_until_online(t);
+      ASSERT_TRUE(wait.has_value());
+      // The answer is an online instant...
+      EXPECT_TRUE(sched.online_at(t + *wait));
+      // ...and nothing earlier is (scan at minute granularity; schedule
+      // boundaries are 10-minute aligned so a minute grid cannot miss an
+      // online stretch).
+      for (Seconds w = 0; w < *wait; w += 60)
+        EXPECT_FALSE(sched.online_at(t + w)) << "t=" << t << " w=" << w;
+    }
+  }
+}
+
+TEST_P(FuzzSeeds, OnlineWithinWindowMatchesMinuteScan) {
+  util::Rng rng(GetParam() + 300);
+  for (int round = 0; round < 30; ++round) {
+    IntervalSet s;
+    const auto pieces = 1 + rng.below(4);
+    for (std::uint64_t i = 0; i < pieces; ++i) {
+      const Seconds start = rng.range(0, 1430) * 60;
+      const Seconds len = rng.range(1, 120) * 60;
+      s.add(start, std::min(start + len, kDaySeconds));
+    }
+    const DaySchedule sched(std::move(s));
+    const Seconds t = rng.range(0, 1439) * 60;
+    const Seconds len = rng.range(1, 3000) * 60;  // up to ~2 days
+
+    Seconds brute = 0;
+    for (Seconds m = 0; m < len; m += 60)
+      if (sched.online_at(t + m)) brute += 60;
+    EXPECT_EQ(sched.online_within_window(t, len), brute);
+  }
+}
+
+TEST_P(FuzzSeeds, EventQueueMatchesSortedReplay) {
+  util::Rng rng(GetParam() + 400);
+  for (int round = 0; round < 20; ++round) {
+    const std::size_t n = 50 + rng.below(100);
+    std::vector<std::pair<net::SimTime, int>> scheduled;
+    net::EventQueue queue;
+    std::vector<int> fired;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto t = static_cast<net::SimTime>(rng.below(40));
+      const int tag = static_cast<int>(i);
+      scheduled.emplace_back(t, tag);
+      queue.schedule(t, [&fired, tag] { fired.push_back(tag); });
+    }
+    queue.run_all();
+
+    std::stable_sort(scheduled.begin(), scheduled.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    ASSERT_EQ(fired.size(), scheduled.size());
+    for (std::size_t i = 0; i < fired.size(); ++i)
+      EXPECT_EQ(fired[i], scheduled[i].second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace dosn

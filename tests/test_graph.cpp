@@ -1,0 +1,162 @@
+// Unit tests for the CSR social graph and degree statistics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/degree_stats.hpp"
+#include "graph/social_graph.hpp"
+#include "util/error.hpp"
+
+namespace dosn::graph {
+namespace {
+
+SocialGraph undirected_triangle_plus_leaf() {
+  SocialGraphBuilder b(GraphKind::kUndirected, 4);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  return std::move(b).build();
+}
+
+TEST(SocialGraph, EmptyGraph) {
+  SocialGraph g;
+  EXPECT_EQ(g.num_users(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_EQ(g.average_degree(), 0.0);
+}
+
+TEST(SocialGraph, UndirectedBasics) {
+  auto g = undirected_triangle_plus_leaf();
+  EXPECT_EQ(g.num_users(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(2), 3u);
+  EXPECT_EQ(g.degree(3), 1u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 3));
+}
+
+TEST(SocialGraph, UndirectedNeighborsSorted) {
+  auto g = undirected_triangle_plus_leaf();
+  const auto n2 = g.contacts(2);
+  EXPECT_TRUE(std::is_sorted(n2.begin(), n2.end()));
+  EXPECT_EQ(std::vector<UserId>(n2.begin(), n2.end()),
+            (std::vector<UserId>{0, 1, 3}));
+}
+
+TEST(SocialGraph, DuplicateAndSelfEdgesDropped) {
+  SocialGraphBuilder b(GraphKind::kUndirected, 3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // duplicate in reverse
+  b.add_edge(0, 1);  // duplicate
+  b.add_edge(2, 2);  // self loop
+  auto g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.degree(2), 0u);
+}
+
+TEST(SocialGraph, BuilderRejectsOutOfRange) {
+  SocialGraphBuilder b(GraphKind::kUndirected, 2);
+  EXPECT_THROW(b.add_edge(0, 2), ConfigError);
+}
+
+TEST(SocialGraph, DirectedFollowSemantics) {
+  // 0 follows 1, 2 follows 1, 1 follows 2.
+  SocialGraphBuilder b(GraphKind::kDirected, 3);
+  b.add_edge(0, 1);
+  b.add_edge(2, 1);
+  b.add_edge(1, 2);
+  auto g = std::move(b).build();
+
+  EXPECT_EQ(g.num_edges(), 3u);
+  // out = followees, in = followers, contacts = followers.
+  EXPECT_EQ(std::vector<UserId>(g.out_neighbors(0).begin(),
+                                g.out_neighbors(0).end()),
+            (std::vector<UserId>{1}));
+  EXPECT_EQ(std::vector<UserId>(g.in_neighbors(1).begin(),
+                                g.in_neighbors(1).end()),
+            (std::vector<UserId>{0, 2}));
+  EXPECT_EQ(g.degree(1), 2u);  // follower count
+  EXPECT_EQ(g.degree(0), 0u);  // nobody follows 0
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));  // directed
+}
+
+TEST(SocialGraph, DirectedEdgesAreNotSymmetrized) {
+  SocialGraphBuilder b(GraphKind::kDirected, 2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);  // both directions: two distinct edges
+  auto g = std::move(b).build();
+  EXPECT_EQ(g.num_edges(), 2u);
+}
+
+TEST(SocialGraph, AverageDegreeUndirected) {
+  auto g = undirected_triangle_plus_leaf();
+  // Degrees 2,2,3,1 -> mean 2.
+  EXPECT_DOUBLE_EQ(g.average_degree(), 2.0);
+}
+
+TEST(SocialGraph, InducedSubgraphRenumbers) {
+  auto g = undirected_triangle_plus_leaf();
+  std::vector<bool> keep{true, false, true, true};
+  std::vector<UserId> old_ids;
+  auto sub = g.induced(keep, &old_ids);
+
+  EXPECT_EQ(sub.num_users(), 3u);
+  EXPECT_EQ(old_ids, (std::vector<UserId>{0, 2, 3}));
+  // Surviving edges: {0,2} -> {0,1}, {2,3} -> {1,2}.
+  EXPECT_EQ(sub.num_edges(), 2u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));
+}
+
+TEST(SocialGraph, InducedKeepsDirectedness) {
+  SocialGraphBuilder b(GraphKind::kDirected, 3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  auto g = std::move(b).build();
+  std::vector<bool> keep{true, true, false};
+  auto sub = g.induced(keep);
+  EXPECT_EQ(sub.kind(), GraphKind::kDirected);
+  EXPECT_EQ(sub.num_edges(), 1u);
+  EXPECT_TRUE(sub.has_edge(0, 1));
+}
+
+TEST(SocialGraph, InducedRejectsBadMask) {
+  auto g = undirected_triangle_plus_leaf();
+  EXPECT_THROW(g.induced(std::vector<bool>{true}), ConfigError);
+}
+
+TEST(DegreeStats, Histogram) {
+  auto g = undirected_triangle_plus_leaf();
+  const auto h = degree_histogram(g);
+  ASSERT_EQ(h.size(), 4u);  // max degree 3
+  EXPECT_EQ(h[0], 0u);
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 2u);
+  EXPECT_EQ(h[3], 1u);
+}
+
+TEST(DegreeStats, UsersWithDegree) {
+  auto g = undirected_triangle_plus_leaf();
+  EXPECT_EQ(users_with_degree(g, 2), (std::vector<UserId>{0, 1}));
+  EXPECT_EQ(users_with_degree(g, 3), (std::vector<UserId>{2}));
+  EXPECT_TRUE(users_with_degree(g, 7).empty());
+}
+
+TEST(DegreeStats, UsersWithDegreeBetween) {
+  auto g = undirected_triangle_plus_leaf();
+  EXPECT_EQ(users_with_degree_between(g, 1, 2).size(), 3u);
+  EXPECT_THROW(users_with_degree_between(g, 3, 1), ConfigError);
+}
+
+TEST(DegreeStats, MostPopulatedDegree) {
+  auto g = undirected_triangle_plus_leaf();
+  EXPECT_EQ(most_populated_degree(g, 1, 3), 2u);
+}
+
+}  // namespace
+}  // namespace dosn::graph

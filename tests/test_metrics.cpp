@@ -1,0 +1,130 @@
+// Unit tests for the availability metrics (Sec II-C).
+#include <gtest/gtest.h>
+
+#include "metrics/availability.hpp"
+#include "util/error.hpp"
+
+namespace dosn::metrics {
+namespace {
+
+constexpr Seconds kH = 3600;
+
+DaySchedule window(Seconds start_h, Seconds end_h) {
+  return DaySchedule(interval::IntervalSet::single(start_h * kH, end_h * kH));
+}
+
+TEST(Availability, OwnerOnlyIsOwnCoverage) {
+  const auto owner = window(8, 14);
+  EXPECT_DOUBLE_EQ(availability(owner, {}), 0.25);
+}
+
+TEST(Availability, ReplicasExtendCoverage) {
+  const auto owner = window(8, 10);
+  std::vector<DaySchedule> reps{window(9, 12), window(20, 22)};
+  // Union: 08-12 and 20-22 = 6h.
+  EXPECT_DOUBLE_EQ(availability(owner, reps), 0.25);
+}
+
+TEST(Availability, OverlapNotDoubleCounted) {
+  const auto owner = window(8, 12);
+  std::vector<DaySchedule> reps{window(8, 12), window(8, 12)};
+  EXPECT_DOUBLE_EQ(availability(owner, reps), 4.0 / 24.0);
+}
+
+TEST(Availability, EmptyEverything) {
+  EXPECT_DOUBLE_EQ(availability(DaySchedule{}, {}), 0.0);
+}
+
+TEST(Availability, MaxAchievableUsesAllContacts) {
+  const auto owner = window(8, 10);
+  std::vector<DaySchedule> contacts{window(10, 14), window(20, 24)};
+  EXPECT_DOUBLE_EQ(max_achievable_availability(owner, contacts), 10.0 / 24.0);
+}
+
+TEST(AodTime, FullCoverageWhenReplicasCoverFriends) {
+  std::vector<DaySchedule> friends{window(9, 11), window(13, 15)};
+  const auto profile = window(8, 16);
+  EXPECT_DOUBLE_EQ(aod_time(friends, profile), 1.0);
+}
+
+TEST(AodTime, PartialCoverage) {
+  std::vector<DaySchedule> friends{window(8, 12)};  // demand: 4h
+  const auto profile = window(10, 20);              // covers 10-12
+  EXPECT_DOUBLE_EQ(aod_time(friends, profile), 0.5);
+}
+
+TEST(AodTime, VacuousWhenFriendsNeverOnline) {
+  std::vector<DaySchedule> friends{DaySchedule{}, DaySchedule{}};
+  EXPECT_DOUBLE_EQ(aod_time(friends, window(0, 1)), 1.0);
+  EXPECT_DOUBLE_EQ(aod_time({}, window(0, 1)), 1.0);
+}
+
+TEST(AodTime, ZeroWhenProfileNeverUp) {
+  std::vector<DaySchedule> friends{window(8, 12)};
+  EXPECT_DOUBLE_EQ(aod_time(friends, DaySchedule{}), 0.0);
+}
+
+TEST(AodTime, DemandIsUnionNotSum) {
+  // Two friends with identical 4h windows: demand is 4h, not 8h.
+  std::vector<DaySchedule> friends{window(8, 12), window(8, 12)};
+  const auto profile = window(10, 12);
+  EXPECT_DOUBLE_EQ(aod_time(friends, profile), 0.5);
+}
+
+class AodActivityTest : public ::testing::Test {
+ protected:
+  // Users: 0 = profile owner, 1..2 = friends.
+  // Schedules: friend 1 online 10-12, friend 2 online 20-22.
+  std::vector<DaySchedule> schedules_{window(8, 10), window(10, 12),
+                                      window(20, 22)};
+};
+
+TEST_F(AodActivityTest, CountsServedActivities) {
+  // Activities on 0's profile: 10:30 (by 1, expected), 21:00 (by 2,
+  // expected), 03:00 (by 1, unexpected — outside 1's online time).
+  trace::ActivityTrace trace(3, {{1, 0, 10 * kH + 1800},
+                                 {2, 0, 21 * kH},
+                                 {1, 0, 3 * kH}});
+  // Profile reachable 10-12 and 02-04.
+  const auto profile = DaySchedule(interval::IntervalSet(
+      {{10 * kH, 12 * kH}, {2 * kH, 4 * kH}}));
+  const auto r = aod_activity(trace, 0, profile, schedules_);
+  EXPECT_EQ(r.total_count, 3u);
+  EXPECT_EQ(r.expected_count, 2u);
+  EXPECT_DOUBLE_EQ(r.overall, 2.0 / 3.0);   // 10:30 and 03:00 served
+  EXPECT_DOUBLE_EQ(r.expected, 0.5);        // of {10:30, 21:00} only 10:30
+  EXPECT_DOUBLE_EQ(r.unexpected, 1.0);      // 03:00 served
+}
+
+TEST_F(AodActivityTest, NoActivitiesIsVacuouslyServed) {
+  trace::ActivityTrace trace(3, {});
+  const auto r = aod_activity(trace, 0, window(0, 1), schedules_);
+  EXPECT_EQ(r.total_count, 0u);
+  EXPECT_DOUBLE_EQ(r.overall, 1.0);
+}
+
+TEST_F(AodActivityTest, TimestampsProjectAcrossDays) {
+  // Same time-of-day on different absolute days hit the same window.
+  trace::ActivityTrace trace(
+      3, {{1, 0, 11 * kH}, {1, 0, 5 * interval::kDaySeconds + 11 * kH}});
+  const auto r = aod_activity(trace, 0, window(10, 12), schedules_);
+  EXPECT_DOUBLE_EQ(r.overall, 1.0);
+}
+
+TEST_F(AodActivityTest, OnlyReceiverActivitiesCount) {
+  // Activity received by user 1, not user 0.
+  trace::ActivityTrace trace(3, {{0, 1, 11 * kH}});
+  const auto r = aod_activity(trace, 0, DaySchedule{}, schedules_);
+  EXPECT_EQ(r.total_count, 0u);
+}
+
+TEST(ProfileSchedule, UnionOfOwnerAndReplicas) {
+  const auto owner = window(8, 10);
+  std::vector<DaySchedule> reps{window(9, 12)};
+  const auto p = profile_schedule(owner, reps);
+  EXPECT_EQ(p.online_seconds(), 4 * kH);
+  EXPECT_TRUE(p.online_at(11 * kH));
+}
+
+}  // namespace
+}  // namespace dosn::metrics

@@ -1,0 +1,197 @@
+// Unit tests for the online-time models (Sec IV-C semantics).
+#include <gtest/gtest.h>
+
+#include "graph/social_graph.hpp"
+#include "onlinetime/continuous.hpp"
+#include "onlinetime/model.hpp"
+#include "onlinetime/sporadic.hpp"
+#include "util/error.hpp"
+
+namespace dosn::onlinetime {
+namespace {
+
+using graph::GraphKind;
+using graph::SocialGraphBuilder;
+using interval::kDaySeconds;
+using interval::time_of_day;
+using trace::Activity;
+
+constexpr Seconds kH = 3600;
+
+trace::Dataset dataset_with(std::vector<Activity> acts, std::size_t users) {
+  SocialGraphBuilder b(GraphKind::kUndirected, users);
+  for (graph::UserId u = 1; u < users; ++u) b.add_edge(0, u);
+  trace::Dataset d;
+  d.name = "t";
+  d.graph = std::move(b).build();
+  d.trace = trace::ActivityTrace(users, std::move(acts));
+  return d;
+}
+
+TEST(Sporadic, SessionContainsActivityInstant) {
+  // One activity at day 2, 10:00.
+  const Seconds ts = 2 * kDaySeconds + 10 * kH;
+  auto d = dataset_with({{0, 1, ts}}, 2);
+  SporadicModel model(20 * 60);
+  util::Rng rng(1);
+  const auto scheds = model.schedules(d, rng);
+  ASSERT_EQ(scheds.size(), 2u);
+  EXPECT_TRUE(scheds[0].online_at(ts));
+  EXPECT_EQ(scheds[0].online_seconds(), 20 * 60);
+  // User 1 created nothing: never online.
+  EXPECT_TRUE(scheds[1].empty());
+}
+
+TEST(Sporadic, MultipleSessionsUnion) {
+  auto d = dataset_with({{0, 1, 10 * kH}, {0, 1, 20 * kH}}, 2);
+  SporadicModel model(20 * 60);
+  util::Rng rng(2);
+  const auto scheds = model.schedules(d, rng);
+  EXPECT_TRUE(scheds[0].online_at(10 * kH));
+  EXPECT_TRUE(scheds[0].online_at(20 * kH));
+  EXPECT_LE(scheds[0].online_seconds(), 40 * 60);
+}
+
+TEST(Sporadic, SessionLengthControlsCoverage) {
+  std::vector<Activity> acts;
+  for (int i = 0; i < 20; ++i)
+    acts.push_back({0, 0, static_cast<Seconds>(i) * kH + 30 * 60});
+  auto d = dataset_with(std::move(acts), 1);
+  util::Rng rng(3);
+  SporadicModel short_model(10 * 60);
+  SporadicModel long_model(4 * kH);
+  util::Rng rng2(3);
+  const auto short_s = short_model.schedules(d, rng)[0].online_seconds();
+  const auto long_s = long_model.schedules(d, rng2)[0].online_seconds();
+  EXPECT_LT(short_s, long_s);
+}
+
+TEST(Sporadic, WrapsMidnightSessions) {
+  // Activity at 00:05 with 20-minute sessions can start the prior evening.
+  auto d = dataset_with({{0, 1, kDaySeconds + 5 * 60}}, 2);
+  SporadicModel model(20 * 60);
+  util::Rng rng(4);
+  const auto scheds = model.schedules(d, rng);
+  EXPECT_EQ(scheds[0].online_seconds(), 20 * 60);
+  EXPECT_TRUE(scheds[0].online_at(5 * 60));
+}
+
+TEST(Sporadic, RejectsNonPositiveSession) {
+  EXPECT_THROW(SporadicModel(0), ConfigError);
+}
+
+TEST(Sporadic, NameIncludesLength) {
+  EXPECT_EQ(SporadicModel(1200).name(), "Sporadic(1200s)");
+}
+
+TEST(BestWindowStart, CoversActivityMode) {
+  // Seven activities near 21:00, two near 09:00: a 2h window must cover
+  // the evening cluster.
+  std::vector<Seconds> times;
+  for (int i = 0; i < 7; ++i) times.push_back(21 * kH + i * 60);
+  times.push_back(9 * kH);
+  times.push_back(9 * kH + 300);
+  const Seconds start = best_window_start(times, 2 * kH);
+  EXPECT_LE(start, 21 * kH);
+  EXPECT_GT(start + 2 * kH, 21 * kH + 6 * 60);
+}
+
+TEST(BestWindowStart, HandlesWrapAroundCluster) {
+  // Cluster straddling midnight: 23:30 and 00:10 (+ outlier at noon).
+  std::vector<Seconds> times{23 * kH + 30 * 60, 10 * 60, 12 * kH};
+  const Seconds start = best_window_start(times, 2 * kH);
+  // The best 2h window covers both midnight-straddling points.
+  const interval::Interval window{start, start + 2 * kH};
+  auto sched = interval::DaySchedule::project({&window, 1});
+  EXPECT_TRUE(sched.online_at(23 * kH + 30 * 60));
+  EXPECT_TRUE(sched.online_at(10 * 60));
+}
+
+TEST(BestWindowStart, EmptyTimesGiveZero) {
+  EXPECT_EQ(best_window_start({}, 2 * kH), 0);
+}
+
+TEST(FixedLength, WindowHasExactLength) {
+  auto d = dataset_with({{0, 1, 13 * kH}, {0, 1, 14 * kH}}, 2);
+  FixedLengthModel model(2.0);
+  util::Rng rng(5);
+  const auto scheds = model.schedules(d, rng);
+  EXPECT_EQ(scheds[0].online_seconds(), 2 * kH);
+  EXPECT_TRUE(scheds[0].online_at(13 * kH));
+}
+
+TEST(FixedLength, UserWithoutActivityGetsRandomWindow) {
+  auto d = dataset_with({{0, 1, 13 * kH}}, 3);
+  FixedLengthModel model(4.0);
+  util::Rng rng(6);
+  const auto scheds = model.schedules(d, rng);
+  EXPECT_EQ(scheds[2].online_seconds(), 4 * kH);  // still a full window
+}
+
+TEST(FixedLength, FullDayWindow) {
+  auto d = dataset_with({{0, 1, 13 * kH}}, 2);
+  FixedLengthModel model(24.0);
+  util::Rng rng(7);
+  const auto scheds = model.schedules(d, rng);
+  EXPECT_DOUBLE_EQ(scheds[0].coverage(), 1.0);
+}
+
+TEST(FixedLength, RejectsBadHours) {
+  EXPECT_THROW(FixedLengthModel(0.0), ConfigError);
+  EXPECT_THROW(FixedLengthModel(25.0), ConfigError);
+}
+
+TEST(RandomLength, WindowWithinRange) {
+  auto d = dataset_with({{0, 1, 13 * kH}}, 2);
+  RandomLengthModel model(2.0, 8.0);
+  util::Rng rng(8);
+  for (int round = 0; round < 10; ++round) {
+    const auto scheds = model.schedules(d, rng);
+    EXPECT_GE(scheds[0].online_seconds(), 2 * kH);
+    EXPECT_LE(scheds[0].online_seconds(), 8 * kH);
+  }
+}
+
+TEST(RandomLength, IsRandomized) {
+  RandomLengthModel model;
+  EXPECT_TRUE(model.randomized());
+  SporadicModel sporadic;
+  EXPECT_FALSE(sporadic.randomized());
+  FixedLengthModel fixed;
+  EXPECT_FALSE(fixed.randomized());
+}
+
+TEST(RandomLength, RejectsBadRange) {
+  EXPECT_THROW(RandomLengthModel(5.0, 2.0), ConfigError);
+  EXPECT_THROW(RandomLengthModel(0.0, 2.0), ConfigError);
+}
+
+TEST(ModelFactory, CreatesAllKinds) {
+  ModelParams params;
+  params.session_length = 600;
+  params.window_hours = 2.0;
+  EXPECT_EQ(make_model(ModelKind::kSporadic, params)->name(),
+            "Sporadic(600s)");
+  EXPECT_EQ(make_model(ModelKind::kFixedLength, params)->name(),
+            "FixedLength(2h)");
+  EXPECT_EQ(make_model(ModelKind::kRandomLength, params)->name(),
+            "RandomLength(2-8h)");
+  EXPECT_EQ(to_string(ModelKind::kSporadic), "Sporadic");
+}
+
+TEST(FixedLength, CentersOnActivityMajority) {
+  // 10 activities at 20:00-20:30, 3 at 06:00: window must cover evening.
+  std::vector<Activity> acts;
+  for (int i = 0; i < 10; ++i)
+    acts.push_back({0, 1, 20 * kH + i * 180});
+  for (int i = 0; i < 3; ++i) acts.push_back({0, 1, 6 * kH + i * 60});
+  auto d = dataset_with(std::move(acts), 2);
+  FixedLengthModel model(2.0);
+  util::Rng rng(9);
+  const auto scheds = model.schedules(d, rng);
+  EXPECT_TRUE(scheds[0].online_at(20 * kH + 15 * 60));
+  EXPECT_FALSE(scheds[0].online_at(6 * kH));
+}
+
+}  // namespace
+}  // namespace dosn::onlinetime

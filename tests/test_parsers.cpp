@@ -1,0 +1,158 @@
+// Unit tests for the dataset file parsers and writers (round-trips).
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "trace/parsers.hpp"
+#include "util/error.hpp"
+
+namespace dosn::trace {
+namespace {
+
+using graph::GraphKind;
+
+class ParsersTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::path(testing::TempDir()) / "dosn_parsers";
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string write_file(const std::string& name, const std::string& body) {
+    const auto path = (dir_ / name).string();
+    std::ofstream out(path);
+    out << body;
+    return path;
+  }
+
+  std::filesystem::path dir_;
+};
+
+TEST_F(ParsersTest, IdMapInternsDense) {
+  IdMap ids;
+  EXPECT_EQ(ids.intern("alice"), 0u);
+  EXPECT_EQ(ids.intern("bob"), 1u);
+  EXPECT_EQ(ids.intern("alice"), 0u);
+  EXPECT_EQ(ids.size(), 2u);
+  EXPECT_EQ(ids.name_of(1), "bob");
+  EXPECT_EQ(ids.find("bob"), 1u);
+  EXPECT_EQ(ids.find("nobody"), std::nullopt);
+}
+
+TEST_F(ParsersTest, EdgeListBasic) {
+  const auto path = write_file("g.edges",
+                               "# comment\n"
+                               "a b\n"
+                               "\n"
+                               "b c 123456\n"   // trailing field ignored
+                               "a c \\N\n");    // New Orleans style
+  IdMap ids;
+  const auto edges = load_edge_list(path, ids);
+  ASSERT_EQ(edges.size(), 3u);
+  EXPECT_EQ(ids.size(), 3u);
+  EXPECT_EQ(edges[0], RawEdge(0, 1));
+  EXPECT_EQ(edges[1], RawEdge(1, 2));
+}
+
+TEST_F(ParsersTest, EdgeListRejectsShortLine) {
+  const auto path = write_file("bad.edges", "justone\n");
+  IdMap ids;
+  EXPECT_THROW(load_edge_list(path, ids), ParseError);
+}
+
+TEST_F(ParsersTest, ActivitiesBasic) {
+  const auto path = write_file("t.activities",
+                               "% comment\n"
+                               "alice bob 100\n"
+                               "bob alice 200\n");
+  IdMap ids;
+  const auto acts = load_activities(path, ids);
+  ASSERT_EQ(acts.size(), 2u);
+  EXPECT_EQ(acts[0].receiver, ids.find("alice"));
+  EXPECT_EQ(acts[0].creator, ids.find("bob"));
+  EXPECT_EQ(acts[0].timestamp, 100);
+}
+
+TEST_F(ParsersTest, ActivitiesRejectBadTimestamp) {
+  const auto path = write_file("bad.activities", "a b notatime\n");
+  IdMap ids;
+  EXPECT_THROW(load_activities(path, ids), ParseError);
+}
+
+TEST_F(ParsersTest, ActivitiesRejectShortLine) {
+  const auto path = write_file("short.activities", "a b\n");
+  IdMap ids;
+  EXPECT_THROW(load_activities(path, ids), ParseError);
+}
+
+TEST_F(ParsersTest, MissingFileThrowsIoError) {
+  IdMap ids;
+  EXPECT_THROW(load_edge_list((dir_ / "nope").string(), ids), IoError);
+}
+
+TEST_F(ParsersTest, LoadDatasetSharesIdSpace) {
+  const auto edges = write_file("d.edges", "a b\nb c\n");
+  const auto acts = write_file("d.activities",
+                               "a b 100\n"
+                               "d a 50\n");  // 'd' appears only in activities
+  const auto d =
+      load_dataset("mini", edges, acts, GraphKind::kUndirected);
+  EXPECT_EQ(d.name, "mini");
+  EXPECT_EQ(d.num_users(), 4u);  // a b c d
+  EXPECT_EQ(d.graph.num_edges(), 2u);
+  EXPECT_EQ(d.trace.size(), 2u);
+  EXPECT_EQ(d.graph.degree(3), 0u);  // 'd' has no edges
+}
+
+TEST_F(ParsersTest, DirectedDatasetContactsAreFollowers) {
+  const auto edges = write_file("tw.edges", "f1 star\nf2 star\n");
+  const auto acts = write_file("tw.activities", "star star 10\n");
+  const auto d = load_dataset("tw", edges, acts, GraphKind::kDirected);
+  // star (id 1) has two followers.
+  EXPECT_EQ(d.graph.degree(1), 2u);
+  EXPECT_EQ(d.graph.degree(0), 0u);
+}
+
+TEST_F(ParsersTest, SaveLoadRoundTripUndirected) {
+  graph::SocialGraphBuilder b(GraphKind::kUndirected, 3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  Dataset d;
+  d.name = "rt";
+  d.graph = std::move(b).build();
+  d.trace = ActivityTrace(3, {{1, 0, 111}, {2, 1, 222}});
+
+  const auto prefix = (dir_ / "rt").string();
+  save_dataset(prefix, d);
+  const auto loaded = load_dataset("rt", prefix + ".edges",
+                                   prefix + ".activities",
+                                   GraphKind::kUndirected);
+  EXPECT_EQ(loaded.num_users(), 3u);
+  EXPECT_EQ(loaded.graph.num_edges(), 2u);
+  ASSERT_EQ(loaded.trace.size(), 2u);
+  EXPECT_EQ(loaded.trace.all()[0].timestamp, 111);
+}
+
+TEST_F(ParsersTest, SaveLoadRoundTripDirected) {
+  graph::SocialGraphBuilder b(GraphKind::kDirected, 3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(2, 1);
+  Dataset d;
+  d.name = "rtd";
+  d.graph = std::move(b).build();
+  d.trace = ActivityTrace(3, {});
+
+  const auto prefix = (dir_ / "rtd").string();
+  save_dataset(prefix, d);
+  const auto loaded = load_dataset("rtd", prefix + ".edges",
+                                   prefix + ".activities",
+                                   GraphKind::kDirected);
+  EXPECT_EQ(loaded.graph.num_edges(), 3u);
+  EXPECT_EQ(loaded.graph.degree(1), 2u);  // followers preserved
+}
+
+}  // namespace
+}  // namespace dosn::trace

@@ -1,0 +1,260 @@
+// Tests for the study driver: per-user evaluation and the three sweeps.
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "util/error.hpp"
+
+namespace dosn::sim {
+namespace {
+
+constexpr interval::Seconds kH = 3600;
+
+using onlinetime::ModelKind;
+using onlinetime::ModelParams;
+using placement::Connectivity;
+using placement::PolicyKind;
+
+DaySchedule window(interval::Seconds start_h, interval::Seconds end_h) {
+  return DaySchedule(interval::IntervalSet::single(start_h * kH, end_h * kH));
+}
+
+trace::Dataset tiny_dataset() {
+  graph::SocialGraphBuilder b(graph::GraphKind::kUndirected, 4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  trace::Dataset d;
+  d.name = "tiny";
+  d.graph = std::move(b).build();
+  d.trace = trace::ActivityTrace(
+      4, {{1, 0, 9 * kH}, {2, 0, 13 * kH}, {1, 0, 10 * kH}});
+  return d;
+}
+
+TEST(EvaluateUser, MetricsForKnownConfiguration) {
+  const auto d = tiny_dataset();
+  // Owner 08-10; friends: 1: 09-13, 2: 12-16, 3: never.
+  std::vector<DaySchedule> schedules{window(8, 10), window(9, 13),
+                                     window(12, 16), DaySchedule{}};
+  const std::vector<graph::UserId> replicas{1, 2};
+  const auto m =
+      evaluate_user(d, schedules, 0, replicas, Connectivity::kConRep);
+
+  // Profile union: 08-16 = 8h.
+  EXPECT_DOUBLE_EQ(m.availability, 8.0 / 24.0);
+  // Max achievable equals that (friend 3 adds nothing).
+  EXPECT_DOUBLE_EQ(m.max_availability, 8.0 / 24.0);
+  // Demand union: 09-16; profile covers all of it.
+  EXPECT_DOUBLE_EQ(m.aod_time, 1.0);
+  // Activities at 09:00, 10:00, 13:00 all inside the profile schedule.
+  EXPECT_DOUBLE_EQ(m.aod_activity, 1.0);
+  EXPECT_DOUBLE_EQ(m.replicas_used, 2.0);
+  EXPECT_GT(m.delay_actual_h, 0.0);
+}
+
+TEST(EvaluateUser, NoReplicasMeansOwnerOnly) {
+  const auto d = tiny_dataset();
+  std::vector<DaySchedule> schedules{window(8, 10), window(9, 13),
+                                     window(12, 16), DaySchedule{}};
+  const auto m = evaluate_user(d, schedules, 0, {}, Connectivity::kConRep);
+  EXPECT_DOUBLE_EQ(m.availability, 2.0 / 24.0);
+  EXPECT_DOUBLE_EQ(m.delay_actual_h, 0.0);
+  EXPECT_DOUBLE_EQ(m.replicas_used, 0.0);
+}
+
+TEST(EvaluateUser, ValidatesScheduleCount) {
+  const auto d = tiny_dataset();
+  std::vector<DaySchedule> wrong(2);
+  EXPECT_THROW(evaluate_user(d, wrong, 0, {}, Connectivity::kConRep),
+               ConfigError);
+}
+
+TEST(MetricEnum, NamesAndExtraction) {
+  CohortMetrics m;
+  m.availability = 0.5;
+  m.delay_actual_h = 7.0;
+  EXPECT_DOUBLE_EQ(metric_value(m, Metric::kAvailability), 0.5);
+  EXPECT_DOUBLE_EQ(metric_value(m, Metric::kDelayActualH), 7.0);
+  EXPECT_EQ(to_string(Metric::kAvailability), "availability");
+  EXPECT_EQ(to_string(Metric::kAodTime), "availability-on-demand-time");
+}
+
+class StudySweeps : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    auto preset = synth::scaled(synth::facebook_preset(), 0.02);
+    util::Rng rng(42);
+    dataset_ = new trace::Dataset(synth::generate_study_dataset(preset, rng));
+    // Pick a well-populated cohort degree for the small dataset.
+    cohort_degree_ = graph::most_populated_degree(dataset_->graph, 4, 12);
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+
+  static Study::Options fast_options() {
+    Study::Options o;
+    o.cohort_degree = cohort_degree_;
+    o.k_max = std::min<std::size_t>(cohort_degree_, 6);
+    o.repetitions = 2;
+    return o;
+  }
+
+  static trace::Dataset* dataset_;
+  static std::size_t cohort_degree_;
+};
+
+trace::Dataset* StudySweeps::dataset_ = nullptr;
+std::size_t StudySweeps::cohort_degree_ = 0;
+
+TEST_F(StudySweeps, ReplicationSweepShape) {
+  Study study(*dataset_, 7);
+  const auto opts = fast_options();
+  const auto r = study.replication_sweep(ModelKind::kSporadic, {},
+                                         Connectivity::kConRep, opts);
+  ASSERT_EQ(r.policies.size(), 3u);
+  ASSERT_EQ(r.xs.size(), opts.k_max + 1);
+  for (const auto& curve : r.policies) {
+    ASSERT_EQ(curve.points.size(), r.xs.size());
+    // Availability is monotone in k for every policy (prefix property).
+    for (std::size_t k = 1; k < curve.points.size(); ++k)
+      EXPECT_GE(curve.points[k].availability + 1e-12,
+                curve.points[k - 1].availability);
+    // k = 0: owner-only availability, no replicas.
+    EXPECT_DOUBLE_EQ(curve.points[0].replicas_used, 0.0);
+    // Bounded metrics stay in [0, 1].
+    for (const auto& p : curve.points) {
+      EXPECT_GE(p.availability, 0.0);
+      EXPECT_LE(p.availability, 1.0);
+      EXPECT_GE(p.aod_time, 0.0);
+      EXPECT_LE(p.aod_time, 1.0 + 1e-12);
+      EXPECT_LE(p.availability, p.max_availability + 1e-12);
+    }
+  }
+}
+
+TEST_F(StudySweeps, MaxAvDominatesOnAvailability) {
+  Study study(*dataset_, 11);
+  const auto opts = fast_options();
+  const auto r = study.replication_sweep(ModelKind::kSporadic, {},
+                                         Connectivity::kConRep, opts);
+  const auto& maxav = r.policies[0];
+  const auto& random = r.policies[2];
+  ASSERT_EQ(maxav.policy, PolicyKind::kMaxAv);
+  ASSERT_EQ(random.policy, PolicyKind::kRandom);
+  // At every k, greedy MaxAv availability >= Random availability
+  // (cohort averages; tolerance for evaluation noise).
+  for (std::size_t k = 0; k < r.xs.size(); ++k)
+    EXPECT_GE(maxav.points[k].availability + 0.02,
+              random.points[k].availability)
+        << "k=" << k;
+}
+
+TEST_F(StudySweeps, UnconRepAvailabilityAtLeastConRep) {
+  Study study(*dataset_, 13);
+  const auto opts = fast_options();
+  const auto con = study.replication_sweep(ModelKind::kFixedLength,
+                                           {.window_hours = 2.0},
+                                           Connectivity::kConRep, opts);
+  const auto uncon = study.replication_sweep(ModelKind::kFixedLength,
+                                             {.window_hours = 2.0},
+                                             Connectivity::kUnconRep, opts);
+  // MaxAv curves: unconstrained placement can only do better at the end
+  // of the sweep; intermediate ks may cross slightly (greedy anomalies).
+  EXPECT_GE(uncon.policies[0].points.back().availability + 1e-9,
+            con.policies[0].points.back().availability);
+  for (std::size_t k = 0; k < con.xs.size(); ++k)
+    EXPECT_GE(uncon.policies[0].points[k].availability + 0.05,
+              con.policies[0].points[k].availability);
+}
+
+TEST_F(StudySweeps, SessionLengthSweepImprovesAvailability) {
+  Study study(*dataset_, 17);
+  const std::vector<interval::Seconds> lengths{300, 3600, 6 * 3600};
+  auto opts = fast_options();
+  const auto r = study.session_length_sweep(lengths, /*k=*/3,
+                                            Connectivity::kConRep, opts);
+  ASSERT_EQ(r.xs.size(), 3u);
+  for (const auto& curve : r.policies) {
+    ASSERT_EQ(curve.points.size(), 3u);
+    // Longer sessions => more availability (strongly so over this range).
+    EXPECT_GT(curve.points[2].availability,
+              curve.points[0].availability);
+  }
+}
+
+TEST_F(StudySweeps, UserDegreeSweepAvailabilityGrows) {
+  Study study(*dataset_, 19);
+  auto opts = fast_options();
+  const auto r = study.user_degree_sweep(6, ModelKind::kSporadic, {},
+                                         Connectivity::kConRep, opts);
+  ASSERT_EQ(r.xs.size(), 6u);
+  // With k = degree all policies exhaust the candidate pool, so their
+  // availability should be similar at each degree (paper Fig 9a).
+  for (std::size_t i = 0; i < r.xs.size(); ++i) {
+    const double a = r.policies[0].points[i].availability;
+    const double b = r.policies[2].points[i].availability;
+    if (r.policies[0].points[i].cohort_size > 0) {
+      EXPECT_NEAR(a, b, 0.12) << "degree=" << r.xs[i];
+    }
+  }
+  // Availability at degree 6 should beat degree 1 (cohort averages).
+  const auto& first = r.policies[0].points.front();
+  const auto& last = r.policies[0].points.back();
+  if (first.cohort_size > 5 && last.cohort_size > 5) {
+    EXPECT_GT(last.availability, first.availability);
+  }
+}
+
+TEST_F(StudySweeps, SeriesExtractionMatchesPoints) {
+  Study study(*dataset_, 23);
+  auto opts = fast_options();
+  const auto r = study.replication_sweep(ModelKind::kRandomLength, {},
+                                         Connectivity::kConRep, opts);
+  const auto series = r.series(Metric::kAvailability);
+  ASSERT_EQ(series.size(), r.policies.size());
+  for (std::size_t p = 0; p < series.size(); ++p) {
+    EXPECT_EQ(series[p].name, r.policies[p].policy_name);
+    EXPECT_EQ(series[p].x, r.xs);
+    for (std::size_t k = 0; k < r.xs.size(); ++k)
+      EXPECT_DOUBLE_EQ(series[p].y[k], r.policies[p].points[k].availability);
+  }
+}
+
+TEST_F(StudySweeps, DeterministicForSameSeed) {
+  Study a(*dataset_, 99), b(*dataset_, 99);
+  auto opts = fast_options();
+  opts.repetitions = 2;
+  const auto ra = a.replication_sweep(ModelKind::kSporadic, {},
+                                      Connectivity::kConRep, opts);
+  const auto rb = b.replication_sweep(ModelKind::kSporadic, {},
+                                      Connectivity::kConRep, opts);
+  for (std::size_t p = 0; p < ra.policies.size(); ++p)
+    for (std::size_t k = 0; k < ra.xs.size(); ++k)
+      EXPECT_DOUBLE_EQ(ra.policies[p].points[k].availability,
+                       rb.policies[p].points[k].availability);
+}
+
+TEST_F(StudySweeps, CohortDegreeRespected) {
+  Study study(*dataset_, 29);
+  const auto cohort = study.cohort(cohort_degree_);
+  EXPECT_FALSE(cohort.empty());
+  for (graph::UserId u : cohort)
+    EXPECT_EQ(dataset_->graph.degree(u), cohort_degree_);
+}
+
+TEST(StudyErrors, EmptyCohortThrows) {
+  auto d = tiny_dataset();
+  Study study(d, 1);
+  Study::Options opts;
+  opts.cohort_degree = 99;
+  EXPECT_THROW(study.replication_sweep(ModelKind::kSporadic, {},
+                                       Connectivity::kConRep, opts),
+               ConfigError);
+}
+
+}  // namespace
+}  // namespace dosn::sim

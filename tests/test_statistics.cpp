@@ -1,0 +1,96 @@
+// Tests for the trace-statistics module.
+#include <gtest/gtest.h>
+
+#include "trace/statistics.hpp"
+#include "util/error.hpp"
+
+namespace dosn::trace {
+namespace {
+
+using graph::GraphKind;
+using graph::SocialGraphBuilder;
+
+constexpr Seconds kH = 3600;
+
+Dataset dataset_with(std::vector<Activity> acts) {
+  SocialGraphBuilder b(GraphKind::kUndirected, 4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  Dataset d;
+  d.name = "t";
+  d.graph = std::move(b).build();
+  d.trace = ActivityTrace(4, std::move(acts));
+  return d;
+}
+
+TEST(TraceStatistics, EmptyTraceIsAllZero) {
+  const auto s = trace_statistics(dataset_with({}));
+  EXPECT_EQ(s.peak_hour, 0);
+  EXPECT_DOUBLE_EQ(s.span_days, 0.0);
+  EXPECT_DOUBLE_EQ(s.self_post_fraction, 0.0);
+  for (double f : s.hourly_profile) EXPECT_DOUBLE_EQ(f, 0.0);
+}
+
+TEST(TraceStatistics, HourlyProfileAndPeak) {
+  // Three activities at 21:xx, one at 09:xx.
+  const auto s = trace_statistics(dataset_with({{0, 1, 21 * kH},
+                                                {0, 1, 21 * kH + 60},
+                                                {0, 2, 21 * kH + 120},
+                                                {0, 3, 9 * kH}}));
+  EXPECT_EQ(s.peak_hour, 21);
+  EXPECT_DOUBLE_EQ(s.hourly_profile[21], 0.75);
+  EXPECT_DOUBLE_EQ(s.hourly_profile[9], 0.25);
+  double sum = 0;
+  for (double f : s.hourly_profile) sum += f;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(TraceStatistics, SelfPostFraction) {
+  const auto s = trace_statistics(
+      dataset_with({{0, 0, 100}, {0, 1, 200}, {1, 1, 300}, {1, 0, 400}}));
+  EXPECT_DOUBLE_EQ(s.self_post_fraction, 0.5);
+}
+
+TEST(TraceStatistics, InterarrivalGaps) {
+  // Creator 0 posts at t=0, 100, 400 -> gaps 100 and 300.
+  const auto s = trace_statistics(
+      dataset_with({{0, 1, 0}, {0, 2, 100}, {0, 1, 400}}));
+  EXPECT_EQ(s.median_interarrival, 200);  // interpolated median of {100,300}
+  EXPECT_GE(s.p90_interarrival, s.median_interarrival);
+}
+
+TEST(TraceStatistics, TopPartnerShare) {
+  // Creator 0: three posts to 1, one to 2 -> top share 0.75. Creator 1:
+  // all posts to 0 -> share 1.0. Mean = 0.875.
+  const auto s = trace_statistics(dataset_with({{0, 1, 1},
+                                                {0, 1, 2},
+                                                {0, 1, 3},
+                                                {0, 2, 4},
+                                                {1, 0, 5},
+                                                {1, 0, 6}}));
+  EXPECT_NEAR(s.top_partner_share, 0.875, 1e-12);
+}
+
+TEST(TraceStatistics, SelfPostsExcludedFromConcentration) {
+  // A user who only self-posts contributes nothing to the concentration.
+  const auto s =
+      trace_statistics(dataset_with({{3, 3, 1}, {3, 3, 2}, {0, 1, 3}}));
+  EXPECT_DOUBLE_EQ(s.top_partner_share, 1.0);  // only creator 0 counts
+}
+
+TEST(TraceStatistics, SpanDays) {
+  const auto s = trace_statistics(
+      dataset_with({{0, 1, 0}, {0, 1, 3 * 86400}}));
+  EXPECT_DOUBLE_EQ(s.span_days, 3.0);
+}
+
+TEST(TraceStatistics, ToStringContainsHeadlines) {
+  const auto s = trace_statistics(dataset_with({{0, 1, 21 * kH}}));
+  const auto text = to_string(s);
+  EXPECT_NE(text.find("peak hour: 21:00"), std::string::npos);
+  EXPECT_NE(text.find("hourly profile:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dosn::trace

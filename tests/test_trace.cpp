@@ -1,0 +1,152 @@
+// Unit tests for activity traces and the dataset filtering pipeline.
+#include <gtest/gtest.h>
+
+#include "trace/dataset.hpp"
+#include "util/error.hpp"
+
+namespace dosn::trace {
+namespace {
+
+using graph::GraphKind;
+using graph::SocialGraphBuilder;
+using graph::UserId;
+
+ActivityTrace small_trace() {
+  // Users 0..3. 1 and 2 post on 0's wall; 0 posts on 1's wall.
+  std::vector<Activity> acts{
+      {/*creator=*/1, /*receiver=*/0, /*timestamp=*/100},
+      {1, 0, 300},
+      {2, 0, 200},
+      {0, 1, 150},
+      {3, 3, 400},
+  };
+  return ActivityTrace(4, std::move(acts));
+}
+
+TEST(ActivityTrace, EmptyDefault) {
+  ActivityTrace t;
+  EXPECT_EQ(t.num_users(), 0u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(ActivityTrace, SizesAndBounds) {
+  auto t = small_trace();
+  EXPECT_EQ(t.num_users(), 4u);
+  EXPECT_EQ(t.size(), 5u);
+  EXPECT_EQ(t.min_timestamp(), 100);
+  EXPECT_EQ(t.max_timestamp(), 400);
+}
+
+TEST(ActivityTrace, ReceivedBySortedByTime) {
+  auto t = small_trace();
+  const auto r0 = t.received_by(0);
+  ASSERT_EQ(r0.size(), 3u);
+  EXPECT_EQ(r0[0].timestamp, 100);
+  EXPECT_EQ(r0[1].timestamp, 200);
+  EXPECT_EQ(r0[2].timestamp, 300);
+  EXPECT_EQ(r0[1].creator, 2u);
+  EXPECT_TRUE(t.received_by(2).empty());
+}
+
+TEST(ActivityTrace, CreatedIndexResolves) {
+  auto t = small_trace();
+  const auto c1 = t.created_index(1);
+  ASSERT_EQ(c1.size(), 2u);
+  EXPECT_EQ(t.activity(c1[0]).timestamp, 100);
+  EXPECT_EQ(t.activity(c1[1]).timestamp, 300);
+  EXPECT_EQ(t.activities_created(0), 1u);
+  EXPECT_EQ(t.activities_created(3), 1u);
+  EXPECT_EQ(t.activities_received(3), 1u);
+}
+
+TEST(ActivityTrace, InteractionCount) {
+  auto t = small_trace();
+  EXPECT_EQ(t.interaction_count(0, 1), 2u);
+  EXPECT_EQ(t.interaction_count(0, 2), 1u);
+  EXPECT_EQ(t.interaction_count(0, 3), 0u);
+  EXPECT_EQ(t.interaction_count(1, 0), 1u);
+}
+
+TEST(ActivityTrace, AverageActivitiesPerUser) {
+  auto t = small_trace();
+  EXPECT_DOUBLE_EQ(t.average_activities_per_user(), 5.0 / 4.0);
+}
+
+TEST(ActivityTrace, RejectsOutOfRangeUser) {
+  std::vector<Activity> acts{{5, 0, 100}};
+  EXPECT_THROW(ActivityTrace(4, std::move(acts)), ConfigError);
+}
+
+Dataset small_dataset() {
+  SocialGraphBuilder b(GraphKind::kUndirected, 4);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  Dataset d;
+  d.name = "test";
+  d.graph = std::move(b).build();
+  d.trace = small_trace();
+  return d;
+}
+
+TEST(Dataset, Stats) {
+  auto d = small_dataset();
+  const auto s = stats_of(d);
+  EXPECT_EQ(s.users, 4u);
+  EXPECT_EQ(s.edges, 4u);
+  EXPECT_EQ(s.activities, 5u);
+  EXPECT_DOUBLE_EQ(s.average_degree, 2.0);
+  EXPECT_DOUBLE_EQ(s.average_activities, 1.25);
+}
+
+TEST(Dataset, FilterUsersRenumbersGraphAndTrace) {
+  auto d = small_dataset();
+  std::vector<bool> keep{true, true, false, true};
+  std::vector<UserId> old_ids;
+  auto f = filter_users(d, keep, &old_ids);
+
+  EXPECT_EQ(old_ids, (std::vector<UserId>{0, 1, 3}));
+  EXPECT_EQ(f.num_users(), 3u);
+  // Only edge {0,1} survives (others involved user 2).
+  EXPECT_EQ(f.graph.num_edges(), 1u);
+  // Activities: (1->0)x2, (0->1), (3->3 renamed 2->2) survive; (2->0) drops.
+  EXPECT_EQ(f.trace.size(), 4u);
+  EXPECT_EQ(f.trace.interaction_count(0, 1), 2u);
+  EXPECT_EQ(f.trace.activities_created(2), 1u);
+}
+
+TEST(Dataset, FilterMinActivity) {
+  auto d = small_dataset();
+  // Created counts: u0=1, u1=2, u2=1, u3=1.
+  auto f = filter_min_activity(d, 2);
+  EXPECT_EQ(f.num_users(), 1u);
+  EXPECT_EQ(f.trace.size(), 0u);  // partner was filtered out
+}
+
+TEST(Dataset, FilterMinActivityZeroKeepsAll) {
+  auto d = small_dataset();
+  auto f = filter_min_activity(d, 0);
+  EXPECT_EQ(f.num_users(), 4u);
+  EXPECT_EQ(f.trace.size(), 5u);
+}
+
+TEST(Dataset, FilterIsolated) {
+  SocialGraphBuilder b(GraphKind::kUndirected, 3);
+  b.add_edge(0, 1);  // user 2 isolated
+  Dataset d;
+  d.graph = std::move(b).build();
+  d.trace = ActivityTrace(3, {{2, 2, 100}});
+  auto f = filter_isolated(d);
+  EXPECT_EQ(f.num_users(), 2u);
+  EXPECT_EQ(f.trace.size(), 0u);
+}
+
+TEST(Dataset, FilterMaskSizeChecked) {
+  auto d = small_dataset();
+  EXPECT_THROW(filter_users(d, std::vector<bool>{true}), ConfigError);
+}
+
+}  // namespace
+}  // namespace dosn::trace
