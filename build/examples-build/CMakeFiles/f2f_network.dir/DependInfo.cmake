@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/f2f_network.cpp" "examples-build/CMakeFiles/f2f_network.dir/f2f_network.cpp.o" "gcc" "examples-build/CMakeFiles/f2f_network.dir/f2f_network.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/dosn_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dosn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/dosn_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/dosn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dosn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/onlinetime/CMakeFiles/dosn_onlinetime.dir/DependInfo.cmake"
+  "/root/repo/build/src/placement/CMakeFiles/dosn_placement.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/dosn_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/interval/CMakeFiles/dosn_interval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dosn_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
