@@ -11,6 +11,7 @@
 #include "net/replica_sim.hpp"
 #include "placement/max_av.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -55,7 +56,9 @@ void BM_WorstCaseWait(benchmark::State& state) {
 }
 BENCHMARK(BM_WorstCaseWait)->Arg(4)->Arg(16)->Arg(64);
 
-void BM_MaxAvSelect(benchmark::State& state) {
+// MaxAv greedy set cover: full-rescan reference vs the CELF lazy greedy
+// (identical selections; the second argument toggles the implementation).
+void maxav_select_impl(benchmark::State& state, bool lazy) {
   dosn::util::Rng rng(4);
   const auto candidates_count = static_cast<std::size_t>(state.range(0));
   std::vector<DaySchedule> schedules;
@@ -66,7 +69,9 @@ void BM_MaxAvSelect(benchmark::State& state) {
     candidates.push_back(static_cast<dosn::graph::UserId>(i + 1));
   }
   dosn::trace::ActivityTrace trace(candidates_count + 1, {});
-  dosn::placement::MaxAvPolicy policy;
+  dosn::placement::MaxAvPolicy policy(
+      dosn::placement::MaxAvObjective::kAvailability,
+      /*conrep_least_overlap=*/false, lazy);
   dosn::placement::PlacementContext ctx;
   ctx.user = 0;
   ctx.candidates = candidates;
@@ -76,7 +81,32 @@ void BM_MaxAvSelect(benchmark::State& state) {
   ctx.max_replicas = 10;
   for (auto _ : state) benchmark::DoNotOptimize(policy.select(ctx, rng));
 }
+
+void BM_MaxAvSelect(benchmark::State& state) {
+  maxav_select_impl(state, /*lazy=*/false);
+}
 BENCHMARK(BM_MaxAvSelect)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_MaxAvSelectLazy(benchmark::State& state) {
+  maxav_select_impl(state, /*lazy=*/true);
+}
+BENCHMARK(BM_MaxAvSelectLazy)->Arg(10)->Arg(40)->Arg(160);
+
+// Fork-join overhead of the deterministic thread pool (per-index work is
+// trivial, so this measures dispatch + join cost).
+void BM_ThreadPoolForEach(benchmark::State& state) {
+  dosn::util::ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  std::vector<double> slots(4096);
+  for (auto _ : state) {
+    pool.for_each_index(slots.size(), [&](std::size_t i) {
+      slots[i] = static_cast<double>(i) * 1.5;
+    });
+    benchmark::DoNotOptimize(slots.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(slots.size()));
+}
+BENCHMARK(BM_ThreadPoolForEach)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_UpdatePropagationDelay(benchmark::State& state) {
   dosn::util::Rng rng(5);

@@ -1,0 +1,274 @@
+// Study-engine benchmark: before/after wall-clock of the paper's
+// replication sweep on a ~5k-user synthetic dataset, written to
+// BENCH_study_engine.json.
+//
+// Four runs are timed on identical work (the deterministic MaxAv policy,
+// so every run must produce the same curves):
+//   * seed      — the pre-change engine, reproduced locally below: serial
+//                 cohort loop, full-rescan eager MaxAv, and a full
+//                 re-evaluation (evaluate_user) of every replication
+//                 prefix 0..k;
+//   * eager     — the current engine (incremental prefix evaluation) with
+//                 eager MaxAv, serial;
+//   * lazy      — the current engine with CELF lazy-greedy MaxAv, serial;
+//   * parallel  — lazy plus the deterministic thread pool at DOSN_THREADS
+//                 (or hardware concurrency) workers.
+// The sweep outputs of all runs are checksummed and must agree exactly —
+// every optimization is exact, not an approximation.
+//
+// Environment knobs: DOSN_BENCH_SEED (default 20120618), DOSN_THREADS.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "graph/degree_stats.hpp"
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using dosn::sim::Study;
+using dosn::sim::SweepResult;
+using Clock = std::chrono::steady_clock;
+
+double run_ms(const std::function<SweepResult()>& fn, SweepResult& out) {
+  const auto start = Clock::now();
+  out = fn();
+  const auto stop = Clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+/// Order-sensitive digest of every point of every curve; used to verify
+/// the engine configurations produce the same sweep bit for bit.
+std::uint64_t checksum(const SweepResult& sweep) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](double v) {
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    __builtin_memcpy(&bits, &v, sizeof(bits));
+    h = (h ^ bits) * 0x100000001b3ULL;
+  };
+  for (const auto& curve : sweep.policies)
+    for (const auto& p : curve.points) {
+      mix(p.availability);
+      mix(p.aod_time);
+      mix(p.aod_activity);
+      mix(p.delay_actual_h);
+      mix(p.replicas_used);
+    }
+  return h;
+}
+
+/// The engine as it was before the optimizations, reproduced here so the
+/// baseline stays honest now that sim::Study always uses the incremental
+/// path: one serial pass over the cohort, and every replication prefix
+/// evaluated from scratch with evaluate_user (per-prefix profile unions,
+/// per-prefix Floyd–Warshall with all pair_delay edges recomputed). The
+/// deterministic policies make its curves bit-identical to the new
+/// engine's, which the checksum comparison asserts.
+SweepResult seed_engine_replication_sweep(
+    const dosn::trace::Dataset& dataset, std::uint64_t seed,
+    dosn::placement::Connectivity connectivity,
+    const Study::Options& options) {
+  const auto cohort_users =
+      dosn::graph::users_with_degree(dataset.graph, options.cohort_degree);
+
+  dosn::util::Rng sched_rng(dosn::util::mix64(seed, 0x5ced0000));
+  dosn::onlinetime::ModelParams params;
+  const auto model = dosn::onlinetime::make_model(
+      dosn::onlinetime::ModelKind::kSporadic, params);
+  const auto schedules = model->schedules(dataset, sched_rng);
+
+  SweepResult result;
+  for (std::size_t k = 0; k <= options.k_max; ++k)
+    result.xs.push_back(static_cast<double>(k));
+
+  for (const auto kind : options.policies) {
+    dosn::placement::PolicyParams pparams = options.policy_params;
+    pparams.maxav_lazy = false;
+    const auto policy = dosn::placement::make_policy(kind, pparams);
+    dosn::util::Rng rng(seed);  // one shared stream, as before
+
+    // Running means per k, in cohort order (mirrors the engine's reducer).
+    struct Accum {
+      dosn::util::RunningStats availability, aod_time, aod_activity,
+          delay_actual, used;
+    };
+    std::vector<Accum> accum(options.k_max + 1);
+    for (const dosn::graph::UserId u : cohort_users) {
+      dosn::placement::PlacementContext context;
+      context.user = u;
+      context.candidates = dataset.graph.contacts(u);
+      context.schedules = schedules;
+      context.trace = &dataset.trace;
+      context.connectivity = connectivity;
+      context.max_replicas = options.k_max;
+      const auto selected = policy->select(context, rng);
+      for (std::size_t k = 0; k <= options.k_max; ++k) {
+        const std::size_t take = std::min(k, selected.size());
+        const std::span<const dosn::graph::UserId> prefix{selected.data(),
+                                                          take};
+        const auto m = dosn::sim::evaluate_user(dataset, schedules, u,
+                                                prefix, connectivity);
+        accum[k].availability.add(m.availability);
+        accum[k].aod_time.add(m.aod_time);
+        accum[k].aod_activity.add(m.aod_activity);
+        accum[k].delay_actual.add(m.delay_actual_h);
+        accum[k].used.add(m.replicas_used);
+      }
+    }
+
+    dosn::sim::PolicyCurve curve;
+    curve.policy_name = policy->name();
+    curve.policy = kind;
+    for (const auto& a : accum) {
+      dosn::sim::CohortMetrics c;
+      c.availability = a.availability.mean();
+      c.aod_time = a.aod_time.mean();
+      c.aod_activity = a.aod_activity.mean();
+      c.delay_actual_h = a.delay_actual.mean();
+      c.replicas_used = a.used.mean();
+      curve.points.push_back(c);
+    }
+    result.policies.push_back(std::move(curve));
+  }
+  return result;
+}
+
+struct Scenario {
+  std::string name;
+  std::size_t cohort_degree = 10;
+  std::size_t k_max = 10;
+  double seed_ms = 0, eager_ms = 0, lazy_ms = 0, parallel_ms = 0;
+  std::size_t cohort_size = 0;
+  bool identical = false;
+};
+
+}  // namespace
+
+int main() {
+  std::uint64_t seed = 20120618;
+  if (const char* env = std::getenv("DOSN_BENCH_SEED"))
+    seed = std::strtoull(env, nullptr, 10);
+  const std::size_t threads = dosn::util::default_thread_count();
+
+  // ~5k post-filter users: the Facebook preset filters ~60k raw users down
+  // to ~21.9k per unit scale, so scale by 0.23.
+  auto preset = dosn::synth::scaled(dosn::synth::facebook_preset(), 0.23);
+  dosn::util::Rng gen_rng(seed);
+  const auto dataset = dosn::synth::generate_study_dataset(preset, gen_rng);
+  std::printf("dataset: %zu users, %zu activities\n", dataset.num_users(),
+              dataset.trace.size());
+
+  Study study(dataset, seed);
+
+  // Two workloads: the paper's degree-10 replication sweep (evaluation
+  // bound) and a high-degree cohort with k_max = degree, where both the
+  // greedy set cover and the per-prefix delay graphs grow with the degree.
+  std::vector<Scenario> scenarios;
+  scenarios.push_back({"replication_sweep_degree10", 10, 10});
+  const std::size_t heavy_degree = dosn::graph::most_populated_degree(
+      dataset.graph, 32, 56);
+  scenarios.push_back({"replication_sweep_heavy_degree", heavy_degree,
+                       heavy_degree});
+
+  for (auto& s : scenarios) {
+    Study::Options options;
+    options.cohort_degree = s.cohort_degree;
+    options.k_max = s.k_max;
+    // MaxAv only: it is the one fully deterministic policy (Random and
+    // MostActive's zero-activity filler draw randomness, and the seeding
+    // bugfix changed those draws), so the pre-change baseline below stays
+    // output-comparable — and it is the policy the optimizations target.
+    options.policies = {dosn::placement::PolicyKind::kMaxAv};
+    s.cohort_size = study.cohort(s.cohort_degree).size();
+
+    const auto sweep_with = [&](std::size_t nthreads, bool lazy) {
+      Study::Options o = options;
+      o.threads = nthreads;
+      o.policy_params.maxav_lazy = lazy;
+      return study.replication_sweep(
+          dosn::onlinetime::ModelKind::kSporadic, {},
+          dosn::placement::Connectivity::kConRep, o);
+    };
+
+    SweepResult seed_out, eager_out, lazy_out, parallel_out;
+    s.seed_ms = run_ms(
+        [&] {
+          return seed_engine_replication_sweep(
+              dataset, seed, dosn::placement::Connectivity::kConRep, options);
+        },
+        seed_out);
+    s.eager_ms = run_ms([&] { return sweep_with(1, false); }, eager_out);
+    s.lazy_ms = run_ms([&] { return sweep_with(1, true); }, lazy_out);
+    s.parallel_ms =
+        run_ms([&] { return sweep_with(threads, true); }, parallel_out);
+    if (const char* dbg = std::getenv("DOSN_BENCH_DEBUG"); dbg && *dbg) {
+      for (std::size_t p = 0; p < seed_out.policies.size(); ++p)
+        for (std::size_t k = 0; k < seed_out.policies[p].points.size(); ++k) {
+          const auto& a = seed_out.policies[p].points[k];
+          const auto& b = eager_out.policies[p].points[k];
+          if (a.availability != b.availability ||
+              a.aod_time != b.aod_time ||
+              a.aod_activity != b.aod_activity ||
+              a.delay_actual_h != b.delay_actual_h ||
+              a.replicas_used != b.replicas_used)
+            std::printf(
+                "DIFF p=%zu k=%zu  av %.17g/%.17g  aodt %.17g/%.17g  "
+                "aoda %.17g/%.17g  delay %.17g/%.17g  used %.17g/%.17g\n",
+                p, k, a.availability, b.availability, a.aod_time, b.aod_time,
+                a.aod_activity, b.aod_activity, a.delay_actual_h,
+                b.delay_actual_h, a.replicas_used, b.replicas_used);
+        }
+    }
+    s.identical = checksum(seed_out) == checksum(eager_out) &&
+                  checksum(seed_out) == checksum(lazy_out) &&
+                  checksum(seed_out) == checksum(parallel_out);
+
+    std::printf(
+        "%-32s cohort=%zu  seed=%.1fms  eager=%.1fms  lazy=%.1fms  "
+        "parallel(%zu)=%.1fms  speedup=%.2fx  identical=%s\n",
+        s.name.c_str(), s.cohort_size, s.seed_ms, s.eager_ms, s.lazy_ms,
+        threads, s.parallel_ms, s.seed_ms / s.parallel_ms,
+        s.identical ? "yes" : "NO");
+  }
+
+  std::ofstream json("BENCH_study_engine.json");
+  json << "{\n"
+       << "  \"benchmark\": \"study_engine\",\n"
+       << "  \"dataset_users\": " << dataset.num_users() << ",\n"
+       << "  \"seed\": " << seed << ",\n"
+       << "  \"threads\": " << threads << ",\n"
+       << "  \"hardware_concurrency\": "
+       << std::thread::hardware_concurrency() << ",\n"
+       << "  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < scenarios.size(); ++i) {
+    const auto& s = scenarios[i];
+    json << "    {\n"
+         << "      \"name\": \"" << s.name << "\",\n"
+         << "      \"cohort_degree\": " << s.cohort_degree << ",\n"
+         << "      \"cohort_size\": " << s.cohort_size << ",\n"
+         << "      \"k_max\": " << s.k_max << ",\n"
+         << "      \"seed_engine_ms\": " << s.seed_ms << ",\n"
+         << "      \"incremental_eager_ms\": " << s.eager_ms << ",\n"
+         << "      \"incremental_lazy_ms\": " << s.lazy_ms << ",\n"
+         << "      \"parallel_lazy_ms\": " << s.parallel_ms << ",\n"
+         << "      \"speedup_vs_seed\": " << s.seed_ms / s.parallel_ms
+         << ",\n"
+         << "      \"outputs_identical\": "
+         << (s.identical ? "true" : "false") << "\n"
+         << "    }" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  std::printf("wrote BENCH_study_engine.json\n");
+
+  bool all_identical = true;
+  for (const auto& s : scenarios) all_identical &= s.identical;
+  return all_identical ? 0 : 1;
+}

@@ -29,6 +29,82 @@ std::optional<Seconds> pair_delay(const DaySchedule& source,
   return worst->wait;
 }
 
+void IncrementalGroupDelay::push(const DaySchedule& node) {
+  const std::size_t slot = pushed_++;
+  if (node.empty()) return;
+
+  const std::size_t m = participants_.size();
+  // One-hop edges between the existing participants and the new node, both
+  // directions (the delay graph is directed).
+  std::vector<Seconds> edge_to(m, kInf), edge_from(m, kInf);
+  for (std::size_t p = 0; p < m; ++p) {
+    if (auto w = pair_delay(participants_[p], node, mode_)) edge_to[p] = *w;
+    if (auto w = pair_delay(node, participants_[p], mode_)) edge_from[p] = *w;
+  }
+
+  // Shortest i -> new and new -> j. A shortest path touches the new node
+  // only at its endpoint (weights are nonnegative), so it decomposes into
+  // an old-graph shortest path plus one new edge.
+  std::vector<Seconds> dist_to(m, kInf), dist_from(m, kInf);
+  for (std::size_t i = 0; i < m; ++i) {
+    Seconds best = edge_to[i];
+    for (std::size_t j = 0; j < m; ++j) {
+      if (at(i, j) == kInf || edge_to[j] == kInf) continue;
+      best = std::min(best, at(i, j) + edge_to[j]);
+    }
+    dist_to[i] = best;
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    Seconds best = edge_from[j];
+    for (std::size_t p = 0; p < m; ++p) {
+      if (edge_from[p] == kInf || at(p, j) == kInf) continue;
+      best = std::min(best, edge_from[p] + at(p, j));
+    }
+    dist_from[j] = best;
+  }
+
+  // Relax old pairs through the new node and rebuild the matrix at the
+  // larger stride.
+  std::vector<Seconds> next((m + 1) * (m + 1), kInf);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      Seconds d = at(i, j);
+      if (dist_to[i] != kInf && dist_from[j] != kInf)
+        d = std::min(d, dist_to[i] + dist_from[j]);
+      next[i * (m + 1) + j] = d;
+    }
+  for (std::size_t i = 0; i < m; ++i) {
+    next[i * (m + 1) + m] = dist_to[i];
+    next[m * (m + 1) + i] = dist_from[i];
+  }
+  next[m * (m + 1) + m] = 0;
+
+  dist_ = std::move(next);
+  participants_.push_back(node);
+  index_.push_back(slot);
+}
+
+GroupDelayResult IncrementalGroupDelay::result() const {
+  GroupDelayResult result;
+  result.participants = index_.size();
+  if (index_.size() < 2) return result;
+
+  const std::size_t n = index_.size();
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      if (at(i, j) == kInf) {
+        result.fully_connected = false;
+        continue;
+      }
+      if (at(i, j) > result.diameter) {
+        result.diameter = at(i, j);
+        result.worst_target = index_[j];
+      }
+    }
+  return result;
+}
+
 GroupDelayResult group_delay(std::span<const DaySchedule> nodes,
                              RendezvousMode mode) {
   // Participants: nodes that are ever online.

@@ -45,4 +45,41 @@ struct GroupDelayResult {
 GroupDelayResult group_delay(std::span<const DaySchedule> nodes,
                              RendezvousMode mode);
 
+/// Incrementally maintained group_delay over a growing node sequence.
+///
+/// After i push() calls, result() is identical (bit for bit) to
+/// group_delay(span of those i nodes, mode). The study engine evaluates
+/// every replication prefix 0..k of a selection, so recomputing the
+/// all-pairs matrix per prefix costs O(k^2) pair_delay edge computations
+/// per prefix — O(k^3) total, with pair_delay (interval algebra) the
+/// expensive part. Growing the matrix one node at a time computes each
+/// edge exactly once: adding node v sets dist(i,v) = min_j dist(i,j) +
+/// edge(j,v) and dist(v,j) symmetrically, then relaxes old pairs through
+/// v — exact for nonnegative weights, because a shortest path in the new
+/// graph either avoids v (old distance) or passes through v once.
+class IncrementalGroupDelay {
+ public:
+  explicit IncrementalGroupDelay(RendezvousMode mode) : mode_(mode) {}
+
+  /// Appends the next node. Empty schedules are recorded (they keep their
+  /// slot in the input indexing) but never participate.
+  void push(const DaySchedule& node);
+
+  /// Equivalent of group_delay over every node pushed so far.
+  GroupDelayResult result() const;
+
+  std::size_t pushed() const { return pushed_; }
+
+ private:
+  Seconds at(std::size_t i, std::size_t j) const {
+    return dist_[i * participants_.size() + j];
+  }
+
+  RendezvousMode mode_;
+  std::size_t pushed_ = 0;
+  std::vector<DaySchedule> participants_;  // non-empty pushed nodes
+  std::vector<std::size_t> index_;         // their slots in push order
+  std::vector<Seconds> dist_;              // shortest delays, row-major
+};
+
 }  // namespace dosn::interval

@@ -36,6 +36,31 @@ Seconds worst_observed_delay(const DaySchedule& reader, Seconds actual) {
   return worst;
 }
 
+DelayPrefixEvaluator::DelayPrefixEvaluator(const DaySchedule& owner,
+                                           Connectivity connectivity)
+    : group_(mode_of(connectivity)) {
+  nodes_.push_back(owner);
+  group_.push(owner);
+}
+
+void DelayPrefixEvaluator::push(const DaySchedule& replica) {
+  nodes_.push_back(replica);
+  group_.push(replica);
+}
+
+DelayResult DelayPrefixEvaluator::result() const {
+  const auto group = group_.result();
+
+  DelayResult result;
+  result.nodes = group.participants;
+  result.fully_connected = group.fully_connected;
+  result.actual = group.diameter;
+  if (group.participants >= 2)
+    result.observed =
+        worst_observed_delay(nodes_[group.worst_target], group.diameter);
+  return result;
+}
+
 DelayResult update_propagation_delay(const DaySchedule& owner,
                                      std::span<const DaySchedule> replicas,
                                      Connectivity connectivity) {

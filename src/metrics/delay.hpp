@@ -23,8 +23,10 @@
 
 #include <optional>
 #include <span>
+#include <vector>
 
 #include "interval/day_schedule.hpp"
+#include "interval/delay_graph.hpp"
 #include "placement/policy.hpp"
 
 namespace dosn::metrics {
@@ -70,5 +72,25 @@ DelayResult update_propagation_delay(const DaySchedule& owner,
 /// `actual` seconds: max over windows of that length ending at an online
 /// instant of the reader. Exposed for testing.
 Seconds worst_observed_delay(const DaySchedule& reader, Seconds actual);
+
+/// update_propagation_delay over growing replica prefixes. After pushing
+/// replicas r_0..r_{i-1}, result() is identical (bit for bit) to
+/// update_propagation_delay(owner, {r_0..r_{i-1}}, connectivity), but the
+/// whole prefix sequence costs one pair_delay per ordered node pair instead
+/// of one per pair per prefix.
+class DelayPrefixEvaluator {
+ public:
+  DelayPrefixEvaluator(const DaySchedule& owner, Connectivity connectivity);
+
+  /// Appends the next replica of the selection order.
+  void push(const DaySchedule& replica);
+
+  /// Delay metrics for the owner plus every replica pushed so far.
+  DelayResult result() const;
+
+ private:
+  std::vector<DaySchedule> nodes_;  ///< owner first, then pushed replicas
+  interval::IncrementalGroupDelay group_;
+};
 
 }  // namespace dosn::metrics

@@ -1,13 +1,212 @@
 #include "placement/max_av.hpp"
 
 #include <algorithm>
+#include <queue>
 
 namespace dosn::placement {
 
 using interval::IntervalSet;
 
-MaxAvPolicy::MaxAvPolicy(MaxAvObjective objective, bool conrep_least_overlap)
-    : objective_(objective), conrep_least_overlap_(conrep_least_overlap) {}
+namespace {
+
+// Both MaxAv universes (schedule seconds, activity instants) are covered
+// through the same greedy skeleton, abstracted as an oracle:
+//   gain(i)    — marginal coverage candidate i adds to the covered set;
+//   overlap(i) — measure of candidate i's schedule already covered (the
+//                ConRep least-overlap tie-break);
+//   commit(i)  — fold candidate i into the covered set.
+// Coverage only grows, so gain(i) is non-increasing and overlap(i)
+// non-decreasing across rounds (submodularity) — the property the lazy
+// evaluation below relies on.
+
+struct ScheduleOracle {
+  const PlacementContext& context;
+  IntervalSet covered;
+
+  std::int64_t gain(std::size_t i) const {
+    return context.schedule_of(context.candidates[i])
+        .set()
+        .subtract(covered)
+        .measure();
+  }
+  std::int64_t overlap(std::size_t i) const {
+    return context.schedule_of(context.candidates[i])
+        .set()
+        .intersection_measure(covered);
+  }
+  void commit(std::size_t i) {
+    covered =
+        covered.unite(context.schedule_of(context.candidates[i]).set());
+  }
+};
+
+struct ActivityOracle {
+  const PlacementContext& context;
+  std::vector<Seconds> points;     // activity instants (time-of-day)
+  std::vector<bool> covered;       // parallel to points
+
+  std::int64_t gain(std::size_t i) const {
+    const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+    std::int64_t g = 0;
+    for (std::size_t p = 0; p < points.size(); ++p)
+      if (!covered[p] && cand.set().contains(points[p])) ++g;
+    return g;
+  }
+  std::int64_t overlap(std::size_t i) const {
+    const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+    std::int64_t o = 0;
+    for (std::size_t p = 0; p < points.size(); ++p)
+      if (covered[p] && cand.set().contains(points[p])) ++o;
+    return o;
+  }
+  void commit(std::size_t i) {
+    const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+    for (std::size_t p = 0; p < points.size(); ++p)
+      if (!covered[p] && cand.set().contains(points[p])) covered[p] = true;
+  }
+};
+
+/// Reference greedy: full rescan of every candidate per round. Used for the
+/// ConRep least-overlap rule (whose compound key does not cache as cheaply)
+/// and, via MaxAvPolicy's `lazy` switch, as the baseline the benchmarks and
+/// equivalence tests compare the CELF path against.
+template <typename Oracle>
+std::vector<UserId> greedy_eager(const PlacementContext& context,
+                                 Oracle& oracle,
+                                 DaySchedule connectivity_union,
+                                 bool least_overlap) {
+  const bool conrep = context.connectivity == Connectivity::kConRep;
+  const bool by_overlap = conrep && least_overlap;
+
+  std::vector<UserId> chosen;
+  std::vector<bool> used(context.candidates.size(), false);
+
+  while (chosen.size() < context.max_replicas) {
+    std::ptrdiff_t best = -1;
+    std::int64_t best_gain = 0;
+    std::int64_t best_overlap = 0;
+    for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+      if (used[i]) continue;
+      const DaySchedule& cand = context.schedule_of(context.candidates[i]);
+      if (conrep &&
+          !detail::is_connected(cand, connectivity_union, !chosen.empty()))
+        continue;
+      const std::int64_t gain = oracle.gain(i);
+      if (gain <= 0) continue;
+      bool better = false;
+      if (by_overlap) {
+        const std::int64_t overlap = oracle.overlap(i);
+        better = best < 0 || overlap < best_overlap ||
+                 (overlap == best_overlap && gain > best_gain);
+        if (better) best_overlap = overlap;
+      } else {
+        better = gain > best_gain;
+      }
+      if (better) {
+        best = static_cast<std::ptrdiff_t>(i);
+        best_gain = gain;
+      }
+    }
+    if (best < 0) break;  // no candidate improves coverage (or none connected)
+    const std::size_t idx = static_cast<std::size_t>(best);
+    used[idx] = true;
+    chosen.push_back(context.candidates[idx]);
+    oracle.commit(idx);
+    connectivity_union =
+        connectivity_union.unite(context.schedule_of(context.candidates[idx]));
+  }
+  return chosen;
+}
+
+/// CELF lazy-greedy entry: the cached gain is an upper bound on the true
+/// marginal gain because coverage only grows.
+struct LazyEntry {
+  std::int64_t gain = 0;
+  std::size_t index = 0;
+  std::size_t stamp = 0;  ///< |chosen| at the time `gain` was computed
+};
+
+/// Max-heap order: larger gain first; on equal gain, lower candidate index
+/// first — exactly the eager scan's "first strict maximum" tie-break.
+struct LazyEntryLess {
+  bool operator()(const LazyEntry& a, const LazyEntry& b) const {
+    if (a.gain != b.gain) return a.gain < b.gain;
+    return a.index > b.index;
+  }
+};
+
+/// CELF lazy-greedy (Leskovec et al., "Cost-effective Outbreak Detection"):
+/// pop the largest cached gain; if it was computed this round it is exact
+/// and beats every other upper bound, so select it without rescanning;
+/// otherwise recompute, reinsert, repeat. Candidates whose recomputed gain
+/// drops to zero are discarded permanently (gains never recover), while
+/// ConRep-disconnected candidates are parked for the round and re-enter the
+/// heap afterwards (connectivity can open up as the union grows). Produces
+/// bit-identical selections to greedy_eager.
+template <typename Oracle>
+std::vector<UserId> greedy_lazy(const PlacementContext& context,
+                                Oracle& oracle,
+                                DaySchedule connectivity_union) {
+  const bool conrep = context.connectivity == Connectivity::kConRep;
+
+  std::priority_queue<LazyEntry, std::vector<LazyEntry>, LazyEntryLess> heap;
+  for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+    const std::int64_t gain = oracle.gain(i);
+    if (gain > 0) heap.push({gain, i, 0});
+  }
+
+  std::vector<UserId> chosen;
+  std::vector<LazyEntry> parked;  // disconnected this round
+  while (chosen.size() < context.max_replicas && !heap.empty()) {
+    std::ptrdiff_t picked = -1;
+    while (!heap.empty()) {
+      LazyEntry top = heap.top();
+      heap.pop();
+      if (conrep &&
+          !detail::is_connected(
+              context.schedule_of(context.candidates[top.index]),
+              connectivity_union, !chosen.empty())) {
+        parked.push_back(top);
+        continue;
+      }
+      if (top.stamp == chosen.size()) {
+        picked = static_cast<std::ptrdiff_t>(top.index);
+        break;
+      }
+      top.gain = oracle.gain(top.index);
+      if (top.gain <= 0) continue;
+      top.stamp = chosen.size();
+      heap.push(top);
+    }
+    if (picked < 0) break;  // nothing connected improves coverage
+    const std::size_t idx = static_cast<std::size_t>(picked);
+    chosen.push_back(context.candidates[idx]);
+    oracle.commit(idx);
+    connectivity_union =
+        connectivity_union.unite(context.schedule_of(context.candidates[idx]));
+    for (const LazyEntry& e : parked) heap.push(e);
+    parked.clear();
+  }
+  return chosen;
+}
+
+template <typename Oracle>
+std::vector<UserId> run_greedy(const PlacementContext& context,
+                               Oracle& oracle, const DaySchedule& owner,
+                               bool least_overlap, bool lazy) {
+  const bool by_overlap =
+      context.connectivity == Connectivity::kConRep && least_overlap;
+  if (lazy && !by_overlap) return greedy_lazy(context, oracle, owner);
+  return greedy_eager(context, oracle, owner, least_overlap);
+}
+
+}  // namespace
+
+MaxAvPolicy::MaxAvPolicy(MaxAvObjective objective, bool conrep_least_overlap,
+                         bool lazy)
+    : objective_(objective),
+      conrep_least_overlap_(conrep_least_overlap),
+      lazy_(lazy) {}
 
 std::string MaxAvPolicy::name() const {
   switch (objective_) {
@@ -27,99 +226,30 @@ std::vector<UserId> MaxAvPolicy::select(const PlacementContext& context,
 
 std::vector<UserId> MaxAvPolicy::select_schedule_cover(
     const PlacementContext& context) const {
-  const bool conrep = context.connectivity == Connectivity::kConRep;
   const DaySchedule& owner = context.schedule_of(context.user);
-
-  IntervalSet covered;
-  if (objective_ == MaxAvObjective::kAvailability) covered = owner.set();
-  DaySchedule connectivity_union = owner;
-
-  std::vector<UserId> chosen;
-  std::vector<bool> used(context.candidates.size(), false);
-
-  while (chosen.size() < context.max_replicas) {
-    std::ptrdiff_t best = -1;
-    Seconds best_gain = 0;
-    Seconds best_overlap = 0;
-    for (std::size_t i = 0; i < context.candidates.size(); ++i) {
-      if (used[i]) continue;
-      const DaySchedule& cand = context.schedule_of(context.candidates[i]);
-      if (conrep &&
-          !detail::is_connected(cand, connectivity_union, !chosen.empty()))
-        continue;
-      const Seconds gain = cand.set().subtract(covered).measure();
-      if (gain <= 0) continue;
-      bool better = false;
-      if (conrep && conrep_least_overlap_) {
-        const Seconds overlap = cand.set().intersection_measure(covered);
-        better = best < 0 || overlap < best_overlap ||
-                 (overlap == best_overlap && gain > best_gain);
-        if (better) best_overlap = overlap;
-      } else {
-        better = gain > best_gain;
-      }
-      if (better) {
-        best = static_cast<std::ptrdiff_t>(i);
-        best_gain = gain;
-      }
-    }
-    if (best < 0) break;  // no candidate improves coverage (or none connected)
-    used[static_cast<std::size_t>(best)] = true;
-    const UserId f = context.candidates[static_cast<std::size_t>(best)];
-    chosen.push_back(f);
-    covered = covered.unite(context.schedule_of(f).set());
-    connectivity_union = connectivity_union.unite(context.schedule_of(f));
-  }
-  return chosen;
+  ScheduleOracle oracle{context,
+                        objective_ == MaxAvObjective::kAvailability
+                            ? owner.set()
+                            : IntervalSet{}};
+  return run_greedy(context, oracle, owner, conrep_least_overlap_, lazy_);
 }
 
 std::vector<UserId> MaxAvPolicy::select_activity_cover(
     const PlacementContext& context) const {
   DOSN_REQUIRE(context.trace != nullptr,
                "MaxAv(aod-activity) needs the activity trace");
-  const bool conrep = context.connectivity == Connectivity::kConRep;
   const DaySchedule& owner = context.schedule_of(context.user);
 
   // Universe: time-of-day instants of the activities received on the
   // user's profile in the observed past.
-  std::vector<Seconds> points;
+  ActivityOracle oracle{context, {}, {}};
   for (const auto& a : context.trace->received_by(context.user))
-    points.push_back(interval::time_of_day(a.timestamp));
-  std::vector<bool> covered(points.size(), false);
-  for (std::size_t p = 0; p < points.size(); ++p)
-    if (owner.set().contains(points[p])) covered[p] = true;
+    oracle.points.push_back(interval::time_of_day(a.timestamp));
+  oracle.covered.assign(oracle.points.size(), false);
+  for (std::size_t p = 0; p < oracle.points.size(); ++p)
+    if (owner.set().contains(oracle.points[p])) oracle.covered[p] = true;
 
-  DaySchedule connectivity_union = owner;
-  std::vector<UserId> chosen;
-  std::vector<bool> used(context.candidates.size(), false);
-
-  while (chosen.size() < context.max_replicas) {
-    std::ptrdiff_t best = -1;
-    std::size_t best_gain = 0;
-    for (std::size_t i = 0; i < context.candidates.size(); ++i) {
-      if (used[i]) continue;
-      const DaySchedule& cand = context.schedule_of(context.candidates[i]);
-      if (conrep &&
-          !detail::is_connected(cand, connectivity_union, !chosen.empty()))
-        continue;
-      std::size_t gain = 0;
-      for (std::size_t p = 0; p < points.size(); ++p)
-        if (!covered[p] && cand.set().contains(points[p])) ++gain;
-      if (gain > best_gain) {
-        best = static_cast<std::ptrdiff_t>(i);
-        best_gain = gain;
-      }
-    }
-    if (best < 0) break;
-    used[static_cast<std::size_t>(best)] = true;
-    const UserId f = context.candidates[static_cast<std::size_t>(best)];
-    chosen.push_back(f);
-    const DaySchedule& sched = context.schedule_of(f);
-    for (std::size_t p = 0; p < points.size(); ++p)
-      if (!covered[p] && sched.set().contains(points[p])) covered[p] = true;
-    connectivity_union = connectivity_union.unite(sched);
-  }
-  return chosen;
+  return run_greedy(context, oracle, owner, conrep_least_overlap_, lazy_);
 }
 
 }  // namespace dosn::placement

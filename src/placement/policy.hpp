@@ -93,6 +93,10 @@ struct PolicyParams {
   /// candidates, the one whose schedule overlaps the covered set least;
   /// the default picks the one adding the most uncovered time.
   bool conrep_least_overlap = false;
+  /// MaxAv implementation switch: CELF lazy greedy (default) or the
+  /// reference full-rescan greedy. Both produce identical selections;
+  /// `false` exists for benchmarks and equivalence tests.
+  bool maxav_lazy = true;
   /// Hybrid policy: weight of the activity component in [0, 1].
   double hybrid_alpha = 0.5;
 };

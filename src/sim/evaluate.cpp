@@ -1,5 +1,8 @@
 #include "sim/evaluate.hpp"
 
+#include <algorithm>
+#include <limits>
+
 namespace dosn::sim {
 
 UserMetrics evaluate_user(const trace::Dataset& dataset,
@@ -40,6 +43,104 @@ UserMetrics evaluate_user(const trace::Dataset& dataset,
   m.delay_observed_h = delay.observed_hours();
   m.replicas_used = static_cast<double>(replica_holders.size());
   return m;
+}
+
+std::vector<UserMetrics> evaluate_user_prefixes(
+    const trace::Dataset& dataset, std::span<const DaySchedule> schedules,
+    graph::UserId u, std::span<const graph::UserId> selected,
+    placement::Connectivity connectivity, std::size_t k_max) {
+  DOSN_REQUIRE(schedules.size() == dataset.num_users(),
+               "evaluate_user: schedule count mismatch");
+  const DaySchedule& owner = schedules[u];
+  const std::size_t take_max = std::min(k_max, selected.size());
+
+  std::vector<DaySchedule> contacts;
+  for (graph::UserId f : dataset.graph.contacts(u))
+    contacts.push_back(schedules[f]);
+
+  // Prefix-independent pieces, computed once.
+  const double max_availability =
+      metrics::max_achievable_availability(owner, contacts);
+  DaySchedule demand;
+  for (const auto& f : contacts) demand = demand.unite(f);
+  const interval::Seconds demand_s = demand.online_seconds();
+
+  // Each received activity is served at prefix k iff the profile union of
+  // that prefix covers its time-of-day instant. The profile only grows, so
+  // the activity has a smallest serving prefix: 0 when the owner covers the
+  // instant, i + 1 when replica i is the first holder that does, never
+  // otherwise. Bucket counts by that threshold; running sums then give the
+  // served counts of every prefix.
+  std::vector<std::size_t> expected_at(take_max + 1, 0);
+  std::vector<std::size_t> unexpected_at(take_max + 1, 0);
+  std::size_t expected_total = 0, unexpected_total = 0;
+  for (const auto& a : dataset.trace.received_by(u)) {
+    const interval::Seconds tod = interval::time_of_day(a.timestamp);
+    DOSN_ASSERT(a.creator < schedules.size());
+    const bool is_expected = schedules[a.creator].set().contains(tod);
+    (is_expected ? expected_total : unexpected_total) += 1;
+    std::size_t first = std::numeric_limits<std::size_t>::max();
+    if (owner.set().contains(tod)) {
+      first = 0;
+    } else {
+      for (std::size_t i = 0; i < take_max; ++i) {
+        DOSN_ASSERT(selected[i] < schedules.size());
+        if (schedules[selected[i]].set().contains(tod)) {
+          first = i + 1;
+          break;
+        }
+      }
+    }
+    if (first <= take_max) (is_expected ? expected_at : unexpected_at)[first] += 1;
+  }
+
+  metrics::DelayPrefixEvaluator delay(owner, connectivity);
+  DaySchedule profile = owner;
+  std::size_t expected_served = 0, unexpected_served = 0;
+
+  std::vector<UserMetrics> out;
+  out.reserve(k_max + 1);
+  for (std::size_t k = 0; k <= k_max; ++k) {
+    if (k >= 1 && k <= take_max) {
+      const DaySchedule& added = schedules[selected[k - 1]];
+      profile = profile.unite(added);
+      delay.push(added);
+      expected_served += expected_at[k];
+      unexpected_served += unexpected_at[k];
+    } else if (k == 0) {
+      expected_served += expected_at[0];
+      unexpected_served += unexpected_at[0];
+    }
+
+    UserMetrics m;
+    m.availability = profile.coverage();
+    m.max_availability = max_availability;
+    m.aod_time = demand_s == 0
+                     ? 1.0
+                     : static_cast<double>(demand.overlap_seconds(profile)) /
+                           static_cast<double>(demand_s);
+
+    const std::size_t total = expected_total + unexpected_total;
+    m.aod_activity =
+        total > 0 ? static_cast<double>(expected_served + unexpected_served) /
+                        static_cast<double>(total)
+                  : 1.0;
+    m.aod_activity_expected =
+        expected_total > 0 ? static_cast<double>(expected_served) /
+                                 static_cast<double>(expected_total)
+                           : 1.0;
+    m.aod_activity_unexpected =
+        unexpected_total > 0 ? static_cast<double>(unexpected_served) /
+                                   static_cast<double>(unexpected_total)
+                             : 1.0;
+
+    const auto d = delay.result();
+    m.delay_actual_h = d.actual_hours();
+    m.delay_observed_h = d.observed_hours();
+    m.replicas_used = static_cast<double>(std::min(k, selected.size()));
+    out.push_back(m);
+  }
+  return out;
 }
 
 }  // namespace dosn::sim

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "interval/day_schedule.hpp"
 #include "metrics/availability.hpp"
@@ -33,5 +34,19 @@ UserMetrics evaluate_user(const trace::Dataset& dataset,
                           graph::UserId u,
                           std::span<const graph::UserId> replica_holders,
                           placement::Connectivity connectivity);
+
+/// Evaluates user `u` at every replication prefix of `selected` at once:
+/// element k of the result equals
+/// evaluate_user(dataset, schedules, u, selected[0..min(k, |selected|)), c)
+/// bit for bit, for k = 0..k_max. One pass shares the work the per-prefix
+/// evaluation repeats: contacts, the demand union, and the availability
+/// bound are computed once; the profile union grows incrementally; each
+/// activity is classified once (the smallest prefix that serves it, which
+/// is monotone because the profile only grows); and the delay graph grows
+/// one node per prefix instead of being rebuilt (DelayPrefixEvaluator).
+std::vector<UserMetrics> evaluate_user_prefixes(
+    const trace::Dataset& dataset, std::span<const DaySchedule> schedules,
+    graph::UserId u, std::span<const graph::UserId> selected,
+    placement::Connectivity connectivity, std::size_t k_max);
 
 }  // namespace dosn::sim

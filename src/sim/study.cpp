@@ -69,6 +69,13 @@ CohortMetrics average_runs(std::span<const CohortMetrics> runs) {
   return out;
 }
 
+// Sweep tags feeding sweep_stream: distinct constants per sweep so the
+// same (x, policy, rep) cell of different sweeps never shares a stream.
+constexpr std::uint64_t kReplicationTag = 0x4e97;
+constexpr std::uint64_t kSessionTag = 0x3e55;
+constexpr std::uint64_t kDegreeTag = 0xde60;
+constexpr std::uint64_t kSamplesTag = 0xd158;
+
 }  // namespace
 
 std::string to_string(Metric metric) {
@@ -125,9 +132,12 @@ std::vector<CohortMetrics> Study::evaluate_policy_over_ks(
     const placement::ReplicaPolicy& policy,
     const placement::PolicyParams& /*params*/,
     placement::Connectivity connectivity, std::size_t k_max,
-    util::Rng& rng) const {
-  std::vector<Accum> accum(k_max + 1);
-  for (graph::UserId u : cohort_users) {
+    std::uint64_t stream_seed, util::ThreadPool& pool) const {
+  // Phase 1 (parallel): each user evaluates independently into its own
+  // slot, drawing from its own RNG stream — no shared mutable state.
+  std::vector<std::vector<UserMetrics>> per_user(cohort_users.size());
+  util::parallel_for_each(&pool, cohort_users.size(), [&](std::size_t i) {
+    const graph::UserId u = cohort_users[i];
     placement::PlacementContext context;
     context.user = u;
     context.candidates = dataset_.graph.contacts(u);
@@ -135,13 +145,18 @@ std::vector<CohortMetrics> Study::evaluate_policy_over_ks(
     context.trace = &dataset_.trace;
     context.connectivity = connectivity;
     context.max_replicas = k_max;
+    util::Rng rng(util::mix64(stream_seed, u));
     const auto selected = policy.select(context, rng);
-    for (std::size_t k = 0; k <= k_max; ++k) {
-      const std::size_t take = std::min(k, selected.size());
-      const std::span<const graph::UserId> prefix{selected.data(), take};
-      accum[k].add(evaluate_user(dataset_, schedules, u, prefix, connectivity));
-    }
-  }
+    per_user[i] = evaluate_user_prefixes(dataset_, schedules, u, selected,
+                                         connectivity, k_max);
+  });
+
+  // Phase 2 (serial): reduce in cohort index order. Floating-point
+  // accumulation is order-dependent, so this fixed order is what makes the
+  // result bit-identical for every thread count.
+  std::vector<Accum> accum(k_max + 1);
+  for (const auto& rows : per_user)
+    for (std::size_t k = 0; k <= k_max; ++k) accum[k].add(rows[k]);
   std::vector<CohortMetrics> out;
   out.reserve(k_max + 1);
   for (const auto& a : accum) out.push_back(a.mean());
@@ -180,20 +195,20 @@ SweepResult Study::replication_sweep(const onlinetime::OnlineTimeModel& model,
   for (std::size_t k = 0; k <= options.k_max; ++k)
     result.xs.push_back(static_cast<double>(k));
 
-  for (placement::PolicyKind kind : options.policies) {
+  util::ThreadPool pool(options.threads);
+  for (std::size_t p = 0; p < options.policies.size(); ++p) {
+    const placement::PolicyKind kind = options.policies[p];
     const auto policy = placement::make_policy(kind, options.policy_params);
     const std::size_t reps =
         (model.randomized() || policy->randomized()) ? options.repetitions
                                                      : 1;
     std::vector<std::vector<CohortMetrics>> runs;
     for (std::size_t r = 0; r < reps; ++r) {
-      util::Rng rng(util::mix64(
-          seed_, (static_cast<std::uint64_t>(kind) + 1) * 1000 + r));
       const auto& sched = schedules[model.randomized() ? r : 0];
-      runs.push_back(evaluate_policy_over_ks(sched, cohort_users, *policy,
-                                             options.policy_params,
-                                             connectivity, options.k_max,
-                                             rng));
+      runs.push_back(evaluate_policy_over_ks(
+          sched, cohort_users, *policy, options.policy_params, connectivity,
+          options.k_max, sweep_stream(seed_, kReplicationTag, 0, p, r),
+          pool));
     }
     PolicyCurve curve;
     curve.policy_name = policy->name();
@@ -231,6 +246,7 @@ SweepResult Study::session_length_sweep(
     result.policies[p].policy = options.policies[p];
   }
 
+  util::ThreadPool pool(options.threads);
   for (std::size_t xi = 0; xi < session_lengths.size(); ++xi) {
     const onlinetime::SporadicModel model(session_lengths[xi]);
     util::Rng model_rng(util::mix64(seed_, 0x3e550000 + xi));
@@ -243,10 +259,9 @@ SweepResult Study::session_length_sweep(
           policy->randomized() ? options.repetitions : 1;
       std::vector<CohortMetrics> runs;
       for (std::size_t r = 0; r < reps; ++r) {
-        util::Rng rng(util::mix64(seed_, xi * 7919 + p * 131 + r));
         const auto by_k = evaluate_policy_over_ks(
             sched, cohort_users, *policy, options.policy_params, connectivity,
-            k, rng);
+            k, sweep_stream(seed_, kSessionTag, xi, p, r), pool);
         runs.push_back(by_k.back());  // the fixed-k point
       }
       result.policies[p].points.push_back(average_runs(runs));
@@ -268,11 +283,13 @@ std::vector<UserMetrics> Study::cohort_samples(
   const auto schedules = model->schedules(dataset_, model_rng);
   const auto policy = placement::make_policy(policy_kind,
                                              options.policy_params);
-  util::Rng rng(util::mix64(seed_, 0xd158));
+  const std::uint64_t stream_seed = sweep_stream(
+      seed_, kSamplesTag, 0, static_cast<std::uint64_t>(policy_kind), 0);
 
-  std::vector<UserMetrics> samples;
-  samples.reserve(cohort_users.size());
-  for (graph::UserId u : cohort_users) {
+  util::ThreadPool pool(options.threads);
+  std::vector<UserMetrics> samples(cohort_users.size());
+  util::parallel_for_each(&pool, cohort_users.size(), [&](std::size_t i) {
+    const graph::UserId u = cohort_users[i];
     placement::PlacementContext context;
     context.user = u;
     context.candidates = dataset_.graph.contacts(u);
@@ -280,10 +297,11 @@ std::vector<UserMetrics> Study::cohort_samples(
     context.trace = &dataset_.trace;
     context.connectivity = connectivity;
     context.max_replicas = k;
+    util::Rng rng(util::mix64(stream_seed, u));
     const auto selected = policy->select(context, rng);
-    samples.push_back(
-        evaluate_user(dataset_, schedules, u, selected, connectivity));
-  }
+    samples[i] =
+        evaluate_user(dataset_, schedules, u, selected, connectivity);
+  });
   return samples;
 }
 
@@ -325,6 +343,7 @@ SweepResult Study::user_degree_sweep(std::size_t max_degree,
     result.policies[p].policy = options.policies[p];
   }
 
+  util::ThreadPool pool(options.threads);
   for (std::size_t d = 1; d <= max_degree; ++d) {
     const auto cohort_users = cohort(d);
     for (std::size_t p = 0; p < options.policies.size(); ++p) {
@@ -339,12 +358,10 @@ SweepResult Study::user_degree_sweep(std::size_t max_degree,
                                                        : 1;
       std::vector<CohortMetrics> runs;
       for (std::size_t r = 0; r < reps; ++r) {
-        util::Rng rng(util::mix64(seed_, d * 104729 + p * 131 + r));
         const auto& sched = schedules[model.randomized() ? r : 0];
-        const auto by_k =
-            evaluate_policy_over_ks(sched, cohort_users, *policy,
-                                    options.policy_params, connectivity,
-                                    /*k_max=*/d, rng);
+        const auto by_k = evaluate_policy_over_ks(
+            sched, cohort_users, *policy, options.policy_params, connectivity,
+            /*k_max=*/d, sweep_stream(seed_, kDegreeTag, d, p, r), pool);
         runs.push_back(by_k.back());  // k = user degree (max possible)
       }
       result.policies[p].points.push_back(average_runs(runs));

@@ -15,6 +15,13 @@
 // components draw randomness (Random placement, RandomLength model) are
 // repeated and averaged (default 5 repetitions); deterministic experiments
 // run once. Everything derives from one seed.
+//
+// Parallel execution: cohort users are evaluated concurrently on a
+// deterministic util::ThreadPool. Every (sweep cell, user) pair draws from
+// its own RNG stream derived with util::mix64, and per-user results are
+// reduced in cohort index order, so for a fixed seed the output is
+// bit-identical for every thread count (Options::threads / DOSN_THREADS),
+// including the serial threads = 1 reference.
 #pragma once
 
 #include <string>
@@ -23,6 +30,7 @@
 #include "onlinetime/model.hpp"
 #include "sim/evaluate.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace dosn::sim {
 
@@ -54,6 +62,19 @@ enum class Metric {
 
 std::string to_string(Metric metric);
 double metric_value(const CohortMetrics& m, Metric metric);
+
+/// Collision-free RNG stream id for one sweep cell. `tag` identifies the
+/// sweep, `x` the sweep position (session-length index, user degree, ...),
+/// `policy` the policy slot and `rep` the repetition. The nested mix64
+/// guarantees distinct cells get uncorrelated streams — unlike additive
+/// schemes (e.g. `x*7919 + policy*131 + rep`) where distinct cells can
+/// alias (x=0,policy=1,rep=0 vs x=0,policy=0,rep=131).
+constexpr std::uint64_t sweep_stream(std::uint64_t seed, std::uint64_t tag,
+                                     std::uint64_t x, std::uint64_t policy,
+                                     std::uint64_t rep) {
+  return util::mix64(util::mix64(seed, tag),
+                     util::mix64(util::mix64(x, policy), rep));
+}
 
 /// One policy's curve across the sweep's x axis.
 struct PolicyCurve {
@@ -88,6 +109,10 @@ struct StudyOptions {
       placement::PolicyKind::kMaxAv, placement::PolicyKind::kMostActive,
       placement::PolicyKind::kRandom};
   placement::PolicyParams policy_params;
+  /// Worker threads for cohort evaluation. 0 = the DOSN_THREADS
+  /// environment variable, falling back to the hardware concurrency.
+  /// Results are bit-identical for every value; 1 runs fully serial.
+  std::size_t threads = 0;
 };
 
 class Study {
@@ -140,14 +165,17 @@ class Study {
 
  private:
   /// Averages user metrics over `cohort` for each k in 0..k_max for one
-  /// policy under one set of schedules.
+  /// policy under one set of schedules. Users fan out across `pool`; user
+  /// i draws from the stream mix64(stream_seed, user_id), and per-user
+  /// rows merge in cohort index order, so the result does not depend on
+  /// the pool's thread count.
   std::vector<CohortMetrics> evaluate_policy_over_ks(
       std::span<const DaySchedule> schedules,
       std::span<const graph::UserId> cohort_users,
       const placement::ReplicaPolicy& policy,
       const placement::PolicyParams& params,
       placement::Connectivity connectivity, std::size_t k_max,
-      util::Rng& rng) const;
+      std::uint64_t stream_seed, util::ThreadPool& pool) const;
 
   const trace::Dataset& dataset_;
   std::uint64_t seed_;

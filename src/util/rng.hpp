@@ -32,6 +32,14 @@ constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
   return splitmix64(s);
 }
 
+/// Nested three-way mix: collision-free stream ids for (entity, index,
+/// repetition) triples. Unlike additive schemes such as `a*P + b*Q + c`,
+/// distinct triples cannot alias for small coordinate values.
+constexpr std::uint64_t mix64(std::uint64_t a, std::uint64_t b,
+                              std::uint64_t c) {
+  return mix64(mix64(a, b), c);
+}
+
 /// xoshiro256** engine. Satisfies std::uniform_random_bit_generator, so it
 /// can also feed std::shuffle etc., but the member helpers below are the
 /// portable way to draw values.

@@ -2,8 +2,11 @@
 // worked example (Fig 1: 48h - d1 - d2 across a three-replica chain).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "metrics/delay.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 
 namespace dosn::metrics {
 namespace {
@@ -175,6 +178,79 @@ TEST(Delay, ObservedNeverExceedsActual) {
       update_propagation_delay(owner, reps, Connectivity::kConRep);
   EXPECT_LE(r.observed, r.actual);
   EXPECT_GT(r.observed, 0);
+}
+
+// --- incremental prefix evaluation -------------------------------------
+
+DaySchedule random_schedule(util::Rng& rng) {
+  // 0..3 pieces; zero pieces = an empty (never-online) schedule, which must
+  // be recorded but skipped as a participant.
+  interval::IntervalSet s;
+  const auto pieces = rng.range(0, 3);
+  for (Seconds p = 0; p < pieces; ++p) {
+    const Seconds start = rng.range(0, interval::kDaySeconds - 7200);
+    const Seconds len = rng.range(600, 6 * kH);
+    s.add(start, std::min(start + len, interval::kDaySeconds));
+  }
+  return DaySchedule(std::move(s));
+}
+
+TEST(IncrementalGroupDelay, MatchesBatchGroupDelayOnRandomSequences) {
+  util::Rng rng(0xd31a);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto mode = trial % 2 == 0 ? interval::RendezvousMode::kDirect
+                                     : interval::RendezvousMode::kRelay;
+    interval::IncrementalGroupDelay inc(mode);
+    std::vector<DaySchedule> nodes;
+    const auto n = rng.range(1, 8);
+    for (Seconds i = 0; i < n; ++i) {
+      nodes.push_back(random_schedule(rng));
+      inc.push(nodes.back());
+      const auto ref = interval::group_delay(nodes, mode);
+      const auto got = inc.result();
+      EXPECT_EQ(got.diameter, ref.diameter);
+      EXPECT_EQ(got.worst_target, ref.worst_target);
+      EXPECT_EQ(got.fully_connected, ref.fully_connected);
+      EXPECT_EQ(got.participants, ref.participants);
+    }
+  }
+}
+
+TEST(IncrementalGroupDelay, EmptyAndSingleNodeResults) {
+  interval::IncrementalGroupDelay inc(interval::RendezvousMode::kDirect);
+  EXPECT_EQ(inc.result().participants, 0u);
+  inc.push(DaySchedule{});  // empty: keeps its slot, never participates
+  EXPECT_EQ(inc.result().participants, 0u);
+  inc.push(window(8, 10));
+  const auto one = inc.result();
+  EXPECT_EQ(one.participants, 1u);
+  EXPECT_EQ(one.diameter, 0);
+  EXPECT_TRUE(one.fully_connected);
+}
+
+TEST(DelayPrefixEvaluator, MatchesBatchEvaluationAtEveryPrefix) {
+  util::Rng rng(0x9e3f);
+  for (const auto connectivity :
+       {Connectivity::kConRep, Connectivity::kUnconRep}) {
+    for (int trial = 0; trial < 40; ++trial) {
+      const auto owner = random_schedule(rng);
+      DelayPrefixEvaluator inc(owner, connectivity);
+      std::vector<DaySchedule> replicas;
+      const auto n = rng.range(0, 7);
+      for (Seconds i = 0; i <= n; ++i) {
+        const auto ref =
+            update_propagation_delay(owner, replicas, connectivity);
+        const auto got = inc.result();
+        EXPECT_EQ(got.actual, ref.actual);
+        EXPECT_EQ(got.observed, ref.observed);
+        EXPECT_EQ(got.fully_connected, ref.fully_connected);
+        EXPECT_EQ(got.nodes, ref.nodes);
+        if (i == n) break;
+        replicas.push_back(random_schedule(rng));
+        inc.push(replicas.back());
+      }
+    }
+  }
 }
 
 }  // namespace

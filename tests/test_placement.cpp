@@ -181,6 +181,134 @@ TEST(MaxAv, LeastOverlapVariantPrefersSmallOverlap) {
   EXPECT_EQ(r[0], 2u);
 }
 
+TEST(MaxAv, ActivityLeastOverlapMatchesScheduleRule) {
+  // Regression: select_activity_cover used to ignore conrep_least_overlap_,
+  // so the two objectives implemented different ConRep policies. Both
+  // must now apply the least-overlap rule (overlap counted over covered
+  // activity instants for the activity objective).
+  //
+  // Owner 08-10. Activities on the profile: 09:00 (covered by the owner),
+  // 12:00 and 15:00. Candidate 1 (08:30-16:00) is connected, gains two
+  // instants but overlaps the covered 09:00 instant; candidate 2
+  // (09:30-12:30) is connected, gains one instant with zero overlap.
+  Fixture f;
+  f.candidates = {1, 2};
+  f.schedules = {window(8, 10),
+                 DaySchedule(interval::IntervalSet::single(
+                     8 * kH + 1800, 16 * kH)),
+                 DaySchedule(interval::IntervalSet::single(
+                     9 * kH + 1800, 12 * kH + 1800))};
+  f.trace = trace::ActivityTrace(
+      3, {{1, 0, 9 * kH}, {1, 0, 12 * kH}, {2, 0, 15 * kH}});
+  util::Rng rng(1);
+
+  MaxAvPolicy max_gain(MaxAvObjective::kAoDActivity);
+  const auto greedy =
+      max_gain.select(f.context(0, Connectivity::kConRep, 1), rng);
+  ASSERT_EQ(greedy.size(), 1u);
+  EXPECT_EQ(greedy[0], 1u);  // default rule: biggest gain
+
+  MaxAvPolicy least(MaxAvObjective::kAoDActivity,
+                    /*conrep_least_overlap=*/true);
+  const auto r = least.select(f.context(0, Connectivity::kConRep, 1), rng);
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_EQ(r[0], 2u);  // least-overlap rule: zero covered instants
+}
+
+TEST(MaxAv, KMaxBeyondDegreeStopsAtCandidatePool) {
+  auto f = fixture();
+  MaxAvPolicy policy;
+  util::Rng rng(1);
+  const auto r =
+      policy.select(f.context(0, Connectivity::kUnconRep, 100), rng);
+  EXPECT_LE(r.size(), f.candidates.size());
+  EXPECT_EQ(r.size(), 3u);  // friend 4 never contributes coverage
+}
+
+TEST(MaxAv, EmptyCandidateListSelectsNothing) {
+  auto f = fixture();
+  f.candidates.clear();
+  MaxAvPolicy policy;
+  util::Rng rng(1);
+  EXPECT_TRUE(
+      policy.select(f.context(0, Connectivity::kConRep, 5), rng).empty());
+  EXPECT_TRUE(
+      policy.select(f.context(0, Connectivity::kUnconRep, 5), rng).empty());
+}
+
+TEST(MaxAv, ConRepNoConnectedCandidateSelectsNothing) {
+  // Owner 08-10; every candidate 22-24: none ever connects, so the
+  // `best < 0` early break must fire on the very first round.
+  Fixture f;
+  f.candidates = {1, 2};
+  f.schedules = {window(8, 10), window(22, 24), window(22, 23)};
+  f.trace = trace::ActivityTrace(3, {});
+  util::Rng rng(1);
+  MaxAvPolicy policy;
+  EXPECT_TRUE(
+      policy.select(f.context(0, Connectivity::kConRep, 2), rng).empty());
+  MaxAvPolicy eager(MaxAvObjective::kAvailability, false, /*lazy=*/false);
+  EXPECT_TRUE(
+      eager.select(f.context(0, Connectivity::kConRep, 2), rng).empty());
+}
+
+// The CELF lazy greedy must select exactly what the reference full-rescan
+// greedy selects, for every objective and connectivity regime, on random
+// instances (including empty schedules, duplicates, and activity traces).
+class LazyEagerEquivalence
+    : public ::testing::TestWithParam<
+          std::tuple<MaxAvObjective, Connectivity>> {};
+
+TEST_P(LazyEagerEquivalence, SelectionsAreIdentical) {
+  const auto [objective, conn] = GetParam();
+  constexpr interval::Seconds kDay = 24 * kH;
+  for (std::uint64_t seed = 0; seed < 30; ++seed) {
+    util::Rng rng(seed * 7919 + 13);
+    const std::size_t n = 3 + rng.below(40);
+    Fixture f;
+    std::vector<trace::Activity> acts;
+    f.schedules.reserve(n + 1);
+    for (std::size_t u = 0; u <= n; ++u) {
+      interval::IntervalSet s;
+      const std::size_t pieces = rng.below(4);  // 0 pieces = never online
+      for (std::size_t j = 0; j < pieces; ++j) {
+        const auto start = static_cast<interval::Seconds>(
+            rng.below(static_cast<std::uint64_t>(kDay - kH)));
+        const auto len =
+            static_cast<interval::Seconds>(600 + rng.below(6 * kH));
+        s.add(start, std::min(start + len, kDay));
+      }
+      f.schedules.emplace_back(std::move(s));
+      if (u > 0) {
+        f.candidates.push_back(static_cast<UserId>(u));
+        const std::size_t posts = rng.below(5);
+        for (std::size_t a = 0; a < posts; ++a)
+          acts.push_back({static_cast<UserId>(u), 0,
+                          static_cast<interval::Seconds>(
+                              rng.below(static_cast<std::uint64_t>(kDay)))});
+      }
+    }
+    f.trace = trace::ActivityTrace(n + 1, acts);
+
+    const MaxAvPolicy lazy(objective, false, /*lazy=*/true);
+    const MaxAvPolicy eager(objective, false, /*lazy=*/false);
+    for (std::size_t k : {std::size_t{1}, std::size_t{3}, n / 2, n + 5}) {
+      util::Rng unused(1);
+      EXPECT_EQ(lazy.select(f.context(0, conn, k), unused),
+                eager.select(f.context(0, conn, k), unused))
+          << "seed=" << seed << " k=" << k;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllObjectives, LazyEagerEquivalence,
+    ::testing::Combine(::testing::Values(MaxAvObjective::kAvailability,
+                                         MaxAvObjective::kAoDTime,
+                                         MaxAvObjective::kAoDActivity),
+                       ::testing::Values(Connectivity::kConRep,
+                                         Connectivity::kUnconRep)));
+
 TEST(MostActive, RanksByInteractionCount) {
   Fixture f;
   f.candidates = {1, 2, 3};

@@ -1,6 +1,10 @@
 // Tests for the study driver: per-user evaluation and the three sweeps.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
+#include <span>
+
 #include "graph/degree_stats.hpp"
 #include "sim/study.hpp"
 #include "synth/presets.hpp"
@@ -109,6 +113,55 @@ class StudySweeps : public ::testing::Test {
 
 trace::Dataset* StudySweeps::dataset_ = nullptr;
 std::size_t StudySweeps::cohort_degree_ = 0;
+
+// The study engine evaluates every replication prefix of a selection with
+// evaluate_user_prefixes; it must reproduce the one-prefix-at-a-time
+// reference exactly (same unite fold order, same divisions, incremental
+// delay graph) — compare with EXPECT_EQ, i.e. bit-for-bit on doubles.
+TEST_F(StudySweeps, EvaluateUserPrefixesMatchesPerPrefixEvaluation) {
+  const auto model = onlinetime::make_model(ModelKind::kSporadic, {});
+  util::Rng model_rng(99);
+  const auto schedules = model->schedules(*dataset_, model_rng);
+
+  util::Rng rng(123);
+  const auto cohort_users =
+      graph::users_with_degree(dataset_->graph, cohort_degree_);
+  ASSERT_FALSE(cohort_users.empty());
+
+  std::size_t checked = 0;
+  for (graph::UserId u : cohort_users) {
+    if (checked++ >= 4) break;
+    const auto contacts = dataset_->graph.contacts(u);
+    std::vector<graph::UserId> sel(contacts.begin(), contacts.end());
+    std::shuffle(sel.begin(), sel.end(), rng);
+    // Also exercise a truncated selection on every other user.
+    if (checked % 2 == 0 && sel.size() > 2) sel.resize(sel.size() / 2);
+
+    for (const auto connectivity :
+         {Connectivity::kConRep, Connectivity::kUnconRep}) {
+      const std::size_t k_max = sel.size() + 2;  // past the selection's end
+      const auto rows = evaluate_user_prefixes(*dataset_, schedules, u, sel,
+                                               connectivity, k_max);
+      ASSERT_EQ(rows.size(), k_max + 1);
+      for (std::size_t k = 0; k <= k_max; ++k) {
+        const std::size_t take = std::min(k, sel.size());
+        const std::span<const graph::UserId> prefix{sel.data(), take};
+        const auto ref =
+            evaluate_user(*dataset_, schedules, u, prefix, connectivity);
+        EXPECT_EQ(rows[k].availability, ref.availability);
+        EXPECT_EQ(rows[k].max_availability, ref.max_availability);
+        EXPECT_EQ(rows[k].aod_time, ref.aod_time);
+        EXPECT_EQ(rows[k].aod_activity, ref.aod_activity);
+        EXPECT_EQ(rows[k].aod_activity_expected, ref.aod_activity_expected);
+        EXPECT_EQ(rows[k].aod_activity_unexpected,
+                  ref.aod_activity_unexpected);
+        EXPECT_EQ(rows[k].delay_actual_h, ref.delay_actual_h);
+        EXPECT_EQ(rows[k].delay_observed_h, ref.delay_observed_h);
+        EXPECT_EQ(rows[k].replicas_used, ref.replicas_used);
+      }
+    }
+  }
+}
 
 TEST_F(StudySweeps, ReplicationSweepShape) {
   Study study(*dataset_, 7);
@@ -236,6 +289,124 @@ TEST_F(StudySweeps, DeterministicForSameSeed) {
     for (std::size_t k = 0; k < ra.xs.size(); ++k)
       EXPECT_DOUBLE_EQ(ra.policies[p].points[k].availability,
                        rb.policies[p].points[k].availability);
+}
+
+void expect_bit_identical(const SweepResult& a, const SweepResult& b) {
+  ASSERT_EQ(a.xs, b.xs);
+  ASSERT_EQ(a.policies.size(), b.policies.size());
+  for (std::size_t p = 0; p < a.policies.size(); ++p) {
+    ASSERT_EQ(a.policies[p].points.size(), b.policies[p].points.size());
+    for (std::size_t k = 0; k < a.policies[p].points.size(); ++k) {
+      const auto& x = a.policies[p].points[k];
+      const auto& y = b.policies[p].points[k];
+      // Exact (bit-level) equality, not approximate: the parallel engine
+      // merges per-user rows in cohort index order precisely so that the
+      // thread count cannot perturb floating-point accumulation.
+      EXPECT_EQ(x.availability, y.availability) << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.max_availability, y.max_availability);
+      EXPECT_EQ(x.aod_time, y.aod_time);
+      EXPECT_EQ(x.aod_activity, y.aod_activity);
+      EXPECT_EQ(x.aod_activity_expected, y.aod_activity_expected);
+      EXPECT_EQ(x.aod_activity_unexpected, y.aod_activity_unexpected);
+      EXPECT_EQ(x.delay_actual_h, y.delay_actual_h);
+      EXPECT_EQ(x.delay_observed_h, y.delay_observed_h);
+      EXPECT_EQ(x.replicas_used, y.replicas_used);
+      EXPECT_EQ(x.cohort_size, y.cohort_size);
+    }
+  }
+}
+
+TEST_F(StudySweeps, ReplicationSweepBitIdenticalAcrossThreadCounts) {
+  Study study(*dataset_, 101);
+  auto opts = fast_options();
+  opts.threads = 1;
+  const auto serial = study.replication_sweep(ModelKind::kSporadic, {},
+                                              Connectivity::kConRep, opts);
+  for (std::size_t threads : {4u, 8u}) {
+    opts.threads = threads;
+    const auto parallel = study.replication_sweep(
+        ModelKind::kSporadic, {}, Connectivity::kConRep, opts);
+    expect_bit_identical(serial, parallel);
+  }
+}
+
+TEST_F(StudySweeps, RandomizedSweepBitIdenticalAcrossThreadCounts) {
+  // Random placement draws from per-user RNG streams, so even the
+  // randomized policies must not depend on the thread count.
+  Study study(*dataset_, 103);
+  auto opts = fast_options();
+  opts.policies = {PolicyKind::kRandom};
+  opts.threads = 1;
+  const auto serial = study.replication_sweep(ModelKind::kRandomLength, {},
+                                              Connectivity::kConRep, opts);
+  opts.threads = 8;
+  const auto parallel = study.replication_sweep(ModelKind::kRandomLength, {},
+                                                Connectivity::kConRep, opts);
+  expect_bit_identical(serial, parallel);
+}
+
+TEST_F(StudySweeps, SessionAndDegreeSweepsBitIdenticalAcrossThreadCounts) {
+  Study study(*dataset_, 107);
+  auto opts = fast_options();
+  const std::vector<interval::Seconds> lengths{600, 3600};
+
+  opts.threads = 1;
+  const auto session_serial =
+      study.session_length_sweep(lengths, 3, Connectivity::kConRep, opts);
+  const auto degree_serial = study.user_degree_sweep(
+      5, ModelKind::kSporadic, {}, Connectivity::kConRep, opts);
+
+  opts.threads = 4;
+  const auto session_parallel =
+      study.session_length_sweep(lengths, 3, Connectivity::kConRep, opts);
+  const auto degree_parallel = study.user_degree_sweep(
+      5, ModelKind::kSporadic, {}, Connectivity::kConRep, opts);
+
+  expect_bit_identical(session_serial, session_parallel);
+  expect_bit_identical(degree_serial, degree_parallel);
+}
+
+TEST_F(StudySweeps, CohortSamplesIdenticalAcrossThreadCounts) {
+  Study study(*dataset_, 109);
+  auto opts = fast_options();
+  opts.threads = 1;
+  const auto serial = study.cohort_samples(
+      ModelKind::kSporadic, {}, Connectivity::kConRep, PolicyKind::kRandom,
+      3, opts);
+  opts.threads = 8;
+  const auto parallel = study.cohort_samples(
+      ModelKind::kSporadic, {}, Connectivity::kConRep, PolicyKind::kRandom,
+      3, opts);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].availability, parallel[i].availability) << i;
+    EXPECT_EQ(serial[i].replicas_used, parallel[i].replicas_used) << i;
+    EXPECT_EQ(serial[i].delay_actual_h, parallel[i].delay_actual_h) << i;
+  }
+}
+
+TEST(SweepStream, NoCollisionsWhereAdditiveSchemeAliased) {
+  // Regression: the old additive derivation `xi*7919 + p*131 + r` made
+  // (xi=0, p=1, r=0) and (xi=0, p=0, r=131) share a stream, correlating
+  // "independent" repetitions. The nested mix64 scheme must keep every
+  // cell of a realistic sweep grid distinct.
+  constexpr std::uint64_t kSeed = 42, kTag = 0x3e55;
+  EXPECT_NE(sweep_stream(kSeed, kTag, 0, 1, 0),
+            sweep_stream(kSeed, kTag, 0, 0, 131));
+  EXPECT_NE(sweep_stream(kSeed, kTag, 1, 0, 0),
+            sweep_stream(kSeed, kTag, 0, 0, 7919));
+
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t x = 0; x < 40; ++x)
+    for (std::uint64_t p = 0; p < 6; ++p)
+      for (std::uint64_t r = 0; r < 10; ++r)
+        seen.insert(sweep_stream(kSeed, kTag, x, p, r));
+  EXPECT_EQ(seen.size(), 40u * 6u * 10u);
+
+  // Distinct sweep tags and seeds derive distinct streams too.
+  EXPECT_NE(sweep_stream(kSeed, 0x3e55, 2, 1, 0),
+            sweep_stream(kSeed, 0xde60, 2, 1, 0));
+  EXPECT_NE(sweep_stream(1, kTag, 2, 1, 0), sweep_stream(2, kTag, 2, 1, 0));
 }
 
 TEST_F(StudySweeps, CohortDegreeRespected) {

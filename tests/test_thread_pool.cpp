@@ -1,0 +1,87 @@
+// Unit tests for the deterministic fork-join thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace dosn::util {
+namespace {
+
+TEST(ThreadPool, DefaultThreadCountAtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  for (std::size_t threads : {1u, 2u, 4u, 8u}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.thread_count(), threads);
+    for (std::size_t n : {0u, 1u, 3u, 7u, 64u, 1000u}) {
+      std::vector<std::atomic<int>> hits(n);
+      pool.for_each_index(n, [&](std::size_t i) { ++hits[i]; });
+      for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " n=" << n
+                                     << " i=" << i;
+    }
+  }
+}
+
+TEST(ThreadPool, SlotResultsIndependentOfThreadCount) {
+  // The determinism contract: per-index slots filled under any thread
+  // count reduce to the same result.
+  const std::size_t n = 257;
+  std::vector<double> reference(n);
+  for (std::size_t i = 0; i < n; ++i)
+    reference[i] = static_cast<double>(i * i) * 0.5;
+
+  for (std::size_t threads : {1u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    std::vector<double> slots(n, -1.0);
+    pool.for_each_index(
+        n, [&](std::size_t i) { slots[i] = static_cast<double>(i * i) * 0.5; });
+    EXPECT_EQ(slots, reference) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, PropagatesWorkerExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.for_each_index(100,
+                                   [](std::size_t i) {
+                                     if (i == 63)
+                                       throw std::runtime_error("boom");
+                                   }),
+               std::runtime_error);
+  // The pool stays usable after a failed loop.
+  std::atomic<int> count{0};
+  pool.for_each_index(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int round = 0; round < 50; ++round)
+    pool.for_each_index(20, [&](std::size_t i) {
+      total += static_cast<long>(i);
+    });
+  EXPECT_EQ(total.load(), 50 * (19 * 20 / 2));
+}
+
+TEST(ParallelForEach, NullPoolRunsSerial) {
+  std::vector<std::size_t> order;
+  parallel_for_each(nullptr, 5, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ParallelForEach, SingleThreadPoolRunsInAscendingOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;
+  parallel_for_each(&pool, 6, [&](std::size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<std::size_t>{0, 1, 2, 3, 4, 5}));
+}
+
+}  // namespace
+}  // namespace dosn::util

@@ -23,6 +23,15 @@ TEST(Rng, DeterministicForSeed) {
   for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
 }
 
+TEST(Mix64, ThreeWayMixIsNestedAndCollisionResistant) {
+  EXPECT_EQ(mix64(1, 2, 3), mix64(mix64(1, 2), 3));
+  // Argument order matters (no commutative aliasing).
+  EXPECT_NE(mix64(1, 2, 3), mix64(3, 2, 1));
+  EXPECT_NE(mix64(1, 2, 3), mix64(2, 1, 3));
+  // Small-coordinate triples that alias under additive schemes do not.
+  EXPECT_NE(mix64(0, 1, 0), mix64(0, 0, 131));
+}
+
 TEST(Rng, DifferentSeedsDiverge) {
   Rng a(1), b(2);
   int same = 0;
