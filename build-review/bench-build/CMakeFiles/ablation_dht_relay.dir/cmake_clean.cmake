@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_dht_relay"
+  "../bench/ablation_dht_relay.pdb"
+  "CMakeFiles/ablation_dht_relay.dir/ablation_dht_relay.cpp.o"
+  "CMakeFiles/ablation_dht_relay.dir/ablation_dht_relay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dht_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_dht_relay.
+# This may be replaced when dependencies are built.

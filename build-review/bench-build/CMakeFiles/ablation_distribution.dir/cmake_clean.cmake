@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_distribution"
+  "../bench/ablation_distribution.pdb"
+  "CMakeFiles/ablation_distribution.dir/ablation_distribution.cpp.o"
+  "CMakeFiles/ablation_distribution.dir/ablation_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_gossip_protocol"
+  "../bench/ablation_gossip_protocol.pdb"
+  "CMakeFiles/ablation_gossip_protocol.dir/ablation_gossip_protocol.cpp.o"
+  "CMakeFiles/ablation_gossip_protocol.dir/ablation_gossip_protocol.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gossip_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_maxav_objective"
+  "../bench/ablation_maxav_objective.pdb"
+  "CMakeFiles/ablation_maxav_objective.dir/ablation_maxav_objective.cpp.o"
+  "CMakeFiles/ablation_maxav_objective.dir/ablation_maxav_objective.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_maxav_objective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

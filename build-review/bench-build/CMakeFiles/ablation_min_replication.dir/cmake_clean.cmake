@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_min_replication"
+  "../bench/ablation_min_replication.pdb"
+  "CMakeFiles/ablation_min_replication.dir/ablation_min_replication.cpp.o"
+  "CMakeFiles/ablation_min_replication.dir/ablation_min_replication.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_min_replication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

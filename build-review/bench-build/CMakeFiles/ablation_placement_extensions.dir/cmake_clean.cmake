@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_placement_extensions"
+  "../bench/ablation_placement_extensions.pdb"
+  "CMakeFiles/ablation_placement_extensions.dir/ablation_placement_extensions.cpp.o"
+  "CMakeFiles/ablation_placement_extensions.dir/ablation_placement_extensions.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_placement_extensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

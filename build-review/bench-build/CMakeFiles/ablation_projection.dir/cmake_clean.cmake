@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_projection"
+  "../bench/ablation_projection.pdb"
+  "CMakeFiles/ablation_projection.dir/ablation_projection.cpp.o"
+  "CMakeFiles/ablation_projection.dir/ablation_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_reader_experience"
+  "../bench/ablation_reader_experience.pdb"
+  "CMakeFiles/ablation_reader_experience.dir/ablation_reader_experience.cpp.o"
+  "CMakeFiles/ablation_reader_experience.dir/ablation_reader_experience.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_reader_experience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

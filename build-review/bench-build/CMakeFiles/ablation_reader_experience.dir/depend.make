@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_reader_experience.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_unconrep_delay"
+  "../bench/ablation_unconrep_delay.pdb"
+  "CMakeFiles/ablation_unconrep_delay.dir/ablation_unconrep_delay.cpp.o"
+  "CMakeFiles/ablation_unconrep_delay.dir/ablation_unconrep_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_unconrep_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

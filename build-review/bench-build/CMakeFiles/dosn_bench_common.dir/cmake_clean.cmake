@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_bench_common.dir/common.cpp.o"
+  "CMakeFiles/dosn_bench_common.dir/common.cpp.o.d"
+  "libdosn_bench_common.a"
+  "libdosn_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig02_degree_distribution"
+  "../bench/fig02_degree_distribution.pdb"
+  "CMakeFiles/fig02_degree_distribution.dir/fig02_degree_distribution.cpp.o"
+  "CMakeFiles/fig02_degree_distribution.dir/fig02_degree_distribution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_degree_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

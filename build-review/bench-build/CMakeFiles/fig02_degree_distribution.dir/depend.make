@@ -1,0 +1,2 @@
+# Empty dependencies file for fig02_degree_distribution.
+# This may be replaced when dependencies are built.

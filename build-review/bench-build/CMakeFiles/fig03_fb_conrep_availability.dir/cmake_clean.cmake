@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_fb_conrep_availability"
+  "../bench/fig03_fb_conrep_availability.pdb"
+  "CMakeFiles/fig03_fb_conrep_availability.dir/fig03_fb_conrep_availability.cpp.o"
+  "CMakeFiles/fig03_fb_conrep_availability.dir/fig03_fb_conrep_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_fb_conrep_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

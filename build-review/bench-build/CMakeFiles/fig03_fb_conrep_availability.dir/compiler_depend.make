@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_fb_conrep_availability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_fb_conrep_availability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig04_fb_unconrep_availability"
+  "../bench/fig04_fb_unconrep_availability.pdb"
+  "CMakeFiles/fig04_fb_unconrep_availability.dir/fig04_fb_unconrep_availability.cpp.o"
+  "CMakeFiles/fig04_fb_unconrep_availability.dir/fig04_fb_unconrep_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_fb_unconrep_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig04_fb_unconrep_availability.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig05_fb_aod_time"
+  "../bench/fig05_fb_aod_time.pdb"
+  "CMakeFiles/fig05_fb_aod_time.dir/fig05_fb_aod_time.cpp.o"
+  "CMakeFiles/fig05_fb_aod_time.dir/fig05_fb_aod_time.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_fb_aod_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

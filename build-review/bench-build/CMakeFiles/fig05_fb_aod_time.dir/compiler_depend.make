@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_fb_aod_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig06_fb_aod_activity"
+  "../bench/fig06_fb_aod_activity.pdb"
+  "CMakeFiles/fig06_fb_aod_activity.dir/fig06_fb_aod_activity.cpp.o"
+  "CMakeFiles/fig06_fb_aod_activity.dir/fig06_fb_aod_activity.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_fb_aod_activity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_fb_aod_activity.
+# This may be replaced when dependencies are built.

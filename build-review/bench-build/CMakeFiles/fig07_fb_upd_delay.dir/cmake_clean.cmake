@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig07_fb_upd_delay"
+  "../bench/fig07_fb_upd_delay.pdb"
+  "CMakeFiles/fig07_fb_upd_delay.dir/fig07_fb_upd_delay.cpp.o"
+  "CMakeFiles/fig07_fb_upd_delay.dir/fig07_fb_upd_delay.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_fb_upd_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

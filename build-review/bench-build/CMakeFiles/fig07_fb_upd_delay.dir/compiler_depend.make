@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig07_fb_upd_delay.
+# This may be replaced when dependencies are built.

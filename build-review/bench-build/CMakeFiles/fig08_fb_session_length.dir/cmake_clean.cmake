@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig08_fb_session_length"
+  "../bench/fig08_fb_session_length.pdb"
+  "CMakeFiles/fig08_fb_session_length.dir/fig08_fb_session_length.cpp.o"
+  "CMakeFiles/fig08_fb_session_length.dir/fig08_fb_session_length.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_fb_session_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

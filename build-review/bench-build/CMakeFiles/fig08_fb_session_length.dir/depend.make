@@ -1,0 +1,2 @@
+# Empty dependencies file for fig08_fb_session_length.
+# This may be replaced when dependencies are built.

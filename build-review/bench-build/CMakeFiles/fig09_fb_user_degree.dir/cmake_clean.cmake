@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_fb_user_degree"
+  "../bench/fig09_fb_user_degree.pdb"
+  "CMakeFiles/fig09_fb_user_degree.dir/fig09_fb_user_degree.cpp.o"
+  "CMakeFiles/fig09_fb_user_degree.dir/fig09_fb_user_degree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_fb_user_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig09_fb_user_degree.
+# This may be replaced when dependencies are built.

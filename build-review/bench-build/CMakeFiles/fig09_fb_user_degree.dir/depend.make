@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_fb_user_degree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_tw_availability"
+  "../bench/fig10_tw_availability.pdb"
+  "CMakeFiles/fig10_tw_availability.dir/fig10_tw_availability.cpp.o"
+  "CMakeFiles/fig10_tw_availability.dir/fig10_tw_availability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tw_availability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

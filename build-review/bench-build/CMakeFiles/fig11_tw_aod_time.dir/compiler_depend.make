@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_tw_aod_time.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_tw_aod_time.
+# This may be replaced when dependencies are built.

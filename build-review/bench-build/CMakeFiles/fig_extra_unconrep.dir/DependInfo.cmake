@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig_extra_unconrep.cpp" "bench-build/CMakeFiles/fig_extra_unconrep.dir/fig_extra_unconrep.cpp.o" "gcc" "bench-build/CMakeFiles/fig_extra_unconrep.dir/fig_extra_unconrep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/bench-build/CMakeFiles/dosn_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/net/CMakeFiles/dosn_net.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/sim/CMakeFiles/dosn_sim.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/synth/CMakeFiles/dosn_synth.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/metrics/CMakeFiles/dosn_metrics.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/core/CMakeFiles/dosn_core.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/onlinetime/CMakeFiles/dosn_onlinetime.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/placement/CMakeFiles/dosn_placement.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/dosn_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interval/CMakeFiles/dosn_interval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/dosn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/util/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig_extra_unconrep"
+  "../bench/fig_extra_unconrep.pdb"
+  "CMakeFiles/fig_extra_unconrep.dir/fig_extra_unconrep.cpp.o"
+  "CMakeFiles/fig_extra_unconrep.dir/fig_extra_unconrep.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_extra_unconrep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig_extra_unconrep.
+# This may be replaced when dependencies are built.

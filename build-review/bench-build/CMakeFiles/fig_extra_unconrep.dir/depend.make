@@ -1,0 +1,2 @@
+# Empty dependencies file for fig_extra_unconrep.
+# This may be replaced when dependencies are built.

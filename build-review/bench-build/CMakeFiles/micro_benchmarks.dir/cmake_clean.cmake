@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_benchmarks"
+  "../bench/micro_benchmarks.pdb"
+  "CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o"
+  "CMakeFiles/micro_benchmarks.dir/micro_benchmarks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_benchmarks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

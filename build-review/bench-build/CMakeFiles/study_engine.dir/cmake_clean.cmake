@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/study_engine"
+  "../bench/study_engine.pdb"
+  "CMakeFiles/study_engine.dir/study_engine.cpp.o"
+  "CMakeFiles/study_engine.dir/study_engine.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dataset_tool"
+  "../examples/dataset_tool.pdb"
+  "CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o"
+  "CMakeFiles/dataset_tool.dir/dataset_tool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

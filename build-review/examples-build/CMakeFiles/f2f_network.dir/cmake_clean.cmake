@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/f2f_network"
+  "../examples/f2f_network.pdb"
+  "CMakeFiles/f2f_network.dir/f2f_network.cpp.o"
+  "CMakeFiles/f2f_network.dir/f2f_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/f2f_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for f2f_network.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/facebook_study"
+  "../examples/facebook_study.pdb"
+  "CMakeFiles/facebook_study.dir/facebook_study.cpp.o"
+  "CMakeFiles/facebook_study.dir/facebook_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facebook_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

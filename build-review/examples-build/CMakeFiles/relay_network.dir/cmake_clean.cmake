@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/relay_network"
+  "../examples/relay_network.pdb"
+  "CMakeFiles/relay_network.dir/relay_network.cpp.o"
+  "CMakeFiles/relay_network.dir/relay_network.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

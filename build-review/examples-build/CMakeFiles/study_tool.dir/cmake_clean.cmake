@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/study_tool"
+  "../examples/study_tool.pdb"
+  "CMakeFiles/study_tool.dir/study_tool.cpp.o"
+  "CMakeFiles/study_tool.dir/study_tool.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

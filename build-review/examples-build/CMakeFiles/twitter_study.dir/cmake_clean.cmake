@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/twitter_study"
+  "../examples/twitter_study.pdb"
+  "CMakeFiles/twitter_study.dir/twitter_study.cpp.o"
+  "CMakeFiles/twitter_study.dir/twitter_study.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/twitter_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

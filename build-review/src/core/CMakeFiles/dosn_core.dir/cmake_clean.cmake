@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_core.dir/profile.cpp.o"
+  "CMakeFiles/dosn_core.dir/profile.cpp.o.d"
+  "CMakeFiles/dosn_core.dir/replica_manager.cpp.o"
+  "CMakeFiles/dosn_core.dir/replica_manager.cpp.o.d"
+  "CMakeFiles/dosn_core.dir/version_vector.cpp.o"
+  "CMakeFiles/dosn_core.dir/version_vector.cpp.o.d"
+  "libdosn_core.a"
+  "libdosn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

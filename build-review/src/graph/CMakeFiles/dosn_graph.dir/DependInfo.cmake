@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cpp" "src/graph/CMakeFiles/dosn_graph.dir/analysis.cpp.o" "gcc" "src/graph/CMakeFiles/dosn_graph.dir/analysis.cpp.o.d"
+  "/root/repo/src/graph/degree_stats.cpp" "src/graph/CMakeFiles/dosn_graph.dir/degree_stats.cpp.o" "gcc" "src/graph/CMakeFiles/dosn_graph.dir/degree_stats.cpp.o.d"
+  "/root/repo/src/graph/social_graph.cpp" "src/graph/CMakeFiles/dosn_graph.dir/social_graph.cpp.o" "gcc" "src/graph/CMakeFiles/dosn_graph.dir/social_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_graph.dir/analysis.cpp.o"
+  "CMakeFiles/dosn_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/dosn_graph.dir/degree_stats.cpp.o"
+  "CMakeFiles/dosn_graph.dir/degree_stats.cpp.o.d"
+  "CMakeFiles/dosn_graph.dir/social_graph.cpp.o"
+  "CMakeFiles/dosn_graph.dir/social_graph.cpp.o.d"
+  "libdosn_graph.a"
+  "libdosn_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

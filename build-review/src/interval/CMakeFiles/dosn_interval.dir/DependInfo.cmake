@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/interval/day_schedule.cpp" "src/interval/CMakeFiles/dosn_interval.dir/day_schedule.cpp.o" "gcc" "src/interval/CMakeFiles/dosn_interval.dir/day_schedule.cpp.o.d"
+  "/root/repo/src/interval/delay_graph.cpp" "src/interval/CMakeFiles/dosn_interval.dir/delay_graph.cpp.o" "gcc" "src/interval/CMakeFiles/dosn_interval.dir/delay_graph.cpp.o.d"
+  "/root/repo/src/interval/interval_set.cpp" "src/interval/CMakeFiles/dosn_interval.dir/interval_set.cpp.o" "gcc" "src/interval/CMakeFiles/dosn_interval.dir/interval_set.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_interval.dir/day_schedule.cpp.o"
+  "CMakeFiles/dosn_interval.dir/day_schedule.cpp.o.d"
+  "CMakeFiles/dosn_interval.dir/delay_graph.cpp.o"
+  "CMakeFiles/dosn_interval.dir/delay_graph.cpp.o.d"
+  "CMakeFiles/dosn_interval.dir/interval_set.cpp.o"
+  "CMakeFiles/dosn_interval.dir/interval_set.cpp.o.d"
+  "libdosn_interval.a"
+  "libdosn_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_metrics.dir/availability.cpp.o"
+  "CMakeFiles/dosn_metrics.dir/availability.cpp.o.d"
+  "CMakeFiles/dosn_metrics.dir/delay.cpp.o"
+  "CMakeFiles/dosn_metrics.dir/delay.cpp.o.d"
+  "libdosn_metrics.a"
+  "libdosn_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_net.dir/dht.cpp.o"
+  "CMakeFiles/dosn_net.dir/dht.cpp.o.d"
+  "CMakeFiles/dosn_net.dir/event_queue.cpp.o"
+  "CMakeFiles/dosn_net.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dosn_net.dir/gossip.cpp.o"
+  "CMakeFiles/dosn_net.dir/gossip.cpp.o.d"
+  "CMakeFiles/dosn_net.dir/profile_sync.cpp.o"
+  "CMakeFiles/dosn_net.dir/profile_sync.cpp.o.d"
+  "CMakeFiles/dosn_net.dir/replica_sim.cpp.o"
+  "CMakeFiles/dosn_net.dir/replica_sim.cpp.o.d"
+  "libdosn_net.a"
+  "libdosn_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/onlinetime/continuous.cpp" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/continuous.cpp.o" "gcc" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/continuous.cpp.o.d"
+  "/root/repo/src/onlinetime/enriched.cpp" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/enriched.cpp.o" "gcc" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/enriched.cpp.o.d"
+  "/root/repo/src/onlinetime/model.cpp" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/model.cpp.o" "gcc" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/model.cpp.o.d"
+  "/root/repo/src/onlinetime/sessions.cpp" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/sessions.cpp.o" "gcc" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/sessions.cpp.o.d"
+  "/root/repo/src/onlinetime/sporadic.cpp" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/sporadic.cpp.o" "gcc" "src/onlinetime/CMakeFiles/dosn_onlinetime.dir/sporadic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interval/CMakeFiles/dosn_interval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/dosn_trace.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/dosn_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_onlinetime.dir/continuous.cpp.o"
+  "CMakeFiles/dosn_onlinetime.dir/continuous.cpp.o.d"
+  "CMakeFiles/dosn_onlinetime.dir/enriched.cpp.o"
+  "CMakeFiles/dosn_onlinetime.dir/enriched.cpp.o.d"
+  "CMakeFiles/dosn_onlinetime.dir/model.cpp.o"
+  "CMakeFiles/dosn_onlinetime.dir/model.cpp.o.d"
+  "CMakeFiles/dosn_onlinetime.dir/sessions.cpp.o"
+  "CMakeFiles/dosn_onlinetime.dir/sessions.cpp.o.d"
+  "CMakeFiles/dosn_onlinetime.dir/sporadic.cpp.o"
+  "CMakeFiles/dosn_onlinetime.dir/sporadic.cpp.o.d"
+  "libdosn_onlinetime.a"
+  "libdosn_onlinetime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_onlinetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

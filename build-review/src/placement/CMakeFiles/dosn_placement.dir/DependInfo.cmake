@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/placement/core_group.cpp" "src/placement/CMakeFiles/dosn_placement.dir/core_group.cpp.o" "gcc" "src/placement/CMakeFiles/dosn_placement.dir/core_group.cpp.o.d"
+  "/root/repo/src/placement/hybrid.cpp" "src/placement/CMakeFiles/dosn_placement.dir/hybrid.cpp.o" "gcc" "src/placement/CMakeFiles/dosn_placement.dir/hybrid.cpp.o.d"
+  "/root/repo/src/placement/max_av.cpp" "src/placement/CMakeFiles/dosn_placement.dir/max_av.cpp.o" "gcc" "src/placement/CMakeFiles/dosn_placement.dir/max_av.cpp.o.d"
+  "/root/repo/src/placement/most_active.cpp" "src/placement/CMakeFiles/dosn_placement.dir/most_active.cpp.o" "gcc" "src/placement/CMakeFiles/dosn_placement.dir/most_active.cpp.o.d"
+  "/root/repo/src/placement/policy.cpp" "src/placement/CMakeFiles/dosn_placement.dir/policy.cpp.o" "gcc" "src/placement/CMakeFiles/dosn_placement.dir/policy.cpp.o.d"
+  "/root/repo/src/placement/random.cpp" "src/placement/CMakeFiles/dosn_placement.dir/random.cpp.o" "gcc" "src/placement/CMakeFiles/dosn_placement.dir/random.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interval/CMakeFiles/dosn_interval.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/dosn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/trace/CMakeFiles/dosn_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

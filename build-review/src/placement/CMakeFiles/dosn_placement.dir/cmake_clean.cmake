@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_placement.dir/core_group.cpp.o"
+  "CMakeFiles/dosn_placement.dir/core_group.cpp.o.d"
+  "CMakeFiles/dosn_placement.dir/hybrid.cpp.o"
+  "CMakeFiles/dosn_placement.dir/hybrid.cpp.o.d"
+  "CMakeFiles/dosn_placement.dir/max_av.cpp.o"
+  "CMakeFiles/dosn_placement.dir/max_av.cpp.o.d"
+  "CMakeFiles/dosn_placement.dir/most_active.cpp.o"
+  "CMakeFiles/dosn_placement.dir/most_active.cpp.o.d"
+  "CMakeFiles/dosn_placement.dir/policy.cpp.o"
+  "CMakeFiles/dosn_placement.dir/policy.cpp.o.d"
+  "CMakeFiles/dosn_placement.dir/random.cpp.o"
+  "CMakeFiles/dosn_placement.dir/random.cpp.o.d"
+  "libdosn_placement.a"
+  "libdosn_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_sim.dir/evaluate.cpp.o"
+  "CMakeFiles/dosn_sim.dir/evaluate.cpp.o.d"
+  "CMakeFiles/dosn_sim.dir/study.cpp.o"
+  "CMakeFiles/dosn_sim.dir/study.cpp.o.d"
+  "CMakeFiles/dosn_sim.dir/timeline.cpp.o"
+  "CMakeFiles/dosn_sim.dir/timeline.cpp.o.d"
+  "libdosn_sim.a"
+  "libdosn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

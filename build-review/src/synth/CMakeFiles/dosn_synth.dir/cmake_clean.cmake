@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_synth.dir/generators.cpp.o"
+  "CMakeFiles/dosn_synth.dir/generators.cpp.o.d"
+  "CMakeFiles/dosn_synth.dir/presets.cpp.o"
+  "CMakeFiles/dosn_synth.dir/presets.cpp.o.d"
+  "libdosn_synth.a"
+  "libdosn_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

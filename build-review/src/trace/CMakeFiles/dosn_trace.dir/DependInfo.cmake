@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/activity.cpp" "src/trace/CMakeFiles/dosn_trace.dir/activity.cpp.o" "gcc" "src/trace/CMakeFiles/dosn_trace.dir/activity.cpp.o.d"
+  "/root/repo/src/trace/dataset.cpp" "src/trace/CMakeFiles/dosn_trace.dir/dataset.cpp.o" "gcc" "src/trace/CMakeFiles/dosn_trace.dir/dataset.cpp.o.d"
+  "/root/repo/src/trace/parsers.cpp" "src/trace/CMakeFiles/dosn_trace.dir/parsers.cpp.o" "gcc" "src/trace/CMakeFiles/dosn_trace.dir/parsers.cpp.o.d"
+  "/root/repo/src/trace/statistics.cpp" "src/trace/CMakeFiles/dosn_trace.dir/statistics.cpp.o" "gcc" "src/trace/CMakeFiles/dosn_trace.dir/statistics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-review/src/util/CMakeFiles/dosn_util.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/graph/CMakeFiles/dosn_graph.dir/DependInfo.cmake"
+  "/root/repo/build-review/src/interval/CMakeFiles/dosn_interval.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_trace.dir/activity.cpp.o"
+  "CMakeFiles/dosn_trace.dir/activity.cpp.o.d"
+  "CMakeFiles/dosn_trace.dir/dataset.cpp.o"
+  "CMakeFiles/dosn_trace.dir/dataset.cpp.o.d"
+  "CMakeFiles/dosn_trace.dir/parsers.cpp.o"
+  "CMakeFiles/dosn_trace.dir/parsers.cpp.o.d"
+  "CMakeFiles/dosn_trace.dir/statistics.cpp.o"
+  "CMakeFiles/dosn_trace.dir/statistics.cpp.o.d"
+  "libdosn_trace.a"
+  "libdosn_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

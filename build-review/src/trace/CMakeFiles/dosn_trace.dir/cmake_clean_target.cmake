@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdosn_trace.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/util/alias.cpp" "src/util/CMakeFiles/dosn_util.dir/alias.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/alias.cpp.o.d"
+  "/root/repo/src/util/ascii_chart.cpp" "src/util/CMakeFiles/dosn_util.dir/ascii_chart.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/ascii_chart.cpp.o.d"
+  "/root/repo/src/util/csv.cpp" "src/util/CMakeFiles/dosn_util.dir/csv.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/csv.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "src/util/CMakeFiles/dosn_util.dir/error.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/error.cpp.o.d"
+  "/root/repo/src/util/logging.cpp" "src/util/CMakeFiles/dosn_util.dir/logging.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/logging.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/util/CMakeFiles/dosn_util.dir/rng.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/rng.cpp.o.d"
+  "/root/repo/src/util/stats.cpp" "src/util/CMakeFiles/dosn_util.dir/stats.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/stats.cpp.o.d"
+  "/root/repo/src/util/strings.cpp" "src/util/CMakeFiles/dosn_util.dir/strings.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/strings.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/util/CMakeFiles/dosn_util.dir/table.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/table.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/util/CMakeFiles/dosn_util.dir/thread_pool.cpp.o" "gcc" "src/util/CMakeFiles/dosn_util.dir/thread_pool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dosn_util.dir/alias.cpp.o"
+  "CMakeFiles/dosn_util.dir/alias.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/ascii_chart.cpp.o"
+  "CMakeFiles/dosn_util.dir/ascii_chart.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/csv.cpp.o"
+  "CMakeFiles/dosn_util.dir/csv.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/error.cpp.o"
+  "CMakeFiles/dosn_util.dir/error.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/logging.cpp.o"
+  "CMakeFiles/dosn_util.dir/logging.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/rng.cpp.o"
+  "CMakeFiles/dosn_util.dir/rng.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/stats.cpp.o"
+  "CMakeFiles/dosn_util.dir/stats.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/strings.cpp.o"
+  "CMakeFiles/dosn_util.dir/strings.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/table.cpp.o"
+  "CMakeFiles/dosn_util.dir/table.cpp.o.d"
+  "CMakeFiles/dosn_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/dosn_util.dir/thread_pool.cpp.o.d"
+  "libdosn_util.a"
+  "libdosn_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dosn_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

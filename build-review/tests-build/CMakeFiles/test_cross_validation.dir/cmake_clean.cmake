@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cross_validation.dir/test_cross_validation.cpp.o"
+  "CMakeFiles/test_cross_validation.dir/test_cross_validation.cpp.o.d"
+  "test_cross_validation"
+  "test_cross_validation.pdb"
+  "test_cross_validation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cross_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_day_schedule.dir/test_day_schedule.cpp.o"
+  "CMakeFiles/test_day_schedule.dir/test_day_schedule.cpp.o.d"
+  "test_day_schedule"
+  "test_day_schedule.pdb"
+  "test_day_schedule[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_day_schedule.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

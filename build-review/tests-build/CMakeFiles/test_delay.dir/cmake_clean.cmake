@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_delay.dir/test_delay.cpp.o"
+  "CMakeFiles/test_delay.dir/test_delay.cpp.o.d"
+  "test_delay"
+  "test_delay.pdb"
+  "test_delay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dht.dir/test_dht.cpp.o"
+  "CMakeFiles/test_dht.dir/test_dht.cpp.o.d"
+  "test_dht"
+  "test_dht.pdb"
+  "test_dht[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dht.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gossip.dir/test_gossip.cpp.o"
+  "CMakeFiles/test_gossip.dir/test_gossip.cpp.o.d"
+  "test_gossip"
+  "test_gossip.pdb"
+  "test_gossip[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_interval.dir/test_interval.cpp.o"
+  "CMakeFiles/test_interval.dir/test_interval.cpp.o.d"
+  "test_interval"
+  "test_interval.pdb"
+  "test_interval[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_onlinetime.dir/test_onlinetime.cpp.o"
+  "CMakeFiles/test_onlinetime.dir/test_onlinetime.cpp.o.d"
+  "test_onlinetime"
+  "test_onlinetime.pdb"
+  "test_onlinetime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_onlinetime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

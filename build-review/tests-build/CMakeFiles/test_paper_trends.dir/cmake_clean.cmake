@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_trends.dir/test_paper_trends.cpp.o"
+  "CMakeFiles/test_paper_trends.dir/test_paper_trends.cpp.o.d"
+  "test_paper_trends"
+  "test_paper_trends.pdb"
+  "test_paper_trends[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_parsers.dir/test_parsers.cpp.o"
+  "CMakeFiles/test_parsers.dir/test_parsers.cpp.o.d"
+  "test_parsers"
+  "test_parsers.pdb"
+  "test_parsers[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_parsers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

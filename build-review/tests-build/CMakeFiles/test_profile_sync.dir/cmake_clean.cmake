@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_profile_sync.dir/test_profile_sync.cpp.o"
+  "CMakeFiles/test_profile_sync.dir/test_profile_sync.cpp.o.d"
+  "test_profile_sync"
+  "test_profile_sync.pdb"
+  "test_profile_sync[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_profile_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_statistics.dir/test_statistics.cpp.o"
+  "CMakeFiles/test_statistics.dir/test_statistics.cpp.o.d"
+  "test_statistics"
+  "test_statistics.pdb"
+  "test_statistics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_statistics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

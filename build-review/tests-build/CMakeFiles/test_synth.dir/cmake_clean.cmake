@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_synth.dir/test_synth.cpp.o"
+  "CMakeFiles/test_synth.dir/test_synth.cpp.o.d"
+  "test_synth"
+  "test_synth.pdb"
+  "test_synth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

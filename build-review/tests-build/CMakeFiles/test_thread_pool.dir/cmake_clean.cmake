@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o"
+  "CMakeFiles/test_thread_pool.dir/test_thread_pool.cpp.o.d"
+  "test_thread_pool"
+  "test_thread_pool.pdb"
+  "test_thread_pool[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thread_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build-review/tests-build
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build-review/tests-build/test_util[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_thread_pool[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_interval[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_day_schedule[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_graph[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_trace[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_parsers[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_synth[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_onlinetime[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_placement[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_metrics[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_delay[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_net[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_profile_sync[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_gossip[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_dht[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_core[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_sim[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_integration[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_properties[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_extensions[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_fuzz[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_analysis[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_timeline[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_statistics[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_paper_trends[1]_include.cmake")
+include("/root/repo/build-review/tests-build/test_cross_validation[1]_include.cmake")
