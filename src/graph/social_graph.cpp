@@ -2,8 +2,31 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace dosn::graph {
 namespace {
+
+// One-sided CSR contract shared by the out- and in-adjacency of a graph.
+void validate_csr(std::size_t n, const std::vector<std::size_t>& offsets,
+                  const std::vector<UserId>& adj, const char* which) {
+  DOSN_CHECK(offsets.size() == n + 1, which, ": offsets size ",
+             offsets.size(), " != num_users + 1 = ", n + 1);
+  DOSN_CHECK(offsets.front() == 0, which, ": offsets must start at 0");
+  DOSN_CHECK(offsets.back() == adj.size(), which, ": offsets end ",
+             offsets.back(), " != adjacency size ", adj.size());
+  for (std::size_t u = 0; u < n; ++u) {
+    DOSN_CHECK(offsets[u] <= offsets[u + 1], which,
+               ": offsets not monotone at user ", u);
+    for (std::size_t e = offsets[u]; e < offsets[u + 1]; ++e) {
+      DOSN_CHECK(adj[e] < n, which, ": edge target ", adj[e],
+                 " out of range [0, ", n, ") at user ", u);
+      DOSN_DCHECK(e == offsets[u] || adj[e - 1] < adj[e], which,
+                  ": adjacency row of user ", u,
+                  " not sorted/duplicate-free");
+    }
+  }
+}
 
 // Builds CSR arrays from an edge list interpreted as (src -> dst).
 void build_csr(std::size_t n, std::span<const std::pair<UserId, UserId>> edges,
@@ -28,8 +51,8 @@ SocialGraphBuilder::SocialGraphBuilder(GraphKind kind, std::size_t num_users)
     : kind_(kind), num_users_(num_users) {}
 
 void SocialGraphBuilder::add_edge(UserId u, UserId v) {
-  DOSN_REQUIRE(u < num_users_ && v < num_users_,
-               "add_edge: user id out of range");
+  DOSN_CHECK(u < num_users_ && v < num_users_, "add_edge: edge (", u, ", ", v,
+             ") out of range [0, ", num_users_, ")");
   if (u == v) return;  // self-loops carry no information here
   if (kind_ == GraphKind::kUndirected && u > v) std::swap(u, v);
   edges_.emplace_back(u, v);
@@ -59,7 +82,49 @@ SocialGraph SocialGraphBuilder::build() && {
     for (const auto& [u, v] : edges_) reversed.emplace_back(v, u);
     build_csr(num_users_, reversed, g.offsets_in_, g.adj_in_);
   }
+  g.validate();
   return g;
+}
+
+SocialGraph SocialGraph::from_csr(GraphKind kind,
+                                  std::vector<std::size_t> offsets,
+                                  std::vector<UserId> adj,
+                                  std::vector<std::size_t> offsets_in,
+                                  std::vector<UserId> adj_in) {
+  DOSN_CHECK(kind == GraphKind::kDirected || offsets_in.empty(),
+             "from_csr: undirected graphs carry no transposed CSR");
+  DOSN_CHECK(kind == GraphKind::kUndirected || !offsets_in.empty(),
+             "from_csr: directed graphs need both adjacency directions");
+  SocialGraph g;
+  g.kind_ = kind;
+  g.offsets_out_ = std::move(offsets);
+  g.adj_out_ = std::move(adj);
+  g.offsets_in_ = std::move(offsets_in);
+  g.adj_in_ = std::move(adj_in);
+  // Undirected CSRs store each edge twice; directed ones once per direction.
+  g.num_edges_ = kind == GraphKind::kUndirected ? g.adj_out_.size() / 2
+                                                : g.adj_out_.size();
+  g.validate();
+  return g;
+}
+
+void SocialGraph::validate() const {
+  const std::size_t n = num_users();
+  if (n == 0) {
+    DOSN_CHECK(adj_out_.empty() && adj_in_.empty(),
+               "SocialGraph: empty graph with dangling adjacency");
+    return;
+  }
+  validate_csr(n, offsets_out_, adj_out_, "SocialGraph(out)");
+  if (kind_ == GraphKind::kDirected) {
+    validate_csr(n, offsets_in_, adj_in_, "SocialGraph(in)");
+    DOSN_CHECK(adj_in_.size() == adj_out_.size(),
+               "SocialGraph: transposed CSR edge count ", adj_in_.size(),
+               " != forward edge count ", adj_out_.size());
+  } else {
+    DOSN_CHECK(offsets_in_.empty() && adj_in_.empty(),
+               "SocialGraph: undirected graph with transposed CSR");
+  }
 }
 
 double SocialGraph::average_degree() const {

@@ -51,6 +51,15 @@ class SocialGraph {
   /// The empty graph (no users, no edges).
   SocialGraph() = default;
 
+  /// Adopts prebuilt CSR arrays (e.g. from a preprocessed on-disk graph).
+  /// `offsets` has num_users + 1 entries; for directed graphs the
+  /// transposed CSR must be supplied as well. The arrays are validated
+  /// against the full CSR contract (see validate()) before adoption.
+  static SocialGraph from_csr(GraphKind kind, std::vector<std::size_t> offsets,
+                              std::vector<UserId> adj,
+                              std::vector<std::size_t> offsets_in = {},
+                              std::vector<UserId> adj_in = {});
+
   GraphKind kind() const { return kind_; }
   std::size_t num_users() const {
     return offsets_out_.empty() ? 0 : offsets_out_.size() - 1;
@@ -87,6 +96,12 @@ class SocialGraph {
   /// the reverse mapping.
   SocialGraph induced(const std::vector<bool>& keep,
                       std::vector<UserId>* old_of_new = nullptr) const;
+
+  /// Enforces the structural CSR contract with DOSN_CHECK: offsets start at
+  /// 0, end at adj.size() and are monotone; every edge target is a valid
+  /// user id; every adjacency row is sorted and duplicate-free. Called by
+  /// the builder and from_csr; cheap enough to rerun after deserialization.
+  void validate() const;
 
  private:
   friend class SocialGraphBuilder;

@@ -2,14 +2,18 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace dosn::interval {
 
 DaySchedule::DaySchedule(IntervalSet within_day) : set_(std::move(within_day)) {
   if (set_.empty()) return;
-  DOSN_REQUIRE(*set_.first() >= 0 && *set_.last_end() <= kDaySeconds,
-               "DaySchedule: set must lie within [0, 86400)");
+  DOSN_CHECK(*set_.first() >= 0 && *set_.last_end() <= kDaySeconds,
+             "DaySchedule: set must lie within [0, ", kDaySeconds,
+             "), got ", set_.to_string());
+  DOSN_DCHECK(set_.is_canonical(),
+              "DaySchedule: set not canonical: ", set_.to_string());
 }
 
 DaySchedule DaySchedule::project(std::span<const Interval> absolute) {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace dosn::interval {
@@ -12,6 +13,7 @@ IntervalSet::IntervalSet(std::vector<Interval> intervals)
   for (const auto& iv : intervals_)
     DOSN_REQUIRE(iv.start < iv.end, "IntervalSet: interval must be non-empty");
   normalize();
+  DOSN_DCHECK(is_canonical(), "normalize postcondition: ", to_string());
 }
 
 IntervalSet IntervalSet::single(Seconds start, Seconds end) {
@@ -35,6 +37,7 @@ void IntervalSet::add(Seconds start, Seconds end) {
   }
   lo = intervals_.erase(lo, hi);
   intervals_.insert(lo, {start, end});
+  DOSN_DCHECK(is_canonical(), "add postcondition: ", to_string());
 }
 
 Seconds IntervalSet::measure() const {
@@ -92,6 +95,7 @@ IntervalSet IntervalSet::unite(const IntervalSet& other) const {
   IntervalSet out;
   out.intervals_ = std::move(merged);
   out.normalize();
+  DOSN_DCHECK(out.is_canonical(), "unite postcondition: ", out.to_string());
   return out;
 }
 
@@ -108,6 +112,8 @@ IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
     else
       ++b;
   }
+  DOSN_DCHECK(out.is_canonical(),
+              "intersect postcondition: ", out.to_string());
   return out;  // already canonical: inputs were sorted/disjoint
 }
 
@@ -125,6 +131,7 @@ IntervalSet IntervalSet::subtract(const IntervalSet& other) const {
     }
     if (pos < cur.end) out.intervals_.push_back({pos, cur.end});
   }
+  DOSN_DCHECK(out.is_canonical(), "subtract postcondition: ", out.to_string());
   return out;
 }
 
@@ -177,6 +184,15 @@ IntervalSet IntervalSet::shift(Seconds delta) const {
   for (const auto& iv : intervals_)
     out.intervals_.push_back({iv.start + delta, iv.end + delta});
   return out;
+}
+
+bool IntervalSet::is_canonical() const {
+  for (std::size_t i = 0; i < intervals_.size(); ++i) {
+    if (intervals_[i].start >= intervals_[i].end) return false;  // empty piece
+    // Strict gap: touching pieces ([a,b) [b,c)) must have been merged.
+    if (i > 0 && intervals_[i - 1].end >= intervals_[i].start) return false;
+  }
+  return true;
 }
 
 std::string IntervalSet::to_string() const {

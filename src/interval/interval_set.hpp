@@ -91,6 +91,12 @@ class IntervalSet {
 
   friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
 
+  /// True iff the representation satisfies the class invariant: sorted by
+  /// start, every piece non-empty, pairwise disjoint and non-adjacent.
+  /// O(n); used by the contract layer (DOSN_DCHECK postconditions) and by
+  /// tests — a canonical set is what every algebra method assumes.
+  bool is_canonical() const;
+
   /// Debug rendering, e.g. "{[10,20) [30,45)}".
   std::string to_string() const;
 

@@ -1,9 +1,12 @@
 #include "net/event_queue.hpp"
 
+#include "util/check.hpp"
+
 namespace dosn::net {
 
 void EventQueue::schedule(SimTime t, Handler handler) {
-  DOSN_REQUIRE(t >= now_, "EventQueue: cannot schedule into the past");
+  DOSN_CHECK(t >= now_, "EventQueue: cannot schedule into the past (t = ", t,
+             ", now = ", now_, ")");
   heap_.push(Entry{t, next_seq_++, std::move(handler)});
 }
 
@@ -13,7 +16,10 @@ bool EventQueue::step() {
   // const_cast idiom before pop (Entry ordering does not involve handler).
   Entry entry = std::move(const_cast<Entry&>(heap_.top()));
   heap_.pop();
-  DOSN_ASSERT(entry.time >= now_);
+  // Global-clock monotonicity: the heap can never surface an event before
+  // now() because schedule() rejects past timestamps.
+  DOSN_CHECK(entry.time >= now_, "EventQueue: time ran backwards (event at ",
+             entry.time, ", now = ", now_, ")");
   now_ = entry.time;
   ++processed_;
   entry.handler();

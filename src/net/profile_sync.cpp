@@ -73,6 +73,8 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
   std::size_t online_count = 0;
 
   // Author-signed sequence numbers: the author's client numbers his posts.
+  // lint:ordered-ok — keyed increments only (operator[]); never iterated,
+  // so the hash order cannot leak into any result.
   std::unordered_map<core::UserId, core::SeqNo> author_seq;
 
   // Accepted posts in acceptance order (creation time, id).

@@ -38,7 +38,7 @@ Seconds best_window_start(std::span<const Seconds> times_of_day,
   return best_start;
 }
 
-std::vector<DaySchedule> ContinuousModel::schedules(
+std::vector<DaySchedule> ContinuousModel::schedules_impl(
     const trace::Dataset& dataset, util::Rng& rng) const {
   const std::size_t n = dataset.num_users();
   std::vector<DaySchedule> out(n);

@@ -12,7 +12,7 @@ namespace dosn::onlinetime {
 /// without activities receive a uniformly random window position.
 class ContinuousModel : public OnlineTimeModel {
  public:
-  std::vector<DaySchedule> schedules(const trace::Dataset& dataset,
+  std::vector<DaySchedule> schedules_impl(const trace::Dataset& dataset,
                                      util::Rng& rng) const final;
 
  protected:

@@ -30,7 +30,7 @@ std::string EnrichedSporadicModel::name() const {
                       extra_sessions_per_day_);
 }
 
-std::vector<DaySchedule> EnrichedSporadicModel::schedules(
+std::vector<DaySchedule> EnrichedSporadicModel::schedules_impl(
     const trace::Dataset& dataset, util::Rng& rng) const {
   const std::size_t n = dataset.num_users();
   const Seconds span = dataset.trace.empty()

@@ -23,7 +23,7 @@ class EnrichedSporadicModel final : public OnlineTimeModel {
 
   std::string name() const override;
   bool randomized() const override { return true; }  // extra sessions drawn
-  std::vector<DaySchedule> schedules(const trace::Dataset& dataset,
+  std::vector<DaySchedule> schedules_impl(const trace::Dataset& dataset,
                                      util::Rng& rng) const override;
 
  private:

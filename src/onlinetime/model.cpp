@@ -3,8 +3,17 @@
 #include "onlinetime/continuous.hpp"
 #include "onlinetime/enriched.hpp"
 #include "onlinetime/sporadic.hpp"
+#include "util/check.hpp"
 
 namespace dosn::onlinetime {
+
+std::vector<DaySchedule> OnlineTimeModel::schedules(
+    const trace::Dataset& dataset, util::Rng& rng) const {
+  std::vector<DaySchedule> out = schedules_impl(dataset, rng);
+  DOSN_CHECK(out.size() == dataset.num_users(), name(), ": produced ",
+             out.size(), " schedules for ", dataset.num_users(), " users");
+  return out;
+}
 
 std::unique_ptr<OnlineTimeModel> make_model(ModelKind kind,
                                             const ModelParams& params) {

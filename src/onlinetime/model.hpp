@@ -41,8 +41,19 @@ class OnlineTimeModel {
   virtual bool randomized() const { return false; }
 
   /// One daily schedule per user of the dataset.
-  virtual std::vector<DaySchedule> schedules(const trace::Dataset& dataset,
-                                             util::Rng& rng) const = 0;
+  ///
+  /// Non-virtual template method: runs the model's schedules_impl and
+  /// DOSN_CHECKs the schedule contract — exactly one DaySchedule per user
+  /// of the dataset (each DaySchedule already enforces the within-day
+  /// invariant on construction). A model returning the wrong number of
+  /// schedules would silently misalign every UserId-indexed lookup.
+  std::vector<DaySchedule> schedules(const trace::Dataset& dataset,
+                                     util::Rng& rng) const;
+
+ protected:
+  /// Model-specific generation; see schedules() for the enforced contract.
+  virtual std::vector<DaySchedule> schedules_impl(
+      const trace::Dataset& dataset, util::Rng& rng) const = 0;
 };
 
 enum class ModelKind {

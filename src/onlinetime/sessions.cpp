@@ -65,7 +65,7 @@ PrecomputedModel::PrecomputedModel(std::vector<DaySchedule> schedules,
                                    std::string label)
     : schedules_(std::move(schedules)), label_(std::move(label)) {}
 
-std::vector<DaySchedule> PrecomputedModel::schedules(
+std::vector<DaySchedule> PrecomputedModel::schedules_impl(
     const trace::Dataset& dataset, util::Rng&) const {
   DOSN_REQUIRE(schedules_.size() == dataset.num_users(),
                "PrecomputedModel: schedule count does not match dataset");

@@ -34,7 +34,7 @@ class PrecomputedModel final : public OnlineTimeModel {
                             std::string label = "Precomputed");
 
   std::string name() const override { return label_; }
-  std::vector<DaySchedule> schedules(const trace::Dataset& dataset,
+  std::vector<DaySchedule> schedules_impl(const trace::Dataset& dataset,
                                      util::Rng& rng) const override;
 
  private:

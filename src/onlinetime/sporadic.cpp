@@ -15,7 +15,7 @@ std::string SporadicModel::name() const {
                       static_cast<long long>(session_length_));
 }
 
-std::vector<DaySchedule> SporadicModel::schedules(
+std::vector<DaySchedule> SporadicModel::schedules_impl(
     const trace::Dataset& dataset, util::Rng& rng) const {
   const std::size_t n = dataset.num_users();
   std::vector<DaySchedule> out(n);

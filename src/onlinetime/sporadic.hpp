@@ -13,7 +13,7 @@ class SporadicModel final : public OnlineTimeModel {
   explicit SporadicModel(Seconds session_length = 20 * 60);
 
   std::string name() const override;
-  std::vector<DaySchedule> schedules(const trace::Dataset& dataset,
+  std::vector<DaySchedule> schedules_impl(const trace::Dataset& dataset,
                                      util::Rng& rng) const override;
 
   Seconds session_length() const { return session_length_; }

@@ -6,7 +6,7 @@
 
 namespace dosn::placement {
 
-std::vector<UserId> CoreGroupPolicy::select(const PlacementContext& context,
+std::vector<UserId> CoreGroupPolicy::select_impl(const PlacementContext& context,
                                             util::Rng&) const {
   const bool conrep = context.connectivity == Connectivity::kConRep;
   const auto mode = conrep ? interval::RendezvousMode::kDirect

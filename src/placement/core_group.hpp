@@ -17,7 +17,7 @@ namespace dosn::placement {
 class CoreGroupPolicy final : public ReplicaPolicy {
  public:
   std::string name() const override { return "CoreGroup"; }
-  std::vector<UserId> select(const PlacementContext& context,
+  std::vector<UserId> select_impl(const PlacementContext& context,
                              util::Rng& rng) const override;
 };
 

@@ -15,7 +15,7 @@ std::string HybridPolicy::name() const {
   return util::format("Hybrid(%.2f)", alpha_);
 }
 
-std::vector<UserId> HybridPolicy::select(const PlacementContext& context,
+std::vector<UserId> HybridPolicy::select_impl(const PlacementContext& context,
                                          util::Rng&) const {
   DOSN_REQUIRE(context.trace != nullptr, "Hybrid needs the activity trace");
   const bool conrep = context.connectivity == Connectivity::kConRep;

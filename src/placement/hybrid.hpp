@@ -20,7 +20,7 @@ class HybridPolicy final : public ReplicaPolicy {
   explicit HybridPolicy(double alpha = 0.5);
 
   std::string name() const override;
-  std::vector<UserId> select(const PlacementContext& context,
+  std::vector<UserId> select_impl(const PlacementContext& context,
                              util::Rng& rng) const override;
 
   double alpha() const { return alpha_; }

@@ -217,7 +217,7 @@ std::string MaxAvPolicy::name() const {
   return "MaxAv(?)";
 }
 
-std::vector<UserId> MaxAvPolicy::select(const PlacementContext& context,
+std::vector<UserId> MaxAvPolicy::select_impl(const PlacementContext& context,
                                         util::Rng&) const {
   if (objective_ == MaxAvObjective::kAoDActivity)
     return select_activity_cover(context);

@@ -35,7 +35,7 @@ class MaxAvPolicy final : public ReplicaPolicy {
                        bool conrep_least_overlap = false, bool lazy = true);
 
   std::string name() const override;
-  std::vector<UserId> select(const PlacementContext& context,
+  std::vector<UserId> select_impl(const PlacementContext& context,
                              util::Rng& rng) const override;
 
  private:

@@ -4,7 +4,7 @@
 
 namespace dosn::placement {
 
-std::vector<UserId> MostActivePolicy::select(const PlacementContext& context,
+std::vector<UserId> MostActivePolicy::select_impl(const PlacementContext& context,
                                              util::Rng& rng) const {
   DOSN_REQUIRE(context.trace != nullptr,
                "MostActive needs the activity trace");

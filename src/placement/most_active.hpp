@@ -16,7 +16,7 @@ class MostActivePolicy final : public ReplicaPolicy {
  public:
   std::string name() const override { return "MostActive"; }
   bool randomized() const override { return true; }  // zero-activity filler
-  std::vector<UserId> select(const PlacementContext& context,
+  std::vector<UserId> select_impl(const PlacementContext& context,
                              util::Rng& rng) const override;
 };
 

@@ -1,12 +1,22 @@
 #include "placement/policy.hpp"
 
+#include <algorithm>
+
 #include "placement/core_group.hpp"
 #include "placement/hybrid.hpp"
 #include "placement/max_av.hpp"
 #include "placement/most_active.hpp"
 #include "placement/random.hpp"
+#include "util/check.hpp"
 
 namespace dosn::placement {
+
+std::vector<UserId> ReplicaPolicy::select(const PlacementContext& context,
+                                          util::Rng& rng) const {
+  std::vector<UserId> selection = select_impl(context, rng);
+  detail::validate_selection(context, selection, name());
+  return selection;
+}
 
 std::string to_string(Connectivity c) {
   return c == Connectivity::kConRep ? "ConRep" : "UnconRep";
@@ -52,6 +62,30 @@ bool is_connected(const DaySchedule& candidate,
   // seeds connectivity, so any candidate with a schedule qualifies; after
   // that nothing can connect to an empty union.
   return !any_selected && !candidate.empty();
+}
+
+void validate_selection(const PlacementContext& context,
+                        std::span<const UserId> selection,
+                        const std::string& policy_name) {
+  DOSN_CHECK(selection.size() <= context.max_replicas, policy_name,
+             ": selected ", selection.size(),
+             " replicas, exceeding the replication budget k = ",
+             context.max_replicas, " for user ", context.user);
+  std::vector<UserId> seen(selection.begin(), selection.end());
+  std::sort(seen.begin(), seen.end());
+  DOSN_CHECK(std::adjacent_find(seen.begin(), seen.end()) == seen.end(),
+             policy_name, ": duplicate replica holder for user ",
+             context.user);
+  for (UserId holder : selection) {
+    // Linear membership scan: candidate spans need not be sorted, and the
+    // selection is at most k entries, so this is cheaper than the
+    // selection pass that produced it.
+    DOSN_CHECK(std::find(context.candidates.begin(),
+                         context.candidates.end(),
+                         holder) != context.candidates.end(),
+               policy_name, ": replica holder ", holder,
+               " is not a contact of user ", context.user);
+  }
 }
 
 }  // namespace detail

@@ -66,8 +66,19 @@ class ReplicaPolicy {
   /// Replica holders in selection order; size <= max_replicas (policies
   /// may stop early: MaxAv stops when coverage no longer improves, ConRep
   /// stops when no remaining candidate is time-connected).
-  virtual std::vector<UserId> select(const PlacementContext& context,
-                                     util::Rng& rng) const = 0;
+  ///
+  /// Non-virtual template method: runs the policy's select_impl and then
+  /// enforces the placement contract (within budget, drawn from the
+  /// candidate set, duplicate-free) with DOSN_CHECK — a policy that
+  /// violates it throws util::ContractError instead of silently skewing
+  /// every downstream availability/delay figure.
+  std::vector<UserId> select(const PlacementContext& context,
+                             util::Rng& rng) const;
+
+ protected:
+  /// Policy-specific selection; see select() for the enforced contract.
+  virtual std::vector<UserId> select_impl(const PlacementContext& context,
+                                          util::Rng& rng) const = 0;
 };
 
 enum class PolicyKind {
@@ -110,6 +121,13 @@ namespace detail {
 /// may be selected given the connectivity set accumulated so far.
 bool is_connected(const DaySchedule& candidate,
                   const DaySchedule& connectivity_union, bool any_selected);
+
+/// DOSN_CHECKs the placement contract for `selection` against `context`:
+/// size within max_replicas, every holder a member of context.candidates,
+/// no holder selected twice. Exposed for tests and external policy hosts.
+void validate_selection(const PlacementContext& context,
+                        std::span<const UserId> selection,
+                        const std::string& policy_name);
 
 }  // namespace detail
 

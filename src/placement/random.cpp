@@ -2,7 +2,7 @@
 
 namespace dosn::placement {
 
-std::vector<UserId> RandomPolicy::select(const PlacementContext& context,
+std::vector<UserId> RandomPolicy::select_impl(const PlacementContext& context,
                                          util::Rng& rng) const {
   std::vector<UserId> pool(context.candidates.begin(),
                            context.candidates.end());

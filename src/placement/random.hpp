@@ -11,7 +11,7 @@ class RandomPolicy final : public ReplicaPolicy {
  public:
   std::string name() const override { return "Random"; }
   bool randomized() const override { return true; }
-  std::vector<UserId> select(const PlacementContext& context,
+  std::vector<UserId> select_impl(const PlacementContext& context,
                              util::Rng& rng) const override;
 };
 

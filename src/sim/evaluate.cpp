@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <limits>
 
+#include "util/check.hpp"
+
 namespace dosn::sim {
+namespace {
+
+// Analytic ranges every per-user evaluation must respect: ratios are
+// proper fractions, delays non-negative. Violations here mean a metric
+// kernel regressed, which would skew every averaged curve downstream.
+void check_metric_ranges(const UserMetrics& m) {
+  DOSN_DCHECK(m.availability >= 0.0 && m.availability <= 1.0,
+              "availability out of [0, 1]: ", m.availability);
+  DOSN_DCHECK(m.aod_time >= 0.0 && m.aod_time <= 1.0,
+              "aod_time out of [0, 1]: ", m.aod_time);
+  DOSN_DCHECK(m.aod_activity >= 0.0 && m.aod_activity <= 1.0,
+              "aod_activity out of [0, 1]: ", m.aod_activity);
+  DOSN_DCHECK(m.delay_actual_h >= 0.0,
+              "negative actual delay: ", m.delay_actual_h);
+  DOSN_DCHECK(m.delay_observed_h >= 0.0,
+              "negative observed delay: ", m.delay_observed_h);
+}
+
+}  // namespace
 
 UserMetrics evaluate_user(const trace::Dataset& dataset,
                           std::span<const DaySchedule> schedules,
@@ -17,7 +38,8 @@ UserMetrics evaluate_user(const trace::Dataset& dataset,
   std::vector<DaySchedule> replicas;
   replicas.reserve(replica_holders.size());
   for (graph::UserId host : replica_holders) {
-    DOSN_ASSERT(host < schedules.size());
+    DOSN_CHECK(host < schedules.size(), "evaluate_user: replica holder ",
+               host, " has no schedule (", schedules.size(), " users)");
     replicas.push_back(schedules[host]);
   }
 
@@ -42,6 +64,7 @@ UserMetrics evaluate_user(const trace::Dataset& dataset,
   m.delay_actual_h = delay.actual_hours();
   m.delay_observed_h = delay.observed_hours();
   m.replicas_used = static_cast<double>(replica_holders.size());
+  check_metric_ranges(m);
   return m;
 }
 
@@ -138,6 +161,11 @@ std::vector<UserMetrics> evaluate_user_prefixes(
     m.delay_actual_h = d.actual_hours();
     m.delay_observed_h = d.observed_hours();
     m.replicas_used = static_cast<double>(std::min(k, selected.size()));
+    check_metric_ranges(m);
+    // The profile union only grows along the prefix, so availability is
+    // non-decreasing in k — the monotonicity the paper's sweeps rely on.
+    DOSN_DCHECK(out.empty() || m.availability >= out.back().availability,
+                "availability decreased along prefix at k = ", k);
     out.push_back(m);
   }
   return out;

@@ -41,6 +41,8 @@ class IdMap {
   }
 
  private:
+  // lint:ordered-ok — lookup-only interning table; dense ids are handed out
+  // in first-sight order and all iteration happens over names_ instead.
   std::unordered_map<std::string, UserId> ids_;
   std::vector<std::string> names_;
 };

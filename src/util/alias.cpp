@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace dosn::util {
@@ -46,11 +47,34 @@ DiscreteSampler::DiscreteSampler(std::span<const double> weights) {
     prob_[i] = 1.0;
     alias_[i] = i;
   }
+
+  // The construction above must leave a normalized table — an out-of-range
+  // alias or probability would turn draw() into silent sampling bias.
+  detail::check_alias_table(prob_, alias_);
 }
 
 std::size_t DiscreteSampler::draw(Rng& rng) const {
   const std::size_t i = static_cast<std::size_t>(rng.below(prob_.size()));
   return rng.uniform() < prob_[i] ? i : alias_[i];
 }
+
+namespace detail {
+
+void check_alias_table(std::span<const double> prob,
+                       std::span<const std::uint32_t> alias) {
+  const std::size_t n = prob.size();
+  DOSN_CHECK(n > 0 && alias.size() == n,
+             "alias table: prob/alias size mismatch (", n, " vs ",
+             alias.size(), ")");
+  for (std::size_t i = 0; i < n; ++i) {
+    DOSN_CHECK(prob[i] >= 0.0 && prob[i] <= 1.0,
+               "alias table: acceptance probability ", prob[i], " of slot ",
+               i, " outside [0, 1]");
+    DOSN_CHECK(alias[i] < n, "alias table: alias ", alias[i], " of slot ", i,
+               " out of range [0, ", n, ")");
+  }
+}
+
+}  // namespace detail
 
 }  // namespace dosn::util

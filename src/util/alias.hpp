@@ -26,4 +26,15 @@ class DiscreteSampler {
   std::vector<std::uint32_t> alias_;
 };
 
+namespace detail {
+
+/// Alias-table contract, DOSN_CHECKed after construction: equal-length
+/// non-empty arrays, every acceptance probability in [0, 1], every alias
+/// index in range. Exposed so tests can prove the contract fires on
+/// malformed tables.
+void check_alias_table(std::span<const double> prob,
+                       std::span<const std::uint32_t> alias);
+
+}  // namespace detail
+
 }  // namespace dosn::util

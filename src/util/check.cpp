@@ -1,0 +1,14 @@
+#include "util/check.hpp"
+
+namespace dosn::util::detail {
+
+void throw_contract_failure(const char* kind, const char* expr,
+                            const char* file, int line,
+                            const std::string& context) {
+  std::ostringstream os;
+  os << kind << " failed: " << expr << " at " << file << ":" << line;
+  if (!context.empty()) os << " — " << context;
+  throw ContractError(os.str());
+}
+
+}  // namespace dosn::util::detail

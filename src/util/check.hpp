@@ -1,0 +1,100 @@
+// Runtime-contract macros: the enforcement half of the library's invariants.
+//
+// The analytic metrics rest on structural properties that no type can
+// express (IntervalSets are sorted and disjoint, CSR offsets are monotone,
+// placements respect the replication budget, ...). These macros turn those
+// properties into executable contracts:
+//
+//   * DOSN_CHECK(cond, ctx...)  — always-on invariant. Violations throw
+//     util::ContractError with the failed expression, source location and
+//     a streamed context message. Used at module boundaries where the cost
+//     is amortized (construction, build(), select() return).
+//   * DOSN_DCHECK(cond, ctx...) — same contract, compiled out under NDEBUG.
+//     Used inside hot loops (per-interval postconditions, per-edge scans)
+//     where an always-on check would tax the paper-scale sweeps.
+//   * DOSN_UNREACHABLE(ctx...)  — marks code paths that are impossible by
+//     construction (exhaustive switches, exhausted fallbacks); throws when
+//     reached so a broken caller fails loudly instead of corrupting state.
+//
+// Context arguments are streamed with operator<<, so checks read like
+//
+//   DOSN_CHECK(u < n, "user ", u, " out of range [0, ", n, ")");
+//
+// and failures carry the concrete values that violated the contract.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace dosn::util {
+
+/// A violated internal contract (DOSN_CHECK / DOSN_DCHECK /
+/// DOSN_UNREACHABLE). Indicates a bug in this library or a caller breaking
+/// a documented precondition — not a recoverable input error.
+class ContractError : public Error {
+ public:
+  explicit ContractError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void throw_contract_failure(const char* kind, const char* expr,
+                                         const char* file, int line,
+                                         const std::string& context);
+
+/// Streams the parts into one string; empty for zero parts so that checks
+/// without context pay no formatting cost on the failure path either.
+template <typename... Parts>
+std::string format_context(const Parts&... parts) {
+  if constexpr (sizeof...(Parts) == 0) {
+    return {};
+  } else {
+    std::ostringstream os;
+    (os << ... << parts);
+    return os.str();
+  }
+}
+
+}  // namespace detail
+
+}  // namespace dosn::util
+
+/// Always-on contract: throws util::ContractError when `cond` is false.
+#define DOSN_CHECK(cond, ...)                                          \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]]                                          \
+      ::dosn::util::detail::throw_contract_failure(                    \
+          "DOSN_CHECK", #cond, __FILE__, __LINE__,                     \
+          ::dosn::util::detail::format_context(__VA_ARGS__));          \
+  } while (false)
+
+/// Debug-only contract: identical to DOSN_CHECK without NDEBUG, compiled
+/// to nothing (the condition is not evaluated) under NDEBUG.
+#ifndef NDEBUG
+#define DOSN_DCHECK(cond, ...)                                         \
+  do {                                                                 \
+    if (!(cond)) [[unlikely]]                                          \
+      ::dosn::util::detail::throw_contract_failure(                    \
+          "DOSN_DCHECK", #cond, __FILE__, __LINE__,                    \
+          ::dosn::util::detail::format_context(__VA_ARGS__));          \
+  } while (false)
+#else
+// The dead branch keeps the condition and context type-checked (and the
+// variables "used") in Release builds without evaluating anything.
+#define DOSN_DCHECK(cond, ...)                                           \
+  do {                                                                   \
+    if (false) {                                                         \
+      static_cast<void>(cond);                                           \
+      static_cast<void>(                                                 \
+          ::dosn::util::detail::format_context(__VA_ARGS__));            \
+    }                                                                    \
+  } while (false)
+#endif
+
+/// Marks a code path that must never execute; throws util::ContractError.
+#define DOSN_UNREACHABLE(...)                                          \
+  ::dosn::util::detail::throw_contract_failure(                        \
+      "DOSN_UNREACHABLE", "unreachable code reached", __FILE__,        \
+      __LINE__, ::dosn::util::detail::format_context(__VA_ARGS__))

@@ -57,6 +57,8 @@ std::vector<std::size_t> Rng::sample_indices(std::size_t n, std::size_t k) {
     idx.resize(k);
     return idx;
   }
+  // lint:ordered-ok — membership-only rejection filter; `out` is appended
+  // in draw order, so the set's iteration order is never observed.
   std::unordered_set<std::size_t> seen;
   std::vector<std::size_t> out;
   out.reserve(k);

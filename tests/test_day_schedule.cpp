@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "interval/day_schedule.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
 
@@ -36,9 +37,9 @@ TEST(DaySchedule, EmptyAndAlways) {
 }
 
 TEST(DaySchedule, RejectsOutOfDaySet) {
-  EXPECT_THROW(DaySchedule(IntervalSet::single(-5, 10)), ConfigError);
+  EXPECT_THROW(DaySchedule(IntervalSet::single(-5, 10)), util::ContractError);
   EXPECT_THROW(DaySchedule(IntervalSet::single(10, kDaySeconds + 1)),
-               ConfigError);
+               util::ContractError);
 }
 
 TEST(DaySchedule, ProjectSimpleInterval) {

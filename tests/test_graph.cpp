@@ -5,6 +5,7 @@
 
 #include "graph/degree_stats.hpp"
 #include "graph/social_graph.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace dosn::graph {
@@ -59,7 +60,7 @@ TEST(SocialGraph, DuplicateAndSelfEdgesDropped) {
 
 TEST(SocialGraph, BuilderRejectsOutOfRange) {
   SocialGraphBuilder b(GraphKind::kUndirected, 2);
-  EXPECT_THROW(b.add_edge(0, 2), ConfigError);
+  EXPECT_THROW(b.add_edge(0, 2), util::ContractError);
 }
 
 TEST(SocialGraph, DirectedFollowSemantics) {

@@ -5,6 +5,7 @@
 #include "metrics/delay.hpp"
 #include "net/event_queue.hpp"
 #include "net/replica_sim.hpp"
+#include "util/check.hpp"
 #include "util/error.hpp"
 
 namespace dosn::net {
@@ -64,7 +65,7 @@ TEST(EventQueue, RejectsSchedulingIntoPast) {
   EventQueue q;
   q.schedule(10, [] {});
   q.run_all();
-  EXPECT_THROW(q.schedule(5, [] {}), ConfigError);
+  EXPECT_THROW(q.schedule(5, [] {}), util::ContractError);
 }
 
 TEST(ReplicaSim, ImmediateDeliveryWhenBothOnline) {

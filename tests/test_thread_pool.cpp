@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 #include <numeric>
 #include <stdexcept>
 #include <vector>
@@ -68,6 +69,49 @@ TEST(ThreadPool, ReusableAcrossManyLoops) {
       total += static_cast<long>(i);
     });
   EXPECT_EQ(total.load(), 50 * (19 * 20 / 2));
+}
+
+// Stress test written for the ThreadSanitizer CI job: many short loops on
+// one pool from a churn of callers, concurrent per-index writes plus an
+// atomic reduction, and exception propagation under load. A data race in
+// the pool's handoff (job pointer, generation counter, completion wait)
+// surfaces here under TSan even when the functional expectations pass.
+TEST(ThreadPool, StressManyShortLoopsWithSharedState) {
+  ThreadPool pool(4);
+  const std::size_t n = 512;
+  std::vector<std::uint64_t> slots(n);
+  std::atomic<std::uint64_t> checksum{0};
+  for (int round = 0; round < 200; ++round) {
+    pool.for_each_index(n, [&](std::size_t i) {
+      slots[i] = static_cast<std::uint64_t>(round) * n + i;
+      checksum.fetch_add(slots[i], std::memory_order_relaxed);
+    });
+    // The serial reduction must observe every per-index write of the
+    // round that just completed (for_each_index is a full barrier).
+    for (std::size_t i = 0; i < n; ++i)
+      ASSERT_EQ(slots[i], static_cast<std::uint64_t>(round) * n + i);
+  }
+  std::uint64_t expected = 0;
+  for (int round = 0; round < 200; ++round)
+    for (std::size_t i = 0; i < n; ++i)
+      expected += static_cast<std::uint64_t>(round) * n + i;
+  EXPECT_EQ(checksum.load(), expected);
+}
+
+TEST(ThreadPool, StressExceptionChurn) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_THROW(pool.for_each_index(64,
+                                     [&](std::size_t i) {
+                                       if (i % 17 == static_cast<std::size_t>(
+                                                          round % 17))
+                                         throw std::runtime_error("churn");
+                                     }),
+                 std::runtime_error);
+    std::atomic<int> count{0};
+    pool.for_each_index(64, [&](std::size_t) { ++count; });
+    ASSERT_EQ(count.load(), 64);
+  }
 }
 
 TEST(ParallelForEach, NullPoolRunsSerial) {
