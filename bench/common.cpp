@@ -4,25 +4,38 @@
 #include <cstdlib>
 
 #include "graph/degree_stats.hpp"
+#include "obs/export.hpp"
 #include "util/csv.hpp"
 #include "util/strings.hpp"
 
 namespace dosn::bench {
-namespace {
 
-double env_scale() {
+double bench_scale(double fallback) {
   if (const char* s = std::getenv("DOSN_BENCH_SCALE"))
     return util::parse_f64(s);
-  return 1.0;
+  return fallback;
 }
 
-std::uint64_t env_seed() {
+std::uint64_t bench_seed() {
   if (const char* s = std::getenv("DOSN_BENCH_SEED"))
     return static_cast<std::uint64_t>(util::parse_i64(s));
   return 20120618;  // ICDCS'12 week
 }
 
-}  // namespace
+void write_bench_json(const std::string& path, const std::string& benchmark,
+                      std::uint64_t seed, std::size_t threads,
+                      const std::function<void(util::JsonWriter&)>& body) {
+  util::JsonWriter w;
+  w.begin_object();
+  w.field("benchmark", benchmark);
+  w.field("seed", seed);
+  w.field("threads", static_cast<std::uint64_t>(threads));
+  body(w);
+  w.key("metrics");
+  obs::append_json(w, obs::Registry::global().snapshot());
+  w.end_object();
+  util::write_text_file(path, w.str() + "\n");
+}
 
 sim::Study::Options FigureEnv::options(std::size_t k_max) const {
   sim::Study::Options o;
@@ -34,8 +47,8 @@ sim::Study::Options FigureEnv::options(std::size_t k_max) const {
 
 FigureEnv load_env(const std::string& dataset_name) {
   FigureEnv env;
-  env.scale = env_scale();
-  env.seed = env_seed();
+  env.scale = bench_scale();
+  env.seed = bench_seed();
 
   auto preset = dataset_name == "twitter" ? synth::twitter_preset()
                                           : synth::facebook_preset();

@@ -10,14 +10,22 @@
 //   DOSN_BENCH_SEED   — RNG seed (default 20120618 — ICDCS'12 week)
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "sim/study.hpp"
 #include "synth/presets.hpp"
 #include "util/ascii_chart.hpp"
+#include "util/json.hpp"
 
 namespace dosn::bench {
+
+/// DOSN_BENCH_SEED, default 20120618 (the ICDCS'12 week).
+std::uint64_t bench_seed();
+
+/// DOSN_BENCH_SCALE, or `fallback` when unset.
+double bench_scale(double fallback = 1.0);
 
 struct FigureEnv {
   trace::Dataset dataset;
@@ -51,5 +59,23 @@ std::string csv_path(const std::string& name);
 void run_model_panels(const FigureEnv& env, const std::string& figure_id,
                       const std::string& title, sim::Metric metric,
                       placement::Connectivity connectivity);
+
+/// Writes `path` as the standard BENCH_*.json envelope (stable schema):
+///
+///   {
+///     "benchmark": <name>,
+///     "seed": ...,
+///     "threads": ...,
+///     <fields emitted by `body`>,
+///     "metrics": <obs registry snapshot (obs::append_json layout)>
+///   }
+///
+/// `body` runs with the writer positioned inside the top-level object and
+/// must emit complete key/value pairs. The metrics section snapshots the
+/// process-wide obs registry at call time; all bytes except span durations
+/// are deterministic for a fixed seed.
+void write_bench_json(const std::string& path, const std::string& benchmark,
+                      std::uint64_t seed, std::size_t threads,
+                      const std::function<void(util::JsonWriter&)>& body);
 
 }  // namespace dosn::bench

@@ -16,17 +16,19 @@
 // The sweep outputs of all runs are checksummed and must agree exactly —
 // every optimization is exact, not an approximation.
 //
-// Environment knobs: DOSN_BENCH_SEED (default 20120618), DOSN_THREADS.
+// Environment knobs: DOSN_BENCH_SEED (default 20120618), DOSN_BENCH_SCALE
+// (default 0.23 — ~5k users), DOSN_THREADS, DOSN_OBS.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <functional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "graph/degree_stats.hpp"
+#include "obs/export.hpp"
 #include "sim/study.hpp"
 #include "synth/presets.hpp"
 #include "util/thread_pool.hpp"
@@ -153,14 +155,13 @@ struct Scenario {
 }  // namespace
 
 int main() {
-  std::uint64_t seed = 20120618;
-  if (const char* env = std::getenv("DOSN_BENCH_SEED"))
-    seed = std::strtoull(env, nullptr, 10);
+  const std::uint64_t seed = dosn::bench::bench_seed();
   const std::size_t threads = dosn::util::default_thread_count();
 
-  // ~5k post-filter users: the Facebook preset filters ~60k raw users down
-  // to ~21.9k per unit scale, so scale by 0.23.
-  auto preset = dosn::synth::scaled(dosn::synth::facebook_preset(), 0.23);
+  // ~5k post-filter users at the default scale: the Facebook preset filters
+  // ~60k raw users down to ~21.9k per unit scale, so scale by 0.23.
+  const double scale = dosn::bench::bench_scale(0.23);
+  auto preset = dosn::synth::scaled(dosn::synth::facebook_preset(), scale);
   dosn::util::Rng gen_rng(seed);
   const auto dataset = dosn::synth::generate_study_dataset(preset, gen_rng);
   std::printf("dataset: %zu users, %zu activities\n", dataset.num_users(),
@@ -239,33 +240,39 @@ int main() {
         s.identical ? "yes" : "NO");
   }
 
-  std::ofstream json("BENCH_study_engine.json");
-  json << "{\n"
-       << "  \"benchmark\": \"study_engine\",\n"
-       << "  \"dataset_users\": " << dataset.num_users() << ",\n"
-       << "  \"seed\": " << seed << ",\n"
-       << "  \"threads\": " << threads << ",\n"
-       << "  \"hardware_concurrency\": "
-       << std::thread::hardware_concurrency() << ",\n"
-       << "  \"scenarios\": [\n";
-  for (std::size_t i = 0; i < scenarios.size(); ++i) {
-    const auto& s = scenarios[i];
-    json << "    {\n"
-         << "      \"name\": \"" << s.name << "\",\n"
-         << "      \"cohort_degree\": " << s.cohort_degree << ",\n"
-         << "      \"cohort_size\": " << s.cohort_size << ",\n"
-         << "      \"k_max\": " << s.k_max << ",\n"
-         << "      \"seed_engine_ms\": " << s.seed_ms << ",\n"
-         << "      \"incremental_eager_ms\": " << s.eager_ms << ",\n"
-         << "      \"incremental_lazy_ms\": " << s.lazy_ms << ",\n"
-         << "      \"parallel_lazy_ms\": " << s.parallel_ms << ",\n"
-         << "      \"speedup_vs_seed\": " << s.seed_ms / s.parallel_ms
-         << ",\n"
-         << "      \"outputs_identical\": "
-         << (s.identical ? "true" : "false") << "\n"
-         << "    }" << (i + 1 < scenarios.size() ? "," : "") << "\n";
+  if (dosn::obs::enabled()) {
+    std::printf("\nobservability snapshot:\n%s\n",
+                dosn::obs::to_table(dosn::obs::Registry::global().snapshot())
+                    .c_str());
   }
-  json << "  ]\n}\n";
+
+  dosn::bench::write_bench_json(
+      "BENCH_study_engine.json", "study_engine", seed, threads,
+      [&](dosn::util::JsonWriter& w) {
+        w.field("dataset_users",
+                static_cast<std::uint64_t>(dataset.num_users()));
+        w.field("scale", scale);
+        w.field("hardware_concurrency",
+                static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+        w.key("scenarios");
+        w.begin_array();
+        for (const auto& s : scenarios) {
+          w.begin_object();
+          w.field("name", s.name);
+          w.field("cohort_degree",
+                  static_cast<std::uint64_t>(s.cohort_degree));
+          w.field("cohort_size", static_cast<std::uint64_t>(s.cohort_size));
+          w.field("k_max", static_cast<std::uint64_t>(s.k_max));
+          w.field("seed_engine_ms", s.seed_ms);
+          w.field("incremental_eager_ms", s.eager_ms);
+          w.field("incremental_lazy_ms", s.lazy_ms);
+          w.field("parallel_lazy_ms", s.parallel_ms);
+          w.field("speedup_vs_seed", s.seed_ms / s.parallel_ms);
+          w.field("outputs_identical", s.identical);
+          w.end_object();
+        }
+        w.end_array();
+      });
   std::printf("wrote BENCH_study_engine.json\n");
 
   bool all_identical = true;

@@ -1,5 +1,8 @@
 #include "net/event_queue.hpp"
 
+#include <algorithm>
+
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace dosn::net {
@@ -8,6 +11,7 @@ void EventQueue::schedule(SimTime t, Handler handler) {
   DOSN_CHECK(t >= now_, "EventQueue: cannot schedule into the past (t = ", t,
              ", now = ", now_, ")");
   heap_.push(Entry{t, next_seq_++, std::move(handler)});
+  high_water_ = std::max(high_water_, heap_.size());
 }
 
 bool EventQueue::step() {
@@ -29,11 +33,24 @@ bool EventQueue::step() {
 void EventQueue::run_until(SimTime end) {
   while (!heap_.empty() && heap_.top().time <= end) step();
   if (now_ < end) now_ = end;
+  flush_metrics();
 }
 
 void EventQueue::run_all() {
   while (step()) {
   }
+  flush_metrics();
+}
+
+void EventQueue::flush_metrics() {
+  if (!obs::enabled()) return;
+  static obs::Counter& events =
+      obs::Registry::global().counter("net.event_queue.events");
+  static obs::Gauge& high_water =
+      obs::Registry::global().gauge("net.event_queue.high_water");
+  events.add(processed_ - reported_);
+  reported_ = processed_;
+  high_water.record_max(static_cast<std::int64_t>(high_water_));
 }
 
 }  // namespace dosn::net

@@ -33,6 +33,8 @@ class EventQueue {
   bool empty() const { return heap_.empty(); }
   std::size_t pending() const { return heap_.size(); }
   std::uint64_t processed() const { return processed_; }
+  /// Largest number of simultaneously pending events so far.
+  std::size_t high_water() const { return high_water_; }
 
   /// Runs a single event; false when the queue is empty.
   bool step();
@@ -45,6 +47,11 @@ class EventQueue {
   void run_all();
 
  private:
+  /// Publishes events-processed / high-water deltas to the obs registry
+  /// (no-op while observability is disabled); called when a run_* driver
+  /// finishes so the per-event path stays free of atomic operations.
+  void flush_metrics();
+
   struct Entry {
     SimTime time;
     std::uint64_t seq;
@@ -61,6 +68,8 @@ class EventQueue {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t processed_ = 0;
+  std::uint64_t reported_ = 0;  // processed_ already flushed to obs
+  std::size_t high_water_ = 0;
 };
 
 }  // namespace dosn::net

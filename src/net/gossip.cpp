@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 
 namespace dosn::net {
@@ -46,6 +47,25 @@ struct State {
     return peers[static_cast<std::size_t>(rng.below(peers.size()))];
   }
 };
+
+/// Per-run totals, flushed once from the already-accumulated report so the
+/// event handlers carry no instrumentation cost.
+struct GossipMetrics {
+  obs::Counter& runs = obs::Registry::global().counter("net.gossip.runs");
+  obs::Counter& sync_rounds =
+      obs::Registry::global().counter("net.gossip.sync_rounds");
+  obs::Counter& messages_sent =
+      obs::Registry::global().counter("net.gossip.messages_sent");
+  obs::Counter& messages_lost =
+      obs::Registry::global().counter("net.gossip.messages_lost");
+  obs::Counter& posts_shipped =
+      obs::Registry::global().counter("net.gossip.posts_shipped");
+};
+
+GossipMetrics& gossip_metrics() {
+  static GossipMetrics m;
+  return m;
+}
 
 }  // namespace
 
@@ -216,6 +236,13 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
     }
   }
   report.mean_delay = delays.mean();
+
+  GossipMetrics& m = gossip_metrics();
+  m.runs.add(1);
+  m.sync_rounds.add(report.sync_rounds);
+  m.messages_sent.add(report.messages_sent);
+  m.messages_lost.add(report.messages_lost);
+  m.posts_shipped.add(report.posts_shipped);
   return report;
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
 #include "util/stats.hpp"
 
 namespace dosn::net {
@@ -9,6 +10,26 @@ namespace dosn::net {
 using interval::kDaySeconds;
 
 namespace {
+
+/// Per-run totals, flushed once per simulate_replica_group call so the
+/// event loop itself carries no instrumentation cost.
+inline constexpr std::int64_t kGroupSizeBounds[] = {1, 2, 4, 8, 16, 32, 64};
+
+struct SimMetrics {
+  obs::Counter& runs =
+      obs::Registry::global().counter("net.replica_sim.runs");
+  obs::Counter& updates =
+      obs::Registry::global().counter("net.replica_sim.updates");
+  obs::Counter& deliveries =
+      obs::Registry::global().counter("net.replica_sim.deliveries");
+  obs::Histogram& group_size = obs::Registry::global().histogram(
+      "net.replica_sim.group_size", kGroupSizeBounds);
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics m;
+  return m;
+}
 
 // Equal-time ordering: offline transitions run first (half-open intervals:
 // a node is not online at its interval end), then online transitions, then
@@ -173,6 +194,7 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
 
   // Delay statistics over non-origin nodes with non-empty schedules.
   util::RunningStats delays;
+  std::uint64_t delivered = 0;
   for (const auto& d : report.deliveries) {
     for (std::size_t i = 0; i < nodes.size(); ++i) {
       if (i == d.origin || nodes[i].empty()) continue;
@@ -180,12 +202,19 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
         report.all_delivered = false;
         continue;
       }
+      ++delivered;
       const Seconds delay = *d.arrival[i] - d.creation;
       report.max_delay = std::max(report.max_delay, delay);
       delays.add(static_cast<double>(delay));
     }
   }
   report.mean_delay = delays.mean();
+
+  SimMetrics& m = sim_metrics();
+  m.runs.add(1);
+  m.updates.add(updates.size());
+  m.deliveries.add(delivered);
+  m.group_size.record(static_cast<std::int64_t>(nodes.size()));
   return report;
 }
 

@@ -1,0 +1,108 @@
+#include "obs/export.hpp"
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace dosn::obs {
+namespace {
+
+void append_span(util::JsonWriter& w, const SpanSample& span) {
+  w.begin_object();
+  w.field("name", span.name);
+  w.field("calls", span.calls);
+  w.field("total_ns", span.total_ns);
+  w.key("children");
+  w.begin_array();
+  for (const SpanSample& child : span.children) append_span(w, child);
+  w.end_array();
+  w.end_object();
+}
+
+void render_spans(const SpanSample& span, int depth, util::TextTable& table) {
+  table.add_row({std::string(static_cast<std::size_t>(2 * depth), ' ') +
+                     span.name,
+                 std::to_string(span.calls),
+                 util::format("%.3f", static_cast<double>(span.total_ns) /
+                                          1e6)});
+  for (const SpanSample& child : span.children)
+    render_spans(child, depth + 1, table);
+}
+
+}  // namespace
+
+void append_json(util::JsonWriter& w, const Snapshot& snap) {
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const CounterSample& c : snap.counters) w.field(c.name, c.value);
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const GaugeSample& g : snap.gauges) w.field(g.name, g.value);
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const HistogramSample& h : snap.histograms) {
+    w.key(h.name);
+    w.begin_object();
+    w.field("count", h.count);
+    w.field("sum", h.sum);
+    w.key("buckets");
+    w.begin_array();
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      w.begin_object();
+      w.key("le");
+      if (i < h.bounds.size()) {
+        w.value(h.bounds[i]);
+      } else {
+        w.value("+inf");
+      }
+      w.field("count", h.buckets[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.key("spans");
+  w.begin_array();
+  for (const SpanSample& span : snap.spans) append_span(w, span);
+  w.end_array();
+  w.end_object();
+}
+
+std::string to_json(const Snapshot& snap) {
+  util::JsonWriter w;
+  append_json(w, snap);
+  return w.str();
+}
+
+std::string to_table(const Snapshot& snap) {
+  std::string out;
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    util::TextTable table({"metric", "value"});
+    for (const CounterSample& c : snap.counters)
+      table.add_row({c.name, std::to_string(c.value)});
+    for (const GaugeSample& g : snap.gauges)
+      table.add_row({g.name + " (gauge)", std::to_string(g.value)});
+    out += table.render();
+  }
+  for (const HistogramSample& h : snap.histograms) {
+    util::TextTable table({h.name, "le", "count"});
+    for (std::size_t i = 0; i < h.buckets.size(); ++i)
+      table.add_row({"", i < h.bounds.size()
+                             ? std::to_string(h.bounds[i])
+                             : std::string("+inf"),
+                     std::to_string(h.buckets[i])});
+    table.add_row({"", "total", std::to_string(h.count)});
+    out += table.render();
+  }
+  if (!snap.spans.empty()) {
+    util::TextTable table({"span", "calls", "total_ms"});
+    for (const SpanSample& span : snap.spans) render_spans(span, 0, table);
+    out += table.render();
+  }
+  return out;
+}
+
+}  // namespace dosn::obs

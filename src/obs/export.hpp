@@ -1,0 +1,40 @@
+// Snapshot exporters: JSON (machine-readable, embedded into BENCH_*.json)
+// and util::TextTable (console reports).
+//
+// Both walk the snapshot in its already-sorted order, so two snapshots of
+// identical metric values render byte-identically — the property the
+// bench-regression CI gate diffs against. The only nondeterministic bytes
+// are span durations (total_ns / total_ms), which consumers must treat as
+// measurements, not results.
+#pragma once
+
+#include <string>
+
+#include "obs/obs.hpp"
+#include "util/json.hpp"
+
+namespace dosn::obs {
+
+/// The snapshot as a standalone JSON document:
+///
+///   {
+///     "counters":   { "<name>": <value>, ... },
+///     "gauges":     { "<name>": <value>, ... },
+///     "histograms": { "<name>": { "count": n, "sum": s,
+///                                 "buckets": [ { "le": <bound>|"+inf",
+///                                                "count": c }, ... ] } },
+///     "spans":      [ { "name": ..., "calls": ..., "total_ns": ...,
+///                       "children": [ ... ] }, ... ]
+///   }
+std::string to_json(const Snapshot& snap);
+
+/// Appends the same structure as one JSON object value through an already
+/// positioned writer (caller has emitted the key); used to embed a
+/// metrics section into a larger document.
+void append_json(util::JsonWriter& w, const Snapshot& snap);
+
+/// Counters/gauges/histograms as one aligned table plus an indented span
+/// profile tree — the human-facing form for bench stdout.
+std::string to_table(const Snapshot& snap);
+
+}  // namespace dosn::obs

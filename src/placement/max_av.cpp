@@ -3,11 +3,42 @@
 #include <algorithm>
 #include <queue>
 
+#include "obs/obs.hpp"
+
 namespace dosn::placement {
 
 using interval::IntervalSet;
 
 namespace {
+
+/// Greedy-core metrics (DESIGN.md §9). Every count is batched in plain
+/// locals inside the greedy loops and flushed once per selection, so the
+/// hot path never touches an atomic.
+inline constexpr std::int64_t kSelectedKBounds[] = {0, 1, 2, 3, 4, 6, 8, 12};
+
+struct PlacementMetrics {
+  obs::Counter& selections =
+      obs::Registry::global().counter("placement.maxav.selections");
+  /// Marginal-gain oracle invocations (eager rescans + CELF recomputes).
+  obs::Counter& gain_evals =
+      obs::Registry::global().counter("placement.maxav.gain_evals");
+  /// CELF picks accepted straight off the heap without recomputation.
+  obs::Counter& lazy_hits =
+      obs::Registry::global().counter("placement.maxav.lazy_hits");
+  /// CELF pops whose cached upper bound was stale and had to be refreshed.
+  obs::Counter& lazy_misses =
+      obs::Registry::global().counter("placement.maxav.lazy_misses");
+  /// ConRep candidates parked for a round while disconnected.
+  obs::Counter& parked =
+      obs::Registry::global().counter("placement.maxav.parked");
+  obs::Histogram& selected_k = obs::Registry::global().histogram(
+      "placement.maxav.selected_k", kSelectedKBounds);
+};
+
+PlacementMetrics& placement_metrics() {
+  static PlacementMetrics m;
+  return m;
+}
 
 // Both MaxAv universes (schedule seconds, activity instants) are covered
 // through the same greedy skeleton, abstracted as an oracle:
@@ -80,6 +111,7 @@ std::vector<UserId> greedy_eager(const PlacementContext& context,
 
   std::vector<UserId> chosen;
   std::vector<bool> used(context.candidates.size(), false);
+  std::uint64_t gain_evals = 0;
 
   while (chosen.size() < context.max_replicas) {
     std::ptrdiff_t best = -1;
@@ -91,6 +123,7 @@ std::vector<UserId> greedy_eager(const PlacementContext& context,
       if (conrep &&
           !detail::is_connected(cand, connectivity_union, !chosen.empty()))
         continue;
+      ++gain_evals;
       const std::int64_t gain = oracle.gain(i);
       if (gain <= 0) continue;
       bool better = false;
@@ -115,6 +148,7 @@ std::vector<UserId> greedy_eager(const PlacementContext& context,
     connectivity_union =
         connectivity_union.unite(context.schedule_of(context.candidates[idx]));
   }
+  placement_metrics().gain_evals.add(gain_evals);
   return chosen;
 }
 
@@ -149,8 +183,14 @@ std::vector<UserId> greedy_lazy(const PlacementContext& context,
                                 DaySchedule connectivity_union) {
   const bool conrep = context.connectivity == Connectivity::kConRep;
 
+  std::uint64_t gain_evals = 0;
+  std::uint64_t lazy_hits = 0;
+  std::uint64_t lazy_misses = 0;
+  std::uint64_t parked_count = 0;
+
   std::priority_queue<LazyEntry, std::vector<LazyEntry>, LazyEntryLess> heap;
   for (std::size_t i = 0; i < context.candidates.size(); ++i) {
+    ++gain_evals;
     const std::int64_t gain = oracle.gain(i);
     if (gain > 0) heap.push({gain, i, 0});
   }
@@ -167,12 +207,16 @@ std::vector<UserId> greedy_lazy(const PlacementContext& context,
               context.schedule_of(context.candidates[top.index]),
               connectivity_union, !chosen.empty())) {
         parked.push_back(top);
+        ++parked_count;
         continue;
       }
       if (top.stamp == chosen.size()) {
+        ++lazy_hits;
         picked = static_cast<std::ptrdiff_t>(top.index);
         break;
       }
+      ++lazy_misses;
+      ++gain_evals;
       top.gain = oracle.gain(top.index);
       if (top.gain <= 0) continue;
       top.stamp = chosen.size();
@@ -187,6 +231,11 @@ std::vector<UserId> greedy_lazy(const PlacementContext& context,
     for (const LazyEntry& e : parked) heap.push(e);
     parked.clear();
   }
+  PlacementMetrics& m = placement_metrics();
+  m.gain_evals.add(gain_evals);
+  m.lazy_hits.add(lazy_hits);
+  m.lazy_misses.add(lazy_misses);
+  m.parked.add(parked_count);
   return chosen;
 }
 
@@ -219,9 +268,13 @@ std::string MaxAvPolicy::name() const {
 
 std::vector<UserId> MaxAvPolicy::select_impl(const PlacementContext& context,
                                         util::Rng&) const {
-  if (objective_ == MaxAvObjective::kAoDActivity)
-    return select_activity_cover(context);
-  return select_schedule_cover(context);
+  std::vector<UserId> chosen = objective_ == MaxAvObjective::kAoDActivity
+                                   ? select_activity_cover(context)
+                                   : select_schedule_cover(context);
+  PlacementMetrics& m = placement_metrics();
+  m.selections.add(1);
+  m.selected_k.record(static_cast<std::int64_t>(chosen.size()));
+  return chosen;
 }
 
 std::vector<UserId> MaxAvPolicy::select_schedule_cover(

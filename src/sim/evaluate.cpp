@@ -3,10 +3,33 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.hpp"
 #include "util/check.hpp"
 
 namespace dosn::sim {
 namespace {
+
+/// Evaluation-volume metrics (DESIGN.md §9): how many per-user kernels ran
+/// and how much work the prefix optimization amortised. Flushed once per
+/// call — these functions run inside the parallel cohort loop, so the
+/// per-activity work must stay atomic-free.
+struct EvalMetrics {
+  obs::Counter& full_evals =
+      obs::Registry::global().counter("sim.full_evals");
+  obs::Counter& prefix_sweeps =
+      obs::Registry::global().counter("sim.prefix_sweeps");
+  /// Per-k rows produced by prefix sweeps (one sweep yields k_max + 1,
+  /// where the naive path would run that many full evaluations).
+  obs::Counter& prefix_points =
+      obs::Registry::global().counter("sim.prefix_points");
+  obs::Counter& activities_classified =
+      obs::Registry::global().counter("sim.activities_classified");
+};
+
+EvalMetrics& eval_metrics() {
+  static EvalMetrics m;
+  return m;
+}
 
 // Analytic ranges every per-user evaluation must respect: ratios are
 // proper fractions, delays non-negative. Violations here mean a metric
@@ -65,6 +88,7 @@ UserMetrics evaluate_user(const trace::Dataset& dataset,
   m.delay_observed_h = delay.observed_hours();
   m.replicas_used = static_cast<double>(replica_holders.size());
   check_metric_ranges(m);
+  eval_metrics().full_evals.add(1);
   return m;
 }
 
@@ -97,7 +121,9 @@ std::vector<UserMetrics> evaluate_user_prefixes(
   std::vector<std::size_t> expected_at(take_max + 1, 0);
   std::vector<std::size_t> unexpected_at(take_max + 1, 0);
   std::size_t expected_total = 0, unexpected_total = 0;
+  std::uint64_t activities = 0;
   for (const auto& a : dataset.trace.received_by(u)) {
+    ++activities;
     const interval::Seconds tod = interval::time_of_day(a.timestamp);
     DOSN_ASSERT(a.creator < schedules.size());
     const bool is_expected = schedules[a.creator].set().contains(tod);
@@ -168,6 +194,11 @@ std::vector<UserMetrics> evaluate_user_prefixes(
                 "availability decreased along prefix at k = ", k);
     out.push_back(m);
   }
+
+  EvalMetrics& em = eval_metrics();
+  em.prefix_sweeps.add(1);
+  em.prefix_points.add(k_max + 1);
+  em.activities_classified.add(activities);
   return out;
 }
 

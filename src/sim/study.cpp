@@ -3,10 +3,27 @@
 #include <algorithm>
 
 #include "graph/degree_stats.hpp"
+#include "obs/obs.hpp"
 #include "onlinetime/sporadic.hpp"
 
 namespace dosn::sim {
 namespace {
+
+/// Study-level volume counters; the sweep drivers also open obs spans
+/// (study.<sweep>) so the profile tree shows where wall time goes.
+struct StudyMetrics {
+  obs::Counter& users_evaluated =
+      obs::Registry::global().counter("sim.users_evaluated");
+  /// One cell = one evaluate_policy_over_ks call (a policy at one sweep x
+  /// for one repetition).
+  obs::Counter& sweep_cells =
+      obs::Registry::global().counter("sim.sweep_cells");
+};
+
+StudyMetrics& study_metrics() {
+  static StudyMetrics m;
+  return m;
+}
 
 /// Running averages of every UserMetrics field.
 struct Accum {
@@ -133,6 +150,10 @@ std::vector<CohortMetrics> Study::evaluate_policy_over_ks(
     const placement::PolicyParams& /*params*/,
     placement::Connectivity connectivity, std::size_t k_max,
     std::uint64_t stream_seed, util::ThreadPool& pool) const {
+  obs::ScopedTimer span("study.evaluate_policy");
+  study_metrics().sweep_cells.add(1);
+  study_metrics().users_evaluated.add(cohort_users.size());
+
   // Phase 1 (parallel): each user evaluates independently into its own
   // slot, drawing from its own RNG stream — no shared mutable state.
   std::vector<std::vector<UserMetrics>> per_user(cohort_users.size());
@@ -174,6 +195,7 @@ SweepResult Study::replication_sweep(onlinetime::ModelKind model_kind,
 SweepResult Study::replication_sweep(const onlinetime::OnlineTimeModel& model,
                                      placement::Connectivity connectivity,
                                      const Options& options) const {
+  obs::ScopedTimer span("study.replication_sweep");
   const auto cohort_users = cohort(options.cohort_degree);
   DOSN_REQUIRE(!cohort_users.empty(),
                "replication_sweep: no user has the cohort degree");
@@ -226,6 +248,7 @@ SweepResult Study::replication_sweep(const onlinetime::OnlineTimeModel& model,
 SweepResult Study::session_length_sweep(
     std::span<const interval::Seconds> session_lengths, std::size_t k,
     placement::Connectivity connectivity, const Options& options) const {
+  obs::ScopedTimer span("study.session_length_sweep");
   const auto cohort_users = cohort(options.cohort_degree);
   DOSN_REQUIRE(!cohort_users.empty(),
                "session_length_sweep: no user has the cohort degree");
@@ -274,6 +297,7 @@ std::vector<UserMetrics> Study::cohort_samples(
     onlinetime::ModelKind model_kind, const onlinetime::ModelParams& params,
     placement::Connectivity connectivity, placement::PolicyKind policy_kind,
     std::size_t k, const Options& options) const {
+  obs::ScopedTimer span("study.cohort_samples");
   const auto model = onlinetime::make_model(model_kind, params);
   const auto cohort_users = cohort(options.cohort_degree);
   DOSN_REQUIRE(!cohort_users.empty(),
@@ -286,6 +310,7 @@ std::vector<UserMetrics> Study::cohort_samples(
   const std::uint64_t stream_seed = sweep_stream(
       seed_, kSamplesTag, 0, static_cast<std::uint64_t>(policy_kind), 0);
 
+  study_metrics().users_evaluated.add(cohort_users.size());
   util::ThreadPool pool(options.threads);
   std::vector<UserMetrics> samples(cohort_users.size());
   util::parallel_for_each(&pool, cohort_users.size(), [&](std::size_t i) {
@@ -319,6 +344,7 @@ SweepResult Study::user_degree_sweep(std::size_t max_degree,
                                      const onlinetime::OnlineTimeModel& model,
                                      placement::Connectivity connectivity,
                                      const Options& options) const {
+  obs::ScopedTimer span("study.user_degree_sweep");
   const std::size_t model_reps =
       model.randomized() ? options.repetitions : 1;
   std::vector<std::vector<DaySchedule>> schedules;

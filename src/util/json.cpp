@@ -1,0 +1,148 @@
+#include "util/json.hpp"
+
+#include <cmath>
+#include <fstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::util {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::indent() {
+  out_ += '\n';
+  out_.append(2 * stack_.size(), ' ');
+}
+
+void JsonWriter::begin_value() {
+  if (stack_.empty()) {
+    DOSN_CHECK(out_.empty(), "JsonWriter: only one top-level value allowed");
+    return;
+  }
+  if (stack_.back() == Frame::kObject) {
+    DOSN_CHECK(key_pending_, "JsonWriter: value inside an object needs key()");
+    key_pending_ = false;
+    return;  // key() already placed the separator and "key": prefix
+  }
+  if (!first_in_frame_) out_ += ',';
+  first_in_frame_ = false;
+  indent();
+}
+
+void JsonWriter::key(std::string_view k) {
+  DOSN_CHECK(!stack_.empty() && stack_.back() == Frame::kObject,
+             "JsonWriter: key() outside an object");
+  DOSN_CHECK(!key_pending_, "JsonWriter: two key() calls in a row");
+  if (!first_in_frame_) out_ += ',';
+  first_in_frame_ = false;
+  indent();
+  out_ += '"';
+  out_ += json_escape(k);
+  out_ += "\": ";
+  key_pending_ = true;
+}
+
+void JsonWriter::begin_object() {
+  begin_value();
+  out_ += '{';
+  stack_.push_back(Frame::kObject);
+  first_in_frame_ = true;
+}
+
+void JsonWriter::end_object() {
+  DOSN_CHECK(!stack_.empty() && stack_.back() == Frame::kObject &&
+                 !key_pending_,
+             "JsonWriter: unbalanced end_object()");
+  const bool empty = first_in_frame_;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ += '}';
+  first_in_frame_ = false;
+}
+
+void JsonWriter::begin_array() {
+  begin_value();
+  out_ += '[';
+  stack_.push_back(Frame::kArray);
+  first_in_frame_ = true;
+}
+
+void JsonWriter::end_array() {
+  DOSN_CHECK(!stack_.empty() && stack_.back() == Frame::kArray,
+             "JsonWriter: unbalanced end_array()");
+  const bool empty = first_in_frame_;
+  stack_.pop_back();
+  if (!empty) indent();
+  out_ += ']';
+  first_in_frame_ = false;
+}
+
+void JsonWriter::value(double v) {
+  begin_value();
+  if (!std::isfinite(v)) {
+    out_ += "null";
+    return;
+  }
+  out_ += format_double(v);
+}
+
+void JsonWriter::value(std::int64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(std::uint64_t v) {
+  begin_value();
+  out_ += std::to_string(v);
+}
+
+void JsonWriter::value(bool v) {
+  begin_value();
+  out_ += v ? "true" : "false";
+}
+
+void JsonWriter::value(std::string_view v) {
+  begin_value();
+  out_ += '"';
+  out_ += json_escape(v);
+  out_ += '"';
+}
+
+void JsonWriter::null() {
+  begin_value();
+  out_ += "null";
+}
+
+std::string JsonWriter::str() const {
+  DOSN_CHECK(stack_.empty() && !key_pending_,
+             "JsonWriter: str() before the document was closed");
+  return out_ + "\n";
+}
+
+void write_text_file(const std::string& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary);
+  out << text;
+  if (!out) throw IoError("cannot write " + path);
+}
+
+}  // namespace dosn::util

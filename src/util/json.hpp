@@ -1,0 +1,79 @@
+// Minimal streaming JSON writer for machine-readable report files
+// (BENCH_*.json, obs snapshots).
+//
+// The writer produces pretty-printed JSON with the keys in exactly the
+// order the caller emits them, and renders doubles with format_double
+// (std::to_chars shortest round-trip) — so a file's bytes depend only on
+// the values written, never on locale or platform formatting defaults.
+// Non-finite doubles, which JSON cannot represent, are emitted as null.
+//
+// Usage mirrors the JSON structure:
+//
+//   JsonWriter w;
+//   w.begin_object();
+//   w.field("benchmark", "study_engine");
+//   w.key("scenarios");
+//   w.begin_array();
+//   ...
+//   w.end_array();
+//   w.end_object();
+//   write_text_file(path, w.str());
+//
+// Mis-nesting (a value without a pending key inside an object, unbalanced
+// end_*) is a programming error and fails a contract check.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dosn::util {
+
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Emits the key of the next value; only valid directly inside an object.
+  void key(std::string_view k);
+
+  void value(double v);
+  void value(std::int64_t v);
+  void value(std::uint64_t v);
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(bool v);
+  void value(std::string_view v);
+  void value(const char* v) { value(std::string_view(v)); }
+  void null();
+
+  template <typename T>
+  void field(std::string_view k, T v) {
+    key(k);
+    value(v);
+  }
+
+  /// The finished document; every begin_* must have been closed.
+  std::string str() const;
+
+ private:
+  enum class Frame { kObject, kArray };
+
+  void begin_value();  // separator + indentation bookkeeping
+  void indent();
+
+  std::string out_;
+  std::vector<Frame> stack_;
+  bool key_pending_ = false;    // key() emitted, value must follow
+  bool first_in_frame_ = true;  // no comma before the next entry
+};
+
+/// Escapes `s` per RFC 8259 (quotes, backslash, control characters).
+std::string json_escape(std::string_view s);
+
+/// Writes `text` to `path`, throwing util::IoError on failure.
+void write_text_file(const std::string& path, std::string_view text);
+
+}  // namespace dosn::util

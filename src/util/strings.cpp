@@ -1,5 +1,6 @@
 #include "util/strings.hpp"
 
+#include <array>
 #include <cctype>
 #include <charconv>
 #include <cstdarg>
@@ -77,6 +78,13 @@ std::string format(const char* fmt, ...) {
   std::vsnprintf(out.data(), out.size() + 1, fmt, args);
   va_end(args);
   return out;
+}
+
+std::string format_double(double v) {
+  std::array<char, 32> buf{};
+  auto [ptr, ec] = std::to_chars(buf.data(), buf.data() + buf.size(), v);
+  DOSN_ASSERT(ec == std::errc{});
+  return std::string(buf.data(), ptr);
 }
 
 std::string format_duration_s(double seconds) {

@@ -27,6 +27,13 @@ double parse_f64(std::string_view s);
 /// printf-style helper returning std::string.
 std::string format(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
 
+/// Shortest decimal form that parses back to exactly `v`, via
+/// std::to_chars — locale-independent and byte-stable across platforms,
+/// unlike default ostream formatting (which truncates to 6 significant
+/// digits and honors the imbued locale's decimal point). Infinities and
+/// NaN render as "inf"/"-inf"/"nan"; JSON writers must map them out.
+std::string format_double(double v);
+
 /// Human-readable duration, e.g. "17.3 h", "42 min", "980 s".
 std::string format_duration_s(double seconds);
 

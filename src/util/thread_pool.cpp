@@ -2,7 +2,32 @@
 
 #include <cstdlib>
 
+#include "obs/obs.hpp"
+
 namespace dosn::util {
+namespace {
+
+// Pool metrics (DESIGN.md §9). There is no work stealing to count — the
+// partition is static by design — so the interesting quantities are how
+// many fork-joins ran, how much index space they covered, and how many
+// worker chunks that fanned into (serial loops count as one chunk).
+struct PoolMetrics {
+  obs::Counter& jobs =
+      obs::Registry::global().counter("util.thread_pool.jobs");
+  obs::Counter& serial_jobs =
+      obs::Registry::global().counter("util.thread_pool.serial_jobs");
+  obs::Counter& indices =
+      obs::Registry::global().counter("util.thread_pool.indices");
+  obs::Counter& chunks =
+      obs::Registry::global().counter("util.thread_pool.chunks");
+};
+
+PoolMetrics& metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 std::size_t default_thread_count() {
   if (const char* env = std::getenv("DOSN_THREADS")) {
@@ -65,9 +90,15 @@ void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
   if (threads_ == 1) {
+    metrics().serial_jobs.add(1);
+    metrics().indices.add(n);
+    metrics().chunks.add(1);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  metrics().jobs.add(1);
+  metrics().indices.add(n);
+  metrics().chunks.add(threads_);
   {
     std::lock_guard<std::mutex> lock(mutex_);
     job_ = &fn;
@@ -92,6 +123,11 @@ void ThreadPool::for_each_index(std::size_t n,
 void parallel_for_each(ThreadPool* pool, std::size_t n,
                        const std::function<void(std::size_t)>& fn) {
   if (pool == nullptr || pool->thread_count() == 1) {
+    if (n > 0) {
+      metrics().serial_jobs.add(1);
+      metrics().indices.add(n);
+      metrics().chunks.add(1);
+    }
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }

@@ -1,0 +1,214 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for BENCH_study_engine.json.
+
+Compares a freshly produced bench report against the committed baseline
+and fails when the current run is meaningfully worse. Two checks:
+
+correctness
+    Every scenario must report ``outputs_identical: true`` — the engine
+    optimizations are exact, so any divergence between the seed engine and
+    the optimized paths is a correctness bug regardless of speed. A scenario
+    present in the baseline but missing from the current report also fails
+    (a silently dropped workload is not a pass).
+
+performance
+    Raw milliseconds are machine-dependent (the committed baseline and the
+    CI runner are different hardware), so timings are never compared
+    directly. Instead each optimized configuration is normalized by the
+    *same report's* seed-engine time:
+
+        ratio = <config>_ms / seed_engine_ms
+
+    The seed engine runs identical work in the same process on the same
+    machine, so the ratio cancels hardware speed and measures only how
+    much of the optimization's advantage survives. The gate fails when a
+    current ratio exceeds the baseline ratio by more than ``--threshold``
+    (default 0.25, i.e. a >25% relative regression).
+
+Usage
+-----
+  tools/check_bench_regression.py --baseline BENCH_study_engine.json \
+      --current ci-bench/BENCH_study_engine.json [--threshold 0.25]
+  tools/check_bench_regression.py --self-test
+
+``--self-test`` verifies the gate itself: an identical report must pass,
+a 30% injected slowdown must fail, and ``outputs_identical: false`` must
+fail. CI runs it before trusting the real comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import copy
+import json
+import pathlib
+import sys
+
+# Optimized-engine fields normalized by seed_engine_ms for comparison.
+TIMED_FIELDS = [
+    "incremental_eager_ms",
+    "incremental_lazy_ms",
+    "parallel_lazy_ms",
+]
+
+DEFAULT_THRESHOLD = 0.25
+
+
+def load_report(path: pathlib.Path) -> dict:
+    with path.open(encoding="utf-8") as fh:
+        report = json.load(fh)
+    if "scenarios" not in report:
+        raise ValueError(f"{path}: no 'scenarios' section")
+    return report
+
+
+def scenario_ratios(scenario: dict) -> dict[str, float]:
+    seed_ms = float(scenario["seed_engine_ms"])
+    if seed_ms <= 0:
+        raise ValueError(
+            f"scenario {scenario.get('name')!r}: non-positive seed_engine_ms"
+        )
+    return {f: float(scenario[f]) / seed_ms for f in TIMED_FIELDS}
+
+
+def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+    """Returns a list of failure messages (empty = gate passes)."""
+    failures = []
+    current_by_name = {s["name"]: s for s in current["scenarios"]}
+
+    for cur in current["scenarios"]:
+        if not cur.get("outputs_identical", False):
+            failures.append(
+                f"{cur['name']}: outputs_identical is false — the optimized "
+                "engines no longer reproduce the seed engine bit for bit"
+            )
+
+    for base in baseline["scenarios"]:
+        name = base["name"]
+        cur = current_by_name.get(name)
+        if cur is None:
+            failures.append(f"{name}: present in baseline but missing from "
+                            "the current report")
+            continue
+        base_ratios = scenario_ratios(base)
+        cur_ratios = scenario_ratios(cur)
+        for field in TIMED_FIELDS:
+            b, c = base_ratios[field], cur_ratios[field]
+            limit = b * (1.0 + threshold)
+            status = "FAIL" if c > limit else "ok"
+            print(
+                f"  {name}.{field}: ratio {c:.3f} vs baseline {b:.3f} "
+                f"(limit {limit:.3f}) [{status}]"
+            )
+            if c > limit:
+                failures.append(
+                    f"{name}: {field}/seed_engine_ms regressed "
+                    f"{(c / b - 1.0) * 100.0:+.1f}% "
+                    f"(ratio {c:.3f} vs baseline {b:.3f}, "
+                    f"threshold {threshold * 100.0:.0f}%)"
+                )
+    return failures
+
+
+def self_test() -> int:
+    baseline = {
+        "benchmark": "study_engine",
+        "scenarios": [
+            {
+                "name": "replication_sweep_degree10",
+                "seed_engine_ms": 100.0,
+                "incremental_eager_ms": 40.0,
+                "incremental_lazy_ms": 30.0,
+                "parallel_lazy_ms": 10.0,
+                "outputs_identical": True,
+            }
+        ],
+    }
+
+    failures = 0
+
+    def expect(label: str, current: dict, should_pass: bool) -> None:
+        nonlocal failures
+        print(f"self-test: {label}")
+        problems = compare(baseline, current, DEFAULT_THRESHOLD)
+        passed = not problems
+        if passed != should_pass:
+            failures += 1
+            print(f"self-test FAIL: {label}: expected "
+                  f"{'pass' if should_pass else 'fail'}, got "
+                  f"{'pass' if passed else problems}")
+
+    # Identical report: passes.
+    expect("identical report passes", copy.deepcopy(baseline), True)
+
+    # The same ratios on a machine 3x slower overall: passes (timings are
+    # normalized, so uniform hardware slowdown is invisible).
+    slower = copy.deepcopy(baseline)
+    for s in slower["scenarios"]:
+        for f in ["seed_engine_ms", *TIMED_FIELDS]:
+            s[f] *= 3.0
+    expect("uniformly slower machine passes", slower, True)
+
+    # A 30% injected regression on one optimized config: fails (> 25%).
+    regressed = copy.deepcopy(baseline)
+    regressed["scenarios"][0]["parallel_lazy_ms"] *= 1.30
+    expect("30% injected regression fails", regressed, False)
+
+    # A 10% wobble: passes (< 25% threshold).
+    wobble = copy.deepcopy(baseline)
+    wobble["scenarios"][0]["parallel_lazy_ms"] *= 1.10
+    expect("10% wobble passes", wobble, True)
+
+    # Broken correctness: fails even when faster.
+    broken = copy.deepcopy(baseline)
+    broken["scenarios"][0]["outputs_identical"] = False
+    broken["scenarios"][0]["parallel_lazy_ms"] = 1.0
+    expect("outputs_identical=false fails", broken, False)
+
+    # Dropped scenario: fails.
+    dropped = copy.deepcopy(baseline)
+    dropped["scenarios"] = []
+    expect("missing scenario fails", dropped, False)
+
+    if failures:
+        print(f"self-test: {failures} case(s) failed")
+        return 1
+    print("self-test OK (6 cases)")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=pathlib.Path,
+                        help="committed baseline BENCH_*.json")
+    parser.add_argument("--current", type=pathlib.Path,
+                        help="freshly produced BENCH_*.json")
+    parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
+                        help="allowed relative ratio regression "
+                             "(default %(default)s)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate against synthetic reports")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required "
+                     "(or use --self-test)")
+
+    baseline = load_report(args.baseline)
+    current = load_report(args.current)
+    print(f"baseline: {args.baseline}")
+    print(f"current:  {args.current}")
+    failures = compare(baseline, current, args.threshold)
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    if failures:
+        print(f"check_bench_regression: {len(failures)} failure(s)")
+        return 1
+    print("check_bench_regression: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

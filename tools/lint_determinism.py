@@ -194,6 +194,18 @@ SELF_TEST_CASES = [
     ("log(\"calling time() here would be bad\");", None),
     ("SimTime now = queue.now();", None),
     ("run_until(end_time);", None),
+    # The obs sharded-counter pattern (DESIGN.md §9) must stay lintable:
+    # per-thread slots come from a process-wide counter, not scheduler ids,
+    # and merging sums commutes — none of it may trip a rule.
+    ("std::array<Shard, kShards> shards_{};", None),
+    ("thread_local const std::size_t slot = next_slot.fetch_add(1);", None),
+    ("shards_[detail::shard_slot()].v.fetch_add(n, std::memory_order_relaxed);", None),
+    ("const auto t0 = std::chrono::steady_clock::now();", None),
+    # ...whereas keying a shard off the scheduler id, or merging through a
+    # hash map, is exactly what the rules exist to catch.
+    ("auto slot = std::hash<std::thread::id>{}(std::this_thread::get_id());", "thread-id"),
+    ("std::unordered_map<std::string, std::uint64_t> totals;", "unordered-iter"),
+    ("// lint:ordered-ok — totals drained via sorted key copy\nstd::unordered_map<std::string, std::uint64_t> totals;", None),
 ]
 
 
