@@ -69,11 +69,40 @@ void DhtRing::leave(std::uint64_t node_id) {
   if (nodes_.empty()) return;
   rebuild_fingers();
   reassign_all_keys();
+  if (alive_count() == 0) return;  // nobody left to adopt the keys
   for (auto& [key, value] : orphaned) put(key, std::move(value));
+}
+
+bool DhtRing::crash(std::uint64_t node_id) {
+  auto it = nodes_.find(node_position(node_id));
+  if (it == nodes_.end() || !it->second.alive) return false;
+  it->second.alive = false;
+  it->second.store.clear();  // a crash loses the node's replicas
+  return true;
+}
+
+void DhtRing::stabilize() {
+  for (auto it = nodes_.begin(); it != nodes_.end();)
+    it = it->second.alive ? std::next(it) : nodes_.erase(it);
+  if (nodes_.empty()) return;
+  rebuild_fingers();
+  reassign_all_keys();  // re-replicate surviving keys to alive nodes
 }
 
 bool DhtRing::contains_node(std::uint64_t node_id) const {
   return nodes_.count(node_position(node_id)) > 0;
+}
+
+bool DhtRing::node_alive(std::uint64_t node_id) const {
+  auto it = nodes_.find(node_position(node_id));
+  return it != nodes_.end() && it->second.alive;
+}
+
+std::size_t DhtRing::alive_count() const {
+  std::size_t n = 0;
+  for (const auto& [position, node] : nodes_)
+    if (node.alive) ++n;
+  return n;
 }
 
 RingId DhtRing::successor_position(RingId p) const {
@@ -81,6 +110,16 @@ RingId DhtRing::successor_position(RingId p) const {
   auto it = nodes_.lower_bound(p);
   if (it == nodes_.end()) it = nodes_.begin();  // wrap
   return it->first;
+}
+
+std::optional<RingId> DhtRing::alive_successor_position(RingId p) const {
+  auto it = nodes_.lower_bound(p);
+  for (std::size_t n = 0; n < nodes_.size(); ++n) {
+    if (it == nodes_.end()) it = nodes_.begin();  // wrap
+    if (it->second.alive) return it->first;
+    ++it;
+  }
+  return std::nullopt;
 }
 
 const DhtRing::Node& DhtRing::node_at(RingId position) const {
@@ -96,12 +135,21 @@ DhtRing::Node& DhtRing::node_at(RingId position) {
 }
 
 void DhtRing::rebuild_fingers() {
+  const std::size_t succ_len =
+      std::min(kSuccessorListLen, nodes_.size() - 1);
   for (auto& [position, node] : nodes_) {
     node.fingers.clear();
     node.fingers.reserve(64);
     for (int k = 0; k < 64; ++k) {
       const RingId target = position + (RingId{1} << k);  // wraps naturally
       node.fingers.push_back(successor_position(target));
+    }
+    node.succ_list.clear();
+    node.succ_list.reserve(succ_len);
+    RingId p = position;
+    for (std::size_t s = 0; s < succ_len; ++s) {
+      p = successor_position(p + 1);
+      node.succ_list.push_back(p);
     }
   }
 }
@@ -110,10 +158,11 @@ std::vector<std::uint64_t> DhtRing::responsible_nodes(
     std::string_view key) const {
   DOSN_REQUIRE(!nodes_.empty(), "DhtRing: empty ring");
   std::vector<std::uint64_t> out;
-  RingId p = successor_position(ring_hash(key));
-  for (std::size_t r = 0; r < std::min(replication_, nodes_.size()); ++r) {
-    out.push_back(node_at(p).id);
-    p = successor_position(p + 1);
+  const std::size_t copies = std::min(replication_, alive_count());
+  std::optional<RingId> p = alive_successor_position(ring_hash(key));
+  for (std::size_t r = 0; r < copies; ++r) {
+    out.push_back(node_at(*p).id);
+    p = alive_successor_position(*p + 1);
   }
   return out;
 }
@@ -122,26 +171,59 @@ DhtRing::Lookup DhtRing::lookup(std::string_view key, util::Rng& rng) const {
   DOSN_REQUIRE(!nodes_.empty(), "DhtRing: empty ring");
   const RingId target = ring_hash(key);
 
-  // Random entry point, as a client would have.
+  // Random entry point, as a client would have. A dead bootstrap node
+  // costs a failed probe and the client tries the next ring position.
   auto it = nodes_.begin();
   std::advance(it, static_cast<std::ptrdiff_t>(rng.below(nodes_.size())));
+  Lookup result;
+  for (std::size_t n = 0; n < nodes_.size() && !it->second.alive; ++n) {
+    ++result.failed_probes;
+    ++it;
+    if (it == nodes_.end()) it = nodes_.begin();
+  }
+  if (!it->second.alive) {  // every node is dead
+    result.ok = false;
+    return result;
+  }
   RingId current = it->first;
 
-  Lookup result;
   for (;;) {
-    const RingId succ = successor_position(current + 1);
+    // Successor of `current` through its successor list: each dead entry
+    // probed costs a failed probe; an exhausted list fails the lookup
+    // (more consecutive crashes than the list covers — stabilize() and
+    // retry).
+    const Node& cur = node_at(current);
+    RingId succ = current;  // single-node ring: owns everything
+    if (!cur.succ_list.empty()) {
+      bool found = false;
+      for (const RingId s : cur.succ_list) {
+        if (node_at(s).alive) {
+          succ = s;
+          found = true;
+          break;
+        }
+        ++result.failed_probes;
+      }
+      if (!found) {
+        result.ok = false;
+        return result;
+      }
+    }
     if (in_half_open(target, current, succ)) {
       result.owner = node_at(succ).id;
       if (succ != current) ++result.hops;  // final forward to the owner
       return result;
     }
-    // Closest preceding finger of `current` towards the target.
-    RingId next = succ;  // fallback: linear step
-    const auto& fingers = node_at(current).fingers;
-    for (auto f = fingers.rbegin(); f != fingers.rend(); ++f) {
+    // Closest preceding *alive* finger of `current` towards the target;
+    // dead candidates probed on the way down each cost a failed probe.
+    RingId next = succ;  // fallback: step to the alive successor
+    for (auto f = cur.fingers.rbegin(); f != cur.fingers.rend(); ++f) {
       if (in_open(*f, current, target)) {
-        next = *f;
-        break;
+        if (node_at(*f).alive) {
+          next = *f;
+          break;
+        }
+        ++result.failed_probes;
       }
     }
     DOSN_ASSERT(next != current);
@@ -152,24 +234,27 @@ DhtRing::Lookup DhtRing::lookup(std::string_view key, util::Rng& rng) const {
 
 void DhtRing::put(std::string_view key, std::string value) {
   DOSN_REQUIRE(!nodes_.empty(), "DhtRing: empty ring");
-  RingId p = successor_position(ring_hash(key));
-  for (std::size_t r = 0; r < std::min(replication_, nodes_.size()); ++r) {
-    node_at(p).store.insert_or_assign(std::string(key), value);
-    p = successor_position(p + 1);
+  const std::size_t copies = std::min(replication_, alive_count());
+  DOSN_REQUIRE(copies > 0, "DhtRing: no alive node");
+  std::optional<RingId> p = alive_successor_position(ring_hash(key));
+  for (std::size_t r = 0; r < copies; ++r) {
+    node_at(*p).store.insert_or_assign(std::string(key), value);
+    p = alive_successor_position(*p + 1);
   }
 }
 
 std::optional<std::string> DhtRing::get(
     std::string_view key, std::optional<std::uint64_t> failed_node) const {
   if (nodes_.empty()) return std::nullopt;
-  RingId p = successor_position(ring_hash(key));
-  for (std::size_t r = 0; r < std::min(replication_, nodes_.size()); ++r) {
-    const Node& node = node_at(p);
+  const std::size_t copies = std::min(replication_, alive_count());
+  std::optional<RingId> p = alive_successor_position(ring_hash(key));
+  for (std::size_t r = 0; r < copies; ++r) {
+    const Node& node = node_at(*p);
     if (!failed_node || node.id != *failed_node) {
       auto it = node.store.find(key);
       if (it != node.store.end()) return it->second;
     }
-    p = successor_position(p + 1);
+    p = alive_successor_position(*p + 1);
   }
   return std::nullopt;
 }
@@ -200,6 +285,7 @@ void DhtRing::reassign_all_keys() {
                           return a.first == b.first;
                         }),
             all.end());
+  if (alive_count() == 0) return;  // nobody can hold the keys; they are lost
   for (auto& [key, value] : all) put(key, std::move(value));
 }
 

@@ -30,9 +30,17 @@ using RingId = std::uint64_t;
 /// Hashes an application key (e.g. "profile:42:update:7") onto the ring.
 RingId ring_hash(std::string_view key);
 
-/// Chord-style ring with finger tables and a replicated key-value store.
+/// Chord-style ring with finger tables, successor lists, and a replicated
+/// key-value store. Nodes can *crash* (fail without a graceful leave):
+/// a crashed node stays in the routing structure as a dead entry until
+/// stabilize() runs, and lookups route around it through successor lists,
+/// paying failed probes for every dead node contacted.
 class DhtRing {
  public:
+  /// Successor-list length (capped at ring size − 1): how many consecutive
+  /// crashed successors a lookup can survive before it fails.
+  static constexpr std::size_t kSuccessorListLen = 4;
+
   /// `replication` = number of successive nodes storing each key.
   explicit DhtRing(std::size_t replication = 2);
 
@@ -43,26 +51,49 @@ class DhtRing {
   /// Removes a node; its keys move to their new owners. No-op if absent.
   void leave(std::uint64_t node_id);
 
-  std::size_t size() const { return nodes_.size(); }
-  bool contains_node(std::uint64_t node_id) const;
+  /// Crashes a node: it stays in the ring as a dead entry (fingers of
+  /// other nodes still point at it) and its stored replicas are lost.
+  /// Returns false when absent. stabilize() removes dead entries.
+  bool crash(std::uint64_t node_id);
 
-  /// The node ids currently responsible for `key` (owner + replicas).
+  /// Periodic Chord maintenance, run after churn: drops crashed nodes
+  /// from the routing structure, rebuilds fingers and successor lists,
+  /// and re-replicates every surviving key back to `replication` alive
+  /// nodes. Keys whose every replica crashed are gone for good.
+  void stabilize();
+
+  std::size_t size() const { return nodes_.size(); }
+  /// Nodes present and not crashed.
+  std::size_t alive_count() const;
+  bool contains_node(std::uint64_t node_id) const;
+  /// Present and not crashed.
+  bool node_alive(std::uint64_t node_id) const;
+
+  /// The alive node ids currently responsible for `key` (owner +
+  /// replicas); dead nodes are skipped.
   std::vector<std::uint64_t> responsible_nodes(std::string_view key) const;
 
-  /// Iterative lookup from a random start node using finger tables;
-  /// returns the owner node id and the number of routing hops taken.
+  /// Iterative lookup from a random start node using finger tables.
+  /// Dead fingers and successors are detected by probing (counted in
+  /// `failed_probes`; total messages = hops + failed_probes) and routed
+  /// around via the successor list. When a node's entire successor list
+  /// is dead, the lookup fails (`ok == false`) — run stabilize() and
+  /// retry.
   struct Lookup {
     std::uint64_t owner = 0;
     std::size_t hops = 0;
+    std::size_t failed_probes = 0;
+    bool ok = true;
   };
   Lookup lookup(std::string_view key, util::Rng& rng) const;
 
-  /// Stores the value on the responsible nodes. Throws when the ring is
-  /// empty.
+  /// Stores the value on the responsible alive nodes. Throws when no node
+  /// is alive.
   void put(std::string_view key, std::string value);
 
-  /// Reads from the responsible nodes; `failed_node` (optional) simulates
-  /// one crashed replica. nullopt when no responsible node has the value.
+  /// Reads from the responsible alive nodes; `failed_node` (optional)
+  /// simulates one additionally unreachable replica. nullopt when no
+  /// responsible node has the value.
   std::optional<std::string> get(
       std::string_view key,
       std::optional<std::uint64_t> failed_node = std::nullopt) const;
@@ -75,13 +106,18 @@ class DhtRing {
  private:
   struct Node {
     std::uint64_t id = 0;
+    bool alive = true;
     // Finger k points at the first node >= position + 2^k (circularly).
     std::vector<RingId> fingers;
+    // The next kSuccessorListLen distinct ring positions (dead or alive).
+    std::vector<RingId> succ_list;
     std::map<std::string, std::string, std::less<>> store;
   };
 
   /// First ring position >= p (circular); requires a non-empty ring.
   RingId successor_position(RingId p) const;
+  /// First *alive* ring position >= p; nullopt when every node is dead.
+  std::optional<RingId> alive_successor_position(RingId p) const;
   const Node& node_at(RingId position) const;
   Node& node_at(RingId position);
   void rebuild_fingers();

@@ -60,6 +60,8 @@ struct GossipMetrics {
       obs::Registry::global().counter("net.gossip.messages_lost");
   obs::Counter& posts_shipped =
       obs::Registry::global().counter("net.gossip.posts_shipped");
+  obs::Counter& retransmits =
+      obs::Registry::global().counter("net.gossip.retransmits");
 };
 
 GossipMetrics& gossip_metrics() {
@@ -75,6 +77,11 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
   DOSN_REQUIRE(config.horizon_days > 0, "gossip: horizon must be > 0");
   DOSN_REQUIRE(config.sync_period > 0, "gossip: sync period must be > 0");
   DOSN_REQUIRE(config.link_latency >= 0, "gossip: negative latency");
+  DOSN_REQUIRE(config.max_retransmits == 0 || config.retransmit_timeout > 0,
+               "gossip: retransmission needs a positive timeout");
+  DOSN_REQUIRE(config.retransmit_backoff_cap >= config.retransmit_timeout,
+               "gossip: backoff cap below the initial timeout");
+  FaultInjector injector(config.faults);
   const SimTime horizon =
       static_cast<SimTime>(config.horizon_days) * kDaySeconds;
   for (const auto& w : writes) {
@@ -112,6 +119,34 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
     }
   };
 
+  // One logical message from `from`: wire drops injected by the fault plan
+  // are retried with capped exponential backoff (sender-side timeout), then
+  // the surviving attempt's delivery is scheduled after the accumulated
+  // backoff, the link latency, and any injected jitter. Under the zero plan
+  // attempt 0 is never dropped and jitter is 0, so exactly one schedule
+  // call is made at link_latency — the unfaulted protocol's event stream,
+  // bit for bit. Departed receivers are out of retransmission's reach: the
+  // epoch check at delivery still counts those as messages_lost.
+  auto transmit = [&](std::size_t from, std::function<void()> deliver) {
+    Seconds waited = 0;
+    Seconds backoff = config.retransmit_timeout;
+    for (std::size_t attempt = 0;; ++attempt) {
+      ++report.messages_sent;
+      const bool dropped = injector.drop_message(from);
+      const Seconds jitter = injector.latency_jitter(from);
+      if (!dropped) {
+        report.retransmits += attempt;
+        queue.schedule_in(waited + config.link_latency + jitter,
+                          std::move(deliver));
+        return;
+      }
+      ++report.messages_dropped;
+      if (attempt >= config.max_retransmits) return;  // gave up
+      waited += backoff;
+      backoff = std::min(backoff * 2, config.retransmit_backoff_cap);
+    }
+  };
+
   // One push-pull anti-entropy round from `a` towards a random peer.
   std::function<void(std::size_t, std::uint64_t)> tick =
       [&](std::size_t a, std::uint64_t a_epoch) {
@@ -125,13 +160,11 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
         if (!peer) return;
         const std::size_t b = *peer;
         const std::uint64_t b_epoch = state.epoch[b];
-        const Seconds lat = config.link_latency;
 
         // A -> B: A's digest.
-        ++report.messages_sent;
         VersionVector a_digest = state.profiles[a].version();
-        queue.schedule_in(lat, [&, a, b, a_epoch, b_epoch,
-                                a_digest = std::move(a_digest)] {
+        transmit(a, [&, a, b, a_epoch, b_epoch,
+                     a_digest = std::move(a_digest)] {
           if (!state.valid(b, b_epoch)) {
             ++report.messages_lost;
             return;
@@ -139,12 +172,10 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
           // B -> A: what A lacks, plus B's digest.
           auto delta_for_a = state.profiles[b].missing_for(a_digest);
           VersionVector b_digest = state.profiles[b].version();
-          ++report.messages_sent;
           report.posts_shipped += delta_for_a.size();
-          queue.schedule_in(config.link_latency,
-                            [&, a, b, a_epoch, b_epoch,
-                             delta_for_a = std::move(delta_for_a),
-                             b_digest = std::move(b_digest)] {
+          transmit(b, [&, a, b, a_epoch, b_epoch,
+                       delta_for_a = std::move(delta_for_a),
+                       b_digest = std::move(b_digest)] {
             if (!state.valid(a, a_epoch)) {
               ++report.messages_lost;
               return;
@@ -152,11 +183,9 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
             apply(a, delta_for_a, queue.now());
             // A -> B: what B lacks.
             auto delta_for_b = state.profiles[a].missing_for(b_digest);
-            ++report.messages_sent;
             report.posts_shipped += delta_for_b.size();
-            queue.schedule_in(config.link_latency,
-                              [&, b, b_epoch,
-                               delta_for_b = std::move(delta_for_b)] {
+            transmit(a, [&, b, b_epoch,
+                         delta_for_b = std::move(delta_for_b)] {
               if (!state.valid(b, b_epoch)) {
                 ++report.messages_lost;
                 return;
@@ -171,12 +200,12 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
   // that equal-time dynamic events (message arrivals) run after them.
   std::vector<ChurnEvent> churn;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (int day = 0; day < config.horizon_days; ++day) {
-      const SimTime base = static_cast<SimTime>(day) * kDaySeconds;
-      for (const auto& iv : nodes[i].set().pieces()) {
-        churn.push_back({base + iv.start, ChurnKind::kOnline, i});
-        churn.push_back({base + iv.end, ChurnKind::kOffline, i});
-      }
+    // Sessions come through the injector (churn faults + node outages
+    // applied); the zero plan reproduces the per-(day, piece) events.
+    for (const auto& iv :
+         injector.sessions(i, nodes[i], config.horizon_days)) {
+      churn.push_back({iv.start, ChurnKind::kOnline, i});
+      churn.push_back({iv.end, ChurnKind::kOffline, i});
     }
   }
   for (std::size_t w = 0; w < writes.size(); ++w)
@@ -243,6 +272,8 @@ GossipReport simulate_gossip(std::span<const DaySchedule> nodes,
   m.messages_sent.add(report.messages_sent);
   m.messages_lost.add(report.messages_lost);
   m.posts_shipped.add(report.posts_shipped);
+  m.retransmits.add(report.retransmits);
+  injector.flush_stats();
   return report;
 }
 

@@ -9,18 +9,24 @@
 //      B --(delta: posts A lacks, + B's digest)--> A  t + 2L
 //      A --(delta: posts B lacks)--> B                t + 3L
 //
-// with one-way link latency L and sync period P. Messages addressed to a
-// node that has gone offline are lost; nothing is retransmitted (the next
-// rendezvous retries from scratch). This simulator executes that protocol
-// and measures what the protocol costs relative to the instant-exchange
-// ideal: extra propagation delay, missed rendezvous (overlaps shorter than
-// the sync period), message and payload overhead.
+// with one-way link latency L and sync period P. Two loss modes are
+// distinguished: a message *dropped on the wire* (injected by the fault
+// plan) is retried by the sender after a per-message timeout with capped
+// exponential backoff, up to `max_retransmits` attempts; a message that
+// arrives after the *receiver went offline* is lost for good (the next
+// rendezvous retries from scratch — no retransmission can reach a departed
+// node). This simulator executes that protocol and measures what it costs
+// relative to the instant-exchange ideal: extra propagation delay, missed
+// rendezvous (overlaps shorter than the sync period), message and payload
+// overhead, and — under a fault plan — how much of the loss the
+// retransmission layer recovers.
 #pragma once
 
 #include <optional>
 #include <vector>
 
 #include "core/profile.hpp"
+#include "net/fault.hpp"
 #include "net/replica_sim.hpp"
 
 namespace dosn::net {
@@ -33,6 +39,18 @@ struct GossipConfig {
   Seconds link_latency = 1;
   /// Simulation horizon in days.
   int horizon_days = 14;
+
+  /// Injected faults (message drops + latency jitter on the wire, churn
+  /// deviations from the schedules). The default zero plan reproduces the
+  /// unfaulted protocol bit for bit.
+  FaultPlan faults;
+  /// Retransmission attempts after a wire drop (0 = the original
+  /// fire-and-forget protocol).
+  std::size_t max_retransmits = 0;
+  /// Sender timeout before the first retransmission.
+  Seconds retransmit_timeout = 60;
+  /// Backoff doubles per attempt up to this cap.
+  Seconds retransmit_backoff_cap = 960;
 };
 
 /// A wall post written through a specific (online) node; author-signed ids
@@ -59,6 +77,8 @@ struct GossipReport {
   std::uint64_t messages_lost = 0;   ///< arrived after the receiver left
   std::uint64_t posts_shipped = 0;   ///< post payloads transferred
   std::uint64_t sync_rounds = 0;     ///< anti-entropy timers fired online
+  std::uint64_t messages_dropped = 0;  ///< wire drops injected by the plan
+  std::uint64_t retransmits = 0;     ///< re-sends that delivered a message
 };
 
 /// Runs the gossip protocol over the node group. Writes must be sorted by

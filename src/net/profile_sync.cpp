@@ -13,9 +13,17 @@ using interval::kDaySeconds;
 
 namespace {
 
-// Equal-time ordering: offline first (half-open schedules), then online,
-// then writes, then reads (a read at the same instant as a write sees it).
-enum class EventKind { kOffline = 0, kOnline = 1, kWrite = 2, kRead = 3 };
+// Equal-time ordering: relay transitions first (half-open outage windows),
+// then offline (half-open schedules), then online, then writes, then reads
+// (a read at the same instant as a write sees it).
+enum class EventKind {
+  kRelayDown = 0,
+  kRelayUp = 1,
+  kOffline = 2,
+  kOnline = 3,
+  kWrite = 4,
+  kRead = 5,
+};
 
 struct RawEvent {
   SimTime time;
@@ -44,20 +52,34 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
     DOSN_REQUIRE(r.reader < readers.size(), "profile sync: bad reader index");
   }
 
+  FaultInjector injector(config.faults);
+
   std::vector<RawEvent> raw;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (int day = 0; day < config.horizon_days; ++day) {
-      const SimTime base = static_cast<SimTime>(day) * kDaySeconds;
-      for (const auto& iv : nodes[i].set().pieces()) {
-        raw.push_back({base + iv.start, EventKind::kOnline, i, i});
-        raw.push_back({base + iv.end, EventKind::kOffline, i, i});
-      }
+    for (const auto& iv :
+         injector.sessions(i, nodes[i], config.horizon_days)) {
+      raw.push_back({iv.start, EventKind::kOnline, i, i});
+      raw.push_back({iv.end, EventKind::kOffline, i, i});
     }
   }
   for (std::size_t w = 0; w < writes.size(); ++w)
     raw.push_back({writes[w].time, EventKind::kWrite, w});
   for (std::size_t r = 0; r < reads.size(); ++r)
     raw.push_back({reads[r].time, EventKind::kRead, r});
+
+  // Relay outage windows only exist under UnconRep (ConRep has no relay).
+  if (config.connectivity == Connectivity::kUnconRep) {
+    interval::IntervalSet windows;
+    for (const auto& w : config.faults.relay_outages) {
+      const SimTime start = std::min(w.start, horizon);
+      const SimTime end = std::min(w.end, horizon);
+      if (start < end) windows.add(start, end);
+    }
+    for (const auto& w : windows.pieces()) {
+      raw.push_back({w.start, EventKind::kRelayDown, 0, 0});
+      raw.push_back({w.end, EventKind::kRelayUp, 0, 0});
+    }
+  }
   std::sort(raw.begin(), raw.end(), [](const RawEvent& a, const RawEvent& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.kind != b.kind) return a.kind < b.kind;
@@ -65,12 +87,24 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
   });
 
   // Group invariant: every online replica shares `group`. Under UnconRep
-  // the group doubles as the persistent relay store.
+  // the relay mirrors the group while reachable; during a relay outage the
+  // group falls back to ConRep semantics (no durability) and re-merges
+  // with the relay when it returns.
   const bool persistent = config.connectivity == Connectivity::kUnconRep;
   Profile group(/*owner=*/0);
+  Profile relay(/*owner=*/0);  // persistent store content (UnconRep)
+  bool relay_up = true;
   std::vector<Profile> held(nodes.size(), Profile(0));  // state while offline
   std::vector<bool> online(nodes.size(), false);
   std::size_t online_count = 0;
+  const auto sync_relay = [&] {
+    if (persistent && relay_up) relay = group;
+  };
+
+  // Reader caches for read-repair: every post a reader has seen.
+  std::vector<Profile> reader_cache;
+  if (config.read_repair) reader_cache.assign(readers.size(), Profile(0));
+  FaultStats relay_stats;  // operations that failed while the relay was down
 
   // Author-signed sequence numbers: the author's client numbers his posts.
   // lint:ordered-ok — keyed increments only (operator[]); never iterated,
@@ -87,12 +121,28 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
   for (const auto& ev : raw) {
     queue.schedule(ev.time, [&, ev] {
       switch (ev.kind) {
+        case EventKind::kRelayDown: {
+          relay = group;  // mirrored while up; freeze explicitly
+          relay_up = false;
+          break;
+        }
+        case EventKind::kRelayUp: {
+          relay_up = true;
+          if (online_count > 0) {
+            group.merge(relay);
+            relay = group;
+          } else {
+            group = relay;  // only durable content survives an empty group
+          }
+          break;
+        }
         case EventKind::kOnline: {
-          if (online_count == 0 && !persistent)
+          if (online_count == 0 && !(persistent && relay_up))
             group = Profile(0);  // previous group dissolved
           group.merge(held[ev.index]);
           online[ev.index] = true;
           ++online_count;
+          sync_relay();
           break;
         }
         case EventKind::kOffline: {
@@ -102,7 +152,10 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
           break;
         }
         case EventKind::kWrite: {
-          if (online_count == 0) break;  // profile unreachable: write fails
+          if (online_count == 0) {  // profile unreachable: write fails
+            if (persistent && !relay_up) ++relay_stats.relay_blocked;
+            break;
+          }
           const auto& w = writes[ev.index];
           core::Post post;
           post.id = PostId{w.author, ++author_seq[w.author]};
@@ -111,6 +164,7 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
           DOSN_ASSERT(fresh);
           accepted.emplace_back(ev.time, post.id);
           ++report.writes_succeeded;
+          sync_relay();
           break;
         }
         case EventKind::kRead: {
@@ -118,6 +172,8 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
           sample.time = ev.time;
           sample.reader = reads[ev.index].reader;
           sample.success = online_count > 0;
+          if (!sample.success && persistent && !relay_up)
+            ++relay_stats.relay_blocked;
           if (sample.success) {
             Seconds oldest_missing = -1;
             for (const auto& [created, id] : accepted) {
@@ -128,6 +184,21 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
             }
             if (oldest_missing >= 0)
               sample.staleness = ev.time - oldest_missing;
+            sample.degraded = sample.missing > 0;
+            if (sample.degraded) ++report.degraded_reads;
+            if (config.read_repair) {
+              // Write back posts the reader has seen but the contacted
+              // replica lost, then refresh the reader's cache.
+              Profile& cache = reader_cache[sample.reader];
+              for (const auto& post : cache.posts()) {
+                if (group.insert(post)) ++sample.repaired;
+              }
+              if (sample.repaired > 0) {
+                report.read_repairs += sample.repaired;
+                sync_relay();
+              }
+              cache.merge(group);
+            }
           }
           report.reads.push_back(sample);
           break;
@@ -170,6 +241,8 @@ ProfileSyncReport simulate_profile_sync(std::span<const DaySchedule> nodes,
       report.converged = false;
   }
   if (!reference) report.converged = false;  // nobody ever online
+  injector.flush_stats();
+  flush_fault_stats(relay_stats);
   return report;
 }
 

@@ -24,6 +24,15 @@ namespace dosn::net {
 struct ProfileSyncConfig {
   Connectivity connectivity = Connectivity::kConRep;
   int horizon_days = 14;
+  /// Injected faults: session churn and node outages on the replica
+  /// schedules, and — under UnconRep — relay outage windows during which
+  /// the persistent store is unreachable. The zero plan reproduces the
+  /// unfaulted simulation bit for bit.
+  FaultPlan faults;
+  /// Readers keep a cache of the posts they have seen and write back any
+  /// the contacted replica is missing (read-repair at the next
+  /// rendezvous). Off by default — the unhardened protocol.
+  bool read_repair = false;
 };
 
 /// A wall-post attempt: `author` (any user id, typically a friend) tries to
@@ -46,6 +55,8 @@ struct ReadSample {
   bool success = false;       ///< some replica was online
   std::size_t missing = 0;    ///< accepted posts absent at the replica read
   Seconds staleness = 0;      ///< age of the oldest missing post (0 if none)
+  bool degraded = false;      ///< served, but with posts missing
+  std::size_t repaired = 0;   ///< posts this read wrote back (read-repair)
 };
 
 struct ProfileSyncReport {
@@ -61,6 +72,10 @@ struct ProfileSyncReport {
   double mean_missing = 0.0;
   /// Worst staleness (seconds) over successful reads.
   Seconds max_staleness = 0;
+  /// Successful reads that were served with posts missing.
+  std::size_t degraded_reads = 0;
+  /// Posts restored to a replica by read-repair.
+  std::size_t read_repairs = 0;
 
   /// All replicas hold identical profiles at the end of the horizon
   /// (after each one's final rendezvous) — eventual consistency held.

@@ -31,11 +31,19 @@ SimMetrics& sim_metrics() {
   return m;
 }
 
-// Equal-time ordering: offline transitions run first (half-open intervals:
-// a node is not online at its interval end), then online transitions, then
-// update injections (an update at the instant a node comes online is
-// received by it).
-enum class EventKind { kOffline = 0, kOnline = 1, kUpdate = 2 };
+// Equal-time ordering: relay transitions run first (half-open outage
+// windows: the relay is down at the window start and back at its end,
+// before any join at the same instant), then offline transitions
+// (half-open intervals: a node is not online at its interval end), then
+// online transitions, then update injections (an update at the instant a
+// node comes online is received by it).
+enum class EventKind {
+  kRelayDown = 0,
+  kRelayUp = 1,
+  kOffline = 2,
+  kOnline = 3,
+  kUpdate = 4,
+};
 
 struct RawEvent {
   SimTime time;
@@ -50,6 +58,7 @@ class GroupState {
       : persistent_(persistent_store),
         known_(nodes, std::vector<bool>(updates, false)),
         group_(updates, false),
+        relay_(updates, false),
         online_(nodes, false) {}
 
   bool online(std::size_t i) const { return online_[i]; }
@@ -59,7 +68,7 @@ class GroupState {
   template <typename Record>
   void join(std::size_t i, SimTime t, Record&& record) {
     DOSN_ASSERT(!online_[i]);
-    if (online_count_ == 0 && !persistent_) group_.assign(group_.size(), false);
+    if (online_count_ == 0 && !durable()) group_.assign(group_.size(), false);
     // Updates the group learns from i reach every online member now.
     for (std::size_t u = 0; u < group_.size(); ++u) {
       if (known_[i][u] && !group_[u]) {
@@ -73,6 +82,7 @@ class GroupState {
     online_[i] = true;
     ++online_count_;
     known_[i] = group_;
+    sync_relay();
   }
 
   void leave(std::size_t i) {
@@ -94,15 +104,53 @@ class GroupState {
           if (online_[j] && j != i) record(j, u, t);
       }
       known_[i] = group_;
+      sync_relay();
+    }
+  }
+
+  /// The relay becomes unreachable: the store freezes at its current
+  /// content and the group falls back to ConRep semantics (a dissolved
+  /// live group loses its shared state).
+  void relay_down() {
+    relay_ = group_;  // already mirrored while durable; freeze explicitly
+    relay_up_ = false;
+  }
+
+  /// The relay returns: live group and relay re-merge bidirectionally;
+  /// with nobody online only the relay's durable content survives.
+  template <typename Record>
+  void relay_up(SimTime t, Record&& record) {
+    relay_up_ = true;
+    if (online_count_ > 0) {
+      for (std::size_t u = 0; u < group_.size(); ++u) {
+        if (relay_[u] && !group_[u]) {
+          group_[u] = true;
+          for (std::size_t j = 0; j < known_.size(); ++j)
+            if (online_[j]) record(j, u, t);
+        }
+      }
+      relay_ = group_;
+    } else {
+      group_ = relay_;
     }
   }
 
   std::size_t online_count() const { return online_count_; }
 
  private:
+  /// Shared state survives an empty group only while the persistent store
+  /// is reachable.
+  bool durable() const { return persistent_ && relay_up_; }
+
+  void sync_relay() {
+    if (durable()) relay_ = group_;
+  }
+
   bool persistent_;
+  bool relay_up_ = true;
   std::vector<std::vector<bool>> known_;
   std::vector<bool> group_;
+  std::vector<bool> relay_;  // the persistent store's content (UnconRep)
   std::vector<bool> online_;
   std::size_t online_count_ = 0;
 };
@@ -121,32 +169,45 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
                  "replica sim: update outside horizon");
   }
 
-  // Crash-stop failure times (clamped to the horizon).
-  std::vector<SimTime> fail_at(nodes.size(), horizon);
-  for (const auto& f : config.failures) {
-    DOSN_REQUIRE(f.node < nodes.size(), "replica sim: bad failure node");
-    DOSN_REQUIRE(f.at >= 0, "replica sim: failure before start");
-    fail_at[f.node] = std::min(fail_at[f.node], std::min(f.at, horizon));
-  }
+  // Effective fault plan: explicit NodeFailures become node outages of the
+  // injected plan (crash-stop when no recovery time is given). Sessions
+  // then come through the injector — a session inside an outage window is
+  // dropped, one in progress at the failure instant is cut short, and a
+  // transient failure's sessions resume after recovery (the node's held
+  // state re-merges at its next join).
+  FaultPlan plan = config.faults;
+  for (const auto& f : config.failures)
+    plan.node_outages.push_back({f.node, f.at, f.recover_at});
+  for (const auto& o : plan.node_outages)
+    DOSN_REQUIRE(o.node < nodes.size(), "replica sim: bad failure node");
+  FaultInjector injector(plan);
 
-  // Materialize churn and update events, then order them. Sessions that
-  // would start after a node's failure are dropped; a session in progress
-  // at the failure instant is cut short.
   std::vector<RawEvent> raw;
   for (std::size_t i = 0; i < nodes.size(); ++i) {
-    for (int day = 0; day < config.horizon_days; ++day) {
-      const SimTime base = static_cast<SimTime>(day) * kDaySeconds;
-      for (const auto& iv : nodes[i].set().pieces()) {
-        const SimTime start = base + iv.start;
-        const SimTime end = base + iv.end;
-        if (start >= fail_at[i]) continue;
-        raw.push_back({start, EventKind::kOnline, i, 0});
-        raw.push_back({std::min(end, fail_at[i]), EventKind::kOffline, i, 0});
-      }
+    for (const auto& iv :
+         injector.sessions(i, nodes[i], config.horizon_days)) {
+      raw.push_back({iv.start, EventKind::kOnline, i, 0});
+      raw.push_back({iv.end, EventKind::kOffline, i, 0});
     }
   }
   for (std::size_t u = 0; u < updates.size(); ++u)
     raw.push_back({updates[u].time, EventKind::kUpdate, updates[u].origin, u});
+
+  // Relay outage windows only exist under UnconRep (ConRep has no relay).
+  // Overlapping windows are canonicalized so down/up events alternate.
+  const bool persistent = config.connectivity == Connectivity::kUnconRep;
+  if (persistent) {
+    interval::IntervalSet windows;
+    for (const auto& w : plan.relay_outages) {
+      const SimTime start = std::min(w.start, horizon);
+      const SimTime end = std::min(w.end, horizon);
+      if (start < end) windows.add(start, end);
+    }
+    for (const auto& w : windows.pieces()) {
+      raw.push_back({w.start, EventKind::kRelayDown, 0, 0});
+      raw.push_back({w.end, EventKind::kRelayUp, 0, 0});
+    }
+  }
   std::sort(raw.begin(), raw.end(), [](const RawEvent& a, const RawEvent& b) {
     if (a.time != b.time) return a.time < b.time;
     if (a.kind != b.kind) return a.kind < b.kind;
@@ -162,8 +223,7 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
     report.deliveries[u].arrival.assign(nodes.size(), std::nullopt);
   }
 
-  GroupState state(nodes.size(), updates.size(),
-                   config.connectivity == Connectivity::kUnconRep);
+  GroupState state(nodes.size(), updates.size(), persistent);
   auto record = [&](std::size_t node, std::size_t update, SimTime t) {
     auto& slot = report.deliveries[update].arrival[node];
     if (!slot) slot = t;
@@ -178,6 +238,8 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
       if (was_any) any_online_time += ev.time - last_transition;
       last_transition = ev.time;
       switch (ev.kind) {
+        case EventKind::kRelayDown: state.relay_down(); break;
+        case EventKind::kRelayUp: state.relay_up(ev.time, record); break;
         case EventKind::kOffline: state.leave(ev.node); break;
         case EventKind::kOnline: state.join(ev.node, ev.time, record); break;
         case EventKind::kUpdate:
@@ -215,6 +277,7 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
   m.updates.add(updates.size());
   m.deliveries.add(delivered);
   m.group_size.record(static_cast<std::int64_t>(nodes.size()));
+  injector.flush_stats();
   return report;
 }
 

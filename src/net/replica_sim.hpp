@@ -21,6 +21,7 @@
 
 #include "interval/day_schedule.hpp"
 #include "net/event_queue.hpp"
+#include "net/fault.hpp"
 #include "placement/policy.hpp"
 
 namespace dosn::net {
@@ -29,19 +30,29 @@ using interval::DaySchedule;
 using interval::Seconds;
 using placement::Connectivity;
 
-/// Permanent crash-stop failure: the node goes offline for good at `at`
-/// (its held state survives on disk but never syncs again).
+/// Node failure at `at`: crash-stop when `recover_at` is absent (the node
+/// goes offline for good; its held state survives on disk but never syncs
+/// again), transient otherwise (the node resumes its schedule at
+/// `recover_at` and re-merges the state it held when it went down at its
+/// next session).
 struct NodeFailure {
   std::size_t node = 0;
   SimTime at = 0;
+  std::optional<SimTime> recover_at;
 };
 
 struct ReplicaSimConfig {
   Connectivity connectivity = Connectivity::kConRep;
   /// Simulation horizon in days (schedules repeat daily).
   int horizon_days = 14;
-  /// Injected crash-stop failures (at most one per node is meaningful).
+  /// Injected node failures (merged into `faults` as node outages).
   std::vector<NodeFailure> failures;
+  /// Injected faults: session churn, node outages, and — under UnconRep —
+  /// relay outage windows during which the persistent store is
+  /// unreachable (the group falls back to ConRep semantics and re-merges
+  /// with the relay when it returns). The zero plan with no failures
+  /// reproduces the unfaulted simulation bit for bit.
+  FaultPlan faults;
 };
 
 /// One update to inject. `origin` indexes the simulated node list. If the

@@ -92,6 +92,7 @@ constexpr std::uint64_t kReplicationTag = 0x4e97;
 constexpr std::uint64_t kSessionTag = 0x3e55;
 constexpr std::uint64_t kDegreeTag = 0xde60;
 constexpr std::uint64_t kSamplesTag = 0xd158;
+constexpr std::uint64_t kFaultTag = 0xfa17;
 
 }  // namespace
 
@@ -286,6 +287,123 @@ SweepResult Study::session_length_sweep(
             sched, cohort_users, *policy, options.policy_params, connectivity,
             k, sweep_stream(seed_, kSessionTag, xi, p, r), pool);
         runs.push_back(by_k.back());  // the fixed-k point
+      }
+      result.policies[p].points.push_back(average_runs(runs));
+    }
+  }
+  return result;
+}
+
+SweepResult Study::resilience_sweep(onlinetime::ModelKind model_kind,
+                                    const onlinetime::ModelParams& params,
+                                    placement::Connectivity connectivity,
+                                    const net::FaultPlan& base_plan,
+                                    std::span<const double> intensities,
+                                    std::size_t k,
+                                    const Options& options) const {
+  obs::ScopedTimer span("study.resilience_sweep");
+  net::validate(base_plan);
+  DOSN_REQUIRE(!intensities.empty(), "resilience_sweep: no intensities");
+  for (const double f : intensities)
+    DOSN_REQUIRE(f >= 0.0 && f <= 1.0,
+                 "resilience_sweep: intensity outside [0, 1]");
+  const auto model = onlinetime::make_model(model_kind, params);
+  const auto cohort_users = cohort(options.cohort_degree);
+  DOSN_REQUIRE(!cohort_users.empty(),
+               "resilience_sweep: no user has the cohort degree");
+
+  // Ideal schedules come from the replication_sweep stream seeds, so the
+  // intensity-0 column equals the replication_sweep point at k (with
+  // k_max = k) for deterministic policies — an identity the tests assert.
+  const std::size_t model_reps =
+      model->randomized() ? options.repetitions : 1;
+  std::vector<std::vector<DaySchedule>> schedules;
+  schedules.reserve(model_reps);
+  for (std::size_t r = 0; r < model_reps; ++r) {
+    util::Rng rng(util::mix64(seed_, 0x5ced0000 + r));
+    schedules.push_back(model->schedules(dataset_, rng));
+  }
+
+  SweepResult result;
+  result.dataset_name = dataset_.name;
+  result.model_name = model->name();
+  result.connectivity_name = placement::to_string(connectivity);
+  result.x_label = "fault intensity";
+  result.xs.assign(intensities.begin(), intensities.end());
+
+  result.policies.resize(options.policies.size());
+  for (std::size_t p = 0; p < options.policies.size(); ++p) {
+    const auto policy =
+        placement::make_policy(options.policies[p], options.policy_params);
+    result.policies[p].policy_name = policy->name();
+    result.policies[p].policy = options.policies[p];
+  }
+
+  util::ThreadPool pool(options.threads);
+  for (std::size_t xi = 0; xi < intensities.size(); ++xi) {
+    const double f = intensities[xi];
+    // Degraded schedules per repetition at this intensity, built lazily
+    // and shared across policies. The fault realization seed varies with
+    // the repetition but *not* the intensity: within a repetition the
+    // realizations are nested (scaled() preserves the seed), so every
+    // fault present at f1 is present at f2 >= f1 and the per-user online
+    // sets — hence availability — degrade exactly monotonically.
+    std::vector<std::vector<DaySchedule>> degraded(
+        std::max<std::size_t>(options.repetitions, 1));
+    const auto degraded_for =
+        [&](std::size_t r) -> const std::vector<DaySchedule>& {
+      auto& slot = degraded[r];
+      if (slot.empty()) {
+        net::FaultPlan realization = base_plan;
+        realization.seed = util::mix64(seed_, base_plan.seed, r);
+        net::FaultInjector injector(net::scaled(realization, f));
+        const auto& ideal = schedules[model->randomized() ? r : 0];
+        slot.reserve(ideal.size());
+        for (std::size_t u = 0; u < ideal.size(); ++u)
+          slot.push_back(injector.degrade_day(u, ideal[u]));
+        injector.flush_stats();
+      }
+      return slot;
+    };
+
+    for (std::size_t p = 0; p < options.policies.size(); ++p) {
+      const auto policy =
+          placement::make_policy(options.policies[p], options.policy_params);
+      const std::size_t reps =
+          (model->randomized() || policy->randomized()) ? options.repetitions
+                                                        : 1;
+      std::vector<CohortMetrics> runs;
+      for (std::size_t r = 0; r < reps; ++r) {
+        const auto& ideal = schedules[model->randomized() ? r : 0];
+        const auto& degr = degraded_for(r);
+        // Placement sees the ideal schedules; only the evaluation runs on
+        // the degraded ones. x = 0 in the stream id keeps randomized
+        // placements identical across intensities, preserving nesting.
+        const std::uint64_t stream_seed =
+            sweep_stream(seed_, kFaultTag, 0, p, r);
+        study_metrics().sweep_cells.add(1);
+        study_metrics().users_evaluated.add(cohort_users.size());
+        std::vector<UserMetrics> per_user(cohort_users.size());
+        util::parallel_for_each(
+            &pool, cohort_users.size(), [&](std::size_t i) {
+              const graph::UserId u = cohort_users[i];
+              placement::PlacementContext context;
+              context.user = u;
+              context.candidates = dataset_.graph.contacts(u);
+              context.schedules = ideal;
+              context.trace = &dataset_.trace;
+              context.connectivity = connectivity;
+              context.max_replicas = k;
+              util::Rng rng(util::mix64(stream_seed, u));
+              const auto selected = policy->select(context, rng);
+              const std::size_t take = std::min(k, selected.size());
+              per_user[i] = evaluate_user(dataset_, degr, u,
+                                          {selected.data(), take},
+                                          connectivity);
+            });
+        Accum accum;
+        for (const auto& row : per_user) accum.add(row);
+        runs.push_back(accum.mean());
       }
       result.policies[p].points.push_back(average_runs(runs));
     }

@@ -8,7 +8,10 @@
 //   * session_length_sweep — metrics vs Sporadic session length at a fixed
 //     k (Fig 8);
 //   * user_degree_sweep — metrics vs user degree 1..d_max with k = degree
-//     (Fig 9).
+//     (Fig 9);
+//   * resilience_sweep — metrics vs fault intensity at a fixed k: the
+//     hardening ablation, measuring how placements chosen under ideal
+//     assumptions degrade when nodes deviate from their schedules.
 //
 // Methodology follows the paper: the evaluation cohort is the users of one
 // particular degree (degree 10 — the best-populated); experiments whose
@@ -27,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "net/fault.hpp"
 #include "onlinetime/model.hpp"
 #include "sim/evaluate.hpp"
 #include "util/stats.hpp"
@@ -142,6 +146,25 @@ class Study {
   SweepResult session_length_sweep(
       std::span<const interval::Seconds> session_lengths, std::size_t k,
       placement::Connectivity connectivity, const Options& options = Options{}) const;
+
+  /// Resilience ablation: metrics vs fault intensity at a fixed
+  /// replication degree k. Placements are selected on the *ideal*
+  /// schedules (the operator plans against advertised behavior), then
+  /// evaluated on schedules degraded by `scaled(base_plan, intensity)` —
+  /// session no-shows, truncations, and node outage windows. Within one
+  /// repetition the fault realizations are nested across intensities
+  /// (scaled() preserves the plan seed), so per-user online time — and
+  /// hence cohort availability — degrades *exactly* monotonically, not
+  /// merely in expectation. The intensity-0 column equals the
+  /// replication_sweep point at k (run with k_max = k) for deterministic
+  /// policies. Intensities must lie in [0, 1].
+  SweepResult resilience_sweep(onlinetime::ModelKind model,
+                               const onlinetime::ModelParams& params,
+                               placement::Connectivity connectivity,
+                               const net::FaultPlan& base_plan,
+                               std::span<const double> intensities,
+                               std::size_t k,
+                               const Options& options = Options{}) const;
 
   /// Distribution view behind the cohort means: per-user metric samples
   /// for one policy at a fixed replication degree (single realization of

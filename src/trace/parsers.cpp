@@ -1,7 +1,9 @@
 #include "trace/parsers.hpp"
 
+#include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <limits>
 
 #include "util/strings.hpp"
 
@@ -19,9 +21,35 @@ std::ifstream open_or_throw(const std::string& path) {
   return in;
 }
 
+/// The offending line, printable and bounded, for error messages: control
+/// bytes (including embedded NULs) are escaped and long lines truncated so
+/// a corrupt input cannot corrupt the diagnostic.
+std::string snippet_of(std::string_view line) {
+  constexpr std::size_t kMaxSnippet = 60;
+  std::string out;
+  for (const char c : line.substr(0, kMaxSnippet)) {
+    if (std::isprint(static_cast<unsigned char>(c)))
+      out.push_back(c);
+    else
+      out += util::format("\\x%02x", static_cast<unsigned char>(c));
+  }
+  if (line.size() > kMaxSnippet) out += "...";
+  return out;
+}
+
 [[noreturn]] void bad_line(const std::string& path, std::size_t line_no,
-                           const std::string& why) {
-  throw ParseError(path + ":" + std::to_string(line_no) + ": " + why);
+                           std::string_view line, const std::string& why) {
+  throw ParseError(path + ":" + std::to_string(line_no) + ": " + why +
+                   " in '" + snippet_of(line) + "'");
+}
+
+/// getline loops stop on both EOF and stream failure; only the former is a
+/// complete read. A device error mid-file must not pass for a short file.
+void require_clean_eof(const std::ifstream& in, const std::string& path,
+                       std::size_t line_no) {
+  if (in.bad())
+    throw IoError(path + ": I/O error while reading near line " +
+                  std::to_string(line_no + 1));
 }
 
 }  // namespace
@@ -29,6 +57,9 @@ std::ifstream open_or_throw(const std::string& path) {
 UserId IdMap::intern(std::string_view token) {
   auto it = ids_.find(std::string(token));
   if (it != ids_.end()) return it->second;
+  if (names_.size() >= std::numeric_limits<UserId>::max())
+    throw ParseError("IdMap: user id space exhausted at " +
+                     std::to_string(names_.size()) + " distinct ids");
   const auto id = static_cast<UserId>(names_.size());
   names_.emplace_back(token);
   ids_.emplace(names_.back(), id);
@@ -51,12 +82,13 @@ std::vector<RawEdge> load_edge_list(const std::string& path, IdMap& ids) {
     if (is_comment_or_blank(line)) continue;
     const auto fields = util::split_ws(line);
     if (fields.size() < 2)
-      bad_line(path, line_no, "edge line needs at least two fields");
+      bad_line(path, line_no, line, "edge line needs at least two fields");
     // Intern in field order (argument evaluation order is unspecified).
     const UserId a = ids.intern(fields[0]);
     const UserId b = ids.intern(fields[1]);
     edges.emplace_back(a, b);
   }
+  require_clean_eof(in, path, line_no);
   return edges;
 }
 
@@ -70,7 +102,7 @@ std::vector<Activity> load_activities(const std::string& path, IdMap& ids) {
     if (is_comment_or_blank(line)) continue;
     const auto fields = util::split_ws(line);
     if (fields.size() < 3)
-      bad_line(path, line_no,
+      bad_line(path, line_no, line,
                "activity line needs `receiver creator timestamp`");
     Activity a;
     a.receiver = ids.intern(fields[0]);
@@ -78,10 +110,12 @@ std::vector<Activity> load_activities(const std::string& path, IdMap& ids) {
     try {
       a.timestamp = util::parse_i64(fields[2]);
     } catch (const ParseError&) {
-      bad_line(path, line_no, "bad timestamp '" + std::string(fields[2]) + "'");
+      bad_line(path, line_no, line,
+               "bad timestamp '" + std::string(fields[2]) + "'");
     }
     activities.push_back(a);
   }
+  require_clean_eof(in, path, line_no);
   return activities;
 }
 

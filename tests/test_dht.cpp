@@ -160,5 +160,146 @@ TEST(Dht, StorageRoughlyBalanced) {
   EXPECT_EQ(ring.stored_entries(), 3200u);
 }
 
+TEST(DhtFailures, CrashMarksDeadWithoutStructuralHealing) {
+  auto ring = ring_of(10);
+  ring.put("k", "v");
+  EXPECT_TRUE(ring.crash(3));
+  EXPECT_FALSE(ring.crash(3));   // already dead
+  EXPECT_FALSE(ring.crash(99));  // absent
+  EXPECT_EQ(ring.size(), 10u);   // still in the routing structure
+  EXPECT_EQ(ring.alive_count(), 9u);
+  EXPECT_FALSE(ring.node_alive(3));
+  EXPECT_EQ(ring.entries_at(3), 0u);  // a crash loses the node's replicas
+}
+
+TEST(DhtFailures, LookupRoutesAroundCrashedNodes) {
+  // Crash a third of a 30-node ring: every lookup must still find the
+  // correct owner (an alive node), paying failed probes on the way.
+  auto ring = ring_of(30);
+  for (std::uint64_t id = 1; id <= 30; id += 3) ring.crash(id);
+  ASSERT_EQ(ring.alive_count(), 20u);
+
+  util::Rng rng(17);
+  std::size_t probes = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const auto r = ring.lookup(key, rng);
+    ASSERT_TRUE(r.ok) << key;
+    EXPECT_TRUE(ring.node_alive(r.owner)) << key;
+    // The owner a lookup routes to is the first *alive* successor of the
+    // key — the head of responsible_nodes.
+    EXPECT_EQ(r.owner, ring.responsible_nodes(key).front()) << key;
+    probes += r.failed_probes;
+  }
+  EXPECT_GT(probes, 0u);  // dead entries were actually probed
+}
+
+TEST(DhtFailures, LookupWithoutCrashesPaysNoFailedProbes) {
+  auto ring = ring_of(16);
+  util::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const auto r = ring.lookup("key" + std::to_string(i), rng);
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(r.failed_probes, 0u);
+  }
+}
+
+TEST(DhtFailures, SuccessorListExhaustionFailsLookup) {
+  // Kill every node but one: some node's entire successor list (length 4)
+  // is dead, so lookups starting there must fail rather than loop.
+  auto ring = ring_of(8);
+  for (std::uint64_t id = 2; id <= 8; ++id) ring.crash(id);
+  ASSERT_EQ(ring.alive_count(), 1u);
+  util::Rng rng(23);
+  std::size_t failures = 0;
+  for (int i = 0; i < 100; ++i)
+    if (!ring.lookup("key" + std::to_string(i), rng).ok) ++failures;
+  EXPECT_GT(failures, 0u);
+
+  // stabilize() drops the dead entries; every lookup succeeds again and
+  // lands on the survivor.
+  ring.stabilize();
+  EXPECT_EQ(ring.size(), 1u);
+  for (int i = 0; i < 20; ++i) {
+    const auto r = ring.lookup("key" + std::to_string(i), rng);
+    ASSERT_TRUE(r.ok);
+    EXPECT_EQ(r.owner, 1u);
+  }
+}
+
+TEST(DhtFailures, AllDeadLookupFailsCleanly) {
+  auto ring = ring_of(4);
+  for (std::uint64_t id = 1; id <= 4; ++id) ring.crash(id);
+  util::Rng rng(3);
+  const auto r = ring.lookup("k", rng);
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.failed_probes, 4u);  // every bootstrap candidate probed
+  EXPECT_THROW(ring.put("k", "v"), ConfigError);  // nobody can store
+}
+
+TEST(DhtFailures, PutAndGetSkipDeadNodes) {
+  auto ring = ring_of(10, /*replication=*/3);
+  ring.put("k", "v");
+  // Crash the primary owner; the surviving replicas still serve the key,
+  // and fresh puts go to alive nodes only.
+  const auto owners = ring.responsible_nodes("k");
+  ASSERT_EQ(owners.size(), 3u);
+  ring.crash(owners[0]);
+  EXPECT_EQ(ring.get("k"), "v");
+  ring.put("k2", "v2");
+  for (const auto id : ring.responsible_nodes("k2"))
+    EXPECT_TRUE(ring.node_alive(id));
+}
+
+TEST(DhtFailures, StabilizeReReplicatesAfterChurn) {
+  auto ring = ring_of(12, /*replication=*/3);
+  for (int i = 0; i < 40; ++i)
+    ring.put("key" + std::to_string(i), "v" + std::to_string(i));
+  ASSERT_EQ(ring.stored_entries(), 120u);
+
+  // Crash two nodes: their replicas are gone until maintenance runs.
+  ring.crash(4);
+  ring.crash(9);
+  EXPECT_LT(ring.stored_entries(), 120u);
+
+  ring.stabilize();
+  EXPECT_EQ(ring.size(), 10u);
+  // Every surviving key is back at full replication on alive nodes.
+  EXPECT_EQ(ring.stored_entries(), 120u);
+  for (int i = 0; i < 40; ++i) {
+    const auto key = "key" + std::to_string(i);
+    EXPECT_EQ(ring.get(key), "v" + std::to_string(i));
+    EXPECT_EQ(ring.responsible_nodes(key).size(), 3u);
+  }
+}
+
+TEST(DhtFailures, KeyLostWhenEveryReplicaCrashes) {
+  auto ring = ring_of(6, /*replication=*/2);
+  ring.put("k", "v");
+  for (const auto id : ring.responsible_nodes("k")) ring.crash(id);
+  EXPECT_EQ(ring.get("k"), std::nullopt);
+  ring.stabilize();  // gone for good — and stabilize must not resurrect it
+  EXPECT_EQ(ring.get("k"), std::nullopt);
+}
+
+TEST(DhtFailures, CrashKeepsLookupDeterministic) {
+  auto ring_a = ring_of(20);
+  auto ring_b = ring_of(20);
+  for (const std::uint64_t id : {3u, 7u, 15u}) {
+    ring_a.crash(id);
+    ring_b.crash(id);
+  }
+  util::Rng rng_a(9), rng_b(9);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const auto a = ring_a.lookup(key, rng_a);
+    const auto b = ring_b.lookup(key, rng_b);
+    EXPECT_EQ(a.owner, b.owner);
+    EXPECT_EQ(a.hops, b.hops);
+    EXPECT_EQ(a.failed_probes, b.failed_probes);
+    EXPECT_EQ(a.ok, b.ok);
+  }
+}
+
 }  // namespace
 }  // namespace dosn::net

@@ -1,0 +1,350 @@
+// Tests for the deterministic fault-injection layer (net/fault): plan
+// validation and scaling, the zero-plan identity, per-entity stream
+// determinism, intensity nesting, outage-window subtraction, and the obs
+// counter flush.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "interval/day_schedule.hpp"
+#include "net/fault.hpp"
+#include "obs/obs.hpp"
+#include "util/error.hpp"
+
+namespace dosn::net {
+namespace {
+
+using interval::DaySchedule;
+using interval::Interval;
+using interval::IntervalSet;
+using interval::kDaySeconds;
+
+constexpr Seconds kH = 3600;
+
+DaySchedule window(Seconds start_h, Seconds end_h) {
+  return DaySchedule(IntervalSet::single(start_h * kH, end_h * kH));
+}
+
+DaySchedule two_windows() {
+  IntervalSet s;
+  s.add(8 * kH, 10 * kH);
+  s.add(14 * kH, 18 * kH);
+  return DaySchedule(s);
+}
+
+FaultPlan churn_plan(std::uint64_t seed = 7) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.session_no_show = 0.3;
+  plan.session_truncate = 0.5;
+  plan.truncate_max_fraction = 0.6;
+  return plan;
+}
+
+IntervalSet as_set(std::span<const Interval> pieces) {
+  IntervalSet out;
+  for (const auto& iv : pieces) out.add(iv);
+  return out;
+}
+
+TEST(FaultPlan, DefaultIsZero) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.zero());
+  plan.seed = 99;  // the seed alone does not make a plan non-zero
+  EXPECT_TRUE(plan.zero());
+  plan.message_drop = 0.1;
+  EXPECT_FALSE(plan.zero());
+}
+
+TEST(FaultPlan, TruncationWithoutFractionIsZero) {
+  FaultPlan plan;
+  plan.session_truncate = 0.5;  // gate fires but never cuts anything
+  EXPECT_TRUE(plan.zero());
+  plan.truncate_max_fraction = 0.1;
+  EXPECT_FALSE(plan.zero());
+}
+
+TEST(FaultPlan, ValidateRejectsBadValues) {
+  FaultPlan plan;
+  plan.message_drop = 1.5;
+  EXPECT_THROW(validate(plan), ConfigError);
+  plan = FaultPlan{};
+  plan.session_no_show = -0.1;
+  EXPECT_THROW(validate(plan), ConfigError);
+  plan = FaultPlan{};
+  plan.latency_jitter_max = -1;
+  EXPECT_THROW(validate(plan), ConfigError);
+  plan = FaultPlan{};
+  plan.node_outages.push_back({0, 100, 50});  // recovers before it starts
+  EXPECT_THROW(validate(plan), ConfigError);
+  plan = FaultPlan{};
+  plan.relay_outages.push_back({200, 100});
+  EXPECT_THROW(validate(plan), ConfigError);
+}
+
+TEST(FaultPlan, ScaledEndpointsAndSeed) {
+  FaultPlan base = churn_plan(0xabc);
+  base.message_drop = 0.4;
+  base.latency_jitter_max = 100;
+  base.dht_crash = 0.2;
+  base.node_outages.push_back({1, 1000, 5000});
+  base.node_outages.push_back({2, 2000, std::nullopt});  // crash-stop
+  base.relay_outages.push_back({0, 8000});
+
+  const FaultPlan zero = scaled(base, 0.0);
+  EXPECT_TRUE(zero.zero());
+  EXPECT_EQ(zero.seed, base.seed);
+
+  const FaultPlan half = scaled(base, 0.5);
+  EXPECT_EQ(half.seed, base.seed);
+  EXPECT_DOUBLE_EQ(half.message_drop, 0.2);
+  EXPECT_EQ(half.latency_jitter_max, 50);
+  // Transient outage: start preserved, length halved.
+  ASSERT_EQ(half.node_outages.size(), 2u);
+  EXPECT_EQ(half.node_outages[0].at, 1000);
+  EXPECT_EQ(*half.node_outages[0].recover_at, 3000);
+  // Crash-stop kept whole at any positive intensity.
+  EXPECT_FALSE(half.node_outages[1].recover_at.has_value());
+  ASSERT_EQ(half.relay_outages.size(), 1u);
+  EXPECT_EQ(half.relay_outages[0].end, 4000);
+
+  EXPECT_THROW(scaled(base, 1.5), ConfigError);
+  EXPECT_THROW(scaled(base, -0.5), ConfigError);
+}
+
+TEST(FaultInjector, ZeroPlanPreservesSessionsExactly) {
+  FaultInjector injector(FaultPlan{});
+  EXPECT_TRUE(injector.zero());
+  EXPECT_FALSE(injector.drop_message(3));
+  EXPECT_EQ(injector.latency_jitter(3), 0);
+
+  const auto sched = two_windows();
+  const auto sessions = injector.sessions(0, sched, 3);
+  // Day-major order, one interval per (day, piece), no merging.
+  ASSERT_EQ(sessions.size(), 6u);
+  for (int day = 0; day < 3; ++day) {
+    const Seconds base = day * kDaySeconds;
+    EXPECT_EQ(sessions[2 * day].start, base + 8 * kH);
+    EXPECT_EQ(sessions[2 * day].end, base + 10 * kH);
+    EXPECT_EQ(sessions[2 * day + 1].start, base + 14 * kH);
+    EXPECT_EQ(sessions[2 * day + 1].end, base + 18 * kH);
+  }
+  EXPECT_EQ(injector.degrade_day(0, sched), sched);
+}
+
+TEST(FaultInjector, SessionsDeterministicPerSeedAndNode) {
+  const auto sched = two_windows();
+  FaultInjector a(churn_plan(7));
+  FaultInjector b(churn_plan(7));
+  EXPECT_EQ(a.sessions(1, sched, 30), b.sessions(1, sched, 30));
+
+  // A different plan seed realizes different churn (with 60 pieces the
+  // chance of coincidence is negligible and fixed by determinism anyway).
+  FaultInjector c(churn_plan(8));
+  EXPECT_NE(a.sessions(1, sched, 30), c.sessions(1, sched, 30));
+  // Different nodes draw from unrelated streams of the same plan.
+  FaultInjector d(churn_plan(7));
+  EXPECT_NE(a.sessions(2, sched, 30), d.sessions(1, sched, 30));
+}
+
+TEST(FaultInjector, ChurnActuallySkipsAndTruncates) {
+  const auto sched = two_windows();
+  FaultInjector injector(churn_plan());
+  const auto sessions = injector.sessions(0, sched, 60);
+  // 120 pieces at 30% no-show: some sessions must vanish...
+  EXPECT_LT(sessions.size(), 120u);
+  EXPECT_GT(sessions.size(), 40u);
+  // ...and the surviving time is strictly less than the ideal total.
+  const Seconds ideal = 60 * sched.online_seconds();
+  EXPECT_LT(as_set(sessions).measure(), ideal);
+  EXPECT_GT(injector.stats().sessions_skipped, 0u);
+  EXPECT_GT(injector.stats().sessions_truncated, 0u);
+}
+
+TEST(FaultInjector, SessionsNestedAcrossIntensities) {
+  const auto sched = two_windows();
+  FaultPlan base = churn_plan(0x51ab);
+  base.node_outages.push_back({0, 5 * kDaySeconds, 8 * kDaySeconds});
+
+  std::vector<IntervalSet> kept;
+  for (const double f : {1.0, 0.6, 0.3, 0.0}) {
+    FaultInjector injector(scaled(base, f));
+    kept.push_back(as_set(injector.sessions(0, sched, 30)));
+  }
+  // Higher intensity keeps a subset of what lower intensity keeps:
+  // kept[f2] ⊆ kept[f1] for f2 >= f1 (exact nesting, not expectation).
+  for (std::size_t i = 0; i + 1 < kept.size(); ++i) {
+    EXPECT_EQ(kept[i].subtract(kept[i + 1]).measure(), 0)
+        << "intensity step " << i;
+    EXPECT_LE(kept[i].measure(), kept[i + 1].measure());
+  }
+  EXPECT_LT(kept.front().measure(), kept.back().measure());
+}
+
+TEST(FaultInjector, CrashStopOutageEndsSessionsForGood) {
+  FaultPlan plan;
+  plan.node_outages.push_back({0, kDaySeconds + 9 * kH, std::nullopt});
+  FaultInjector injector(plan);
+  const auto sessions = injector.sessions(0, window(8, 10), 4);
+  // Day 0 intact; day 1 cut at 09:00; days 2..3 gone.
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0], (Interval{8 * kH, 10 * kH}));
+  EXPECT_EQ(sessions[1],
+            (Interval{kDaySeconds + 8 * kH, kDaySeconds + 9 * kH}));
+}
+
+TEST(FaultInjector, TransientOutageResumesAfterRecovery) {
+  FaultPlan plan;
+  plan.node_outages.push_back(
+      {0, kDaySeconds + 9 * kH, 2 * kDaySeconds + 9 * kH});
+  FaultInjector injector(plan);
+  const auto sessions = injector.sessions(0, window(8, 10), 4);
+  // Day 1 cut at 09:00, day 2 starts late at 09:00, days 0 and 3 intact.
+  ASSERT_EQ(sessions.size(), 4u);
+  EXPECT_EQ(sessions[1],
+            (Interval{kDaySeconds + 8 * kH, kDaySeconds + 9 * kH}));
+  EXPECT_EQ(sessions[2],
+            (Interval{2 * kDaySeconds + 9 * kH, 2 * kDaySeconds + 10 * kH}));
+  EXPECT_EQ(sessions[3],
+            (Interval{3 * kDaySeconds + 8 * kH, 3 * kDaySeconds + 10 * kH}));
+  EXPECT_EQ(injector.stats().outage_cuts, 2u);
+}
+
+TEST(FaultInjector, OutageSplitsSessionInTheMiddle) {
+  FaultPlan plan;
+  plan.node_outages.push_back({0, 12 * kH, 13 * kH});
+  FaultInjector injector(plan);
+  const auto sessions = injector.sessions(0, window(10, 16), 1);
+  ASSERT_EQ(sessions.size(), 2u);
+  EXPECT_EQ(sessions[0], (Interval{10 * kH, 12 * kH}));
+  EXPECT_EQ(sessions[1], (Interval{13 * kH, 16 * kH}));
+}
+
+TEST(FaultInjector, DegradeDayMatchesSessionsDayZero) {
+  // degrade_day replays the first day of the per-node stream, so its kept
+  // set must equal the day-0 slice of sessions() for a churn-only plan.
+  const auto sched = two_windows();
+  FaultInjector a(churn_plan(0x77));
+  FaultInjector b(churn_plan(0x77));
+  const auto day0 = a.sessions(5, sched, 1);
+  EXPECT_EQ(b.degrade_day(5, sched).set(), as_set(day0));
+}
+
+TEST(FaultInjector, DegradeDayProjectsOutages) {
+  FaultPlan plan;
+  plan.node_outages.push_back({0, 9 * kH, 10 * kH});
+  FaultInjector injector(plan);
+  const auto degraded = injector.degrade_day(0, window(8, 12));
+  IntervalSet expect;
+  expect.add(8 * kH, 9 * kH);
+  expect.add(10 * kH, 12 * kH);
+  EXPECT_EQ(degraded.set(), expect);
+
+  // A crash-stop blankets the whole daily cycle: in the periodic view a
+  // permanently dead node contributes no availability at all.
+  FaultPlan crash;
+  crash.node_outages.push_back({0, 9 * kH, std::nullopt});
+  FaultInjector cinj(crash);
+  EXPECT_TRUE(cinj.degrade_day(0, window(8, 12)).empty());
+}
+
+TEST(FaultInjector, MessageStreamIsPerSenderAndCounted) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.message_drop = 0.5;
+  plan.latency_jitter_max = 30;
+  FaultInjector a(plan), b(plan);
+
+  std::vector<bool> drops_a, drops_b;
+  for (int i = 0; i < 200; ++i) {
+    drops_a.push_back(a.drop_message(0));
+    a.latency_jitter(0);
+    drops_b.push_back(b.drop_message(0));
+    b.latency_jitter(0);
+  }
+  EXPECT_EQ(drops_a, drops_b);
+  const auto dropped =
+      static_cast<std::size_t>(std::count(drops_a.begin(), drops_a.end(),
+                                          true));
+  EXPECT_GT(dropped, 50u);
+  EXPECT_LT(dropped, 150u);
+  EXPECT_EQ(a.stats().messages_dropped, dropped);
+  EXPECT_GT(a.stats().jitter_applied, 0u);
+
+  // Interleaving another sender must not disturb sender 0's stream.
+  FaultInjector c(plan);
+  std::vector<bool> drops_c;
+  for (int i = 0; i < 200; ++i) {
+    c.drop_message(7);
+    c.latency_jitter(7);
+    drops_c.push_back(c.drop_message(0));
+    c.latency_jitter(0);
+  }
+  EXPECT_EQ(drops_c, drops_a);
+}
+
+TEST(FaultInjector, JitterBoundedAndZeroWhenDisabled) {
+  FaultPlan plan;
+  plan.latency_jitter_max = 45;
+  FaultInjector injector(plan);
+  Seconds max_seen = 0;
+  for (int i = 0; i < 500; ++i) {
+    const Seconds j = injector.latency_jitter(0);
+    EXPECT_GE(j, 0);
+    EXPECT_LE(j, 45);
+    max_seen = std::max(max_seen, j);
+  }
+  EXPECT_GT(max_seen, 30);  // the whole range is reachable
+}
+
+TEST(FaultInjector, DhtCrashDeterministicAndProportional) {
+  FaultPlan plan;
+  plan.seed = 11;
+  plan.dht_crash = 0.25;
+  FaultInjector a(plan), b(plan);
+  std::size_t crashed = 0;
+  for (std::uint64_t id = 0; id < 400; ++id) {
+    EXPECT_EQ(a.dht_crashed(id), b.dht_crashed(id));
+    if (a.dht_crashed(id)) ++crashed;
+  }
+  EXPECT_GT(crashed, 60u);
+  EXPECT_LT(crashed, 140u);
+  FaultInjector none(FaultPlan{});
+  EXPECT_FALSE(none.dht_crashed(0));
+}
+
+TEST(FaultInjector, RelayDownWindows) {
+  FaultPlan plan;
+  plan.relay_outages.push_back({100, 200});
+  plan.relay_outages.push_back({500, 600});
+  FaultInjector injector(plan);
+  EXPECT_FALSE(injector.relay_down(99));
+  EXPECT_TRUE(injector.relay_down(100));
+  EXPECT_TRUE(injector.relay_down(199));
+  EXPECT_FALSE(injector.relay_down(200));  // half-open
+  EXPECT_TRUE(injector.relay_down(550));
+  EXPECT_FALSE(injector.relay_down(700));
+}
+
+TEST(FaultInjector, FlushStatsPublishesToObsAndResets) {
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(true);
+  auto& counter =
+      obs::Registry::global().counter("net.fault.sessions_skipped");
+  const std::uint64_t before = counter.value();
+
+  FaultPlan plan = churn_plan(21);
+  plan.session_no_show = 0.9;
+  FaultInjector injector(plan);
+  injector.sessions(0, window(8, 12), 50);
+  const std::uint64_t skipped = injector.stats().sessions_skipped;
+  ASSERT_GT(skipped, 0u);
+  injector.flush_stats();
+  EXPECT_EQ(counter.value(), before + skipped);
+  EXPECT_EQ(injector.stats().sessions_skipped, 0u);  // flushed and zeroed
+  obs::set_enabled(was_enabled);
+}
+
+}  // namespace
+}  // namespace dosn::net

@@ -180,5 +180,118 @@ TEST(Gossip, AuthorSequencePreservedAcrossOrigins) {
       EXPECT_TRUE(r.arrival[w][n].has_value());
 }
 
+GossipReport run_pair_scenario(const GossipConfig& cfg,
+                               std::uint64_t protocol_seed = 77) {
+  std::vector<DaySchedule> nodes{window(8, 12), window(8, 12),
+                                 window(9, 13)};
+  std::vector<GossipWrite> writes;
+  for (int i = 0; i < 8; ++i)
+    writes.push_back({9 * kH + i * 600, static_cast<std::size_t>(i % 2),
+                      static_cast<core::UserId>(100 + i)});
+  util::Rng rng(protocol_seed);
+  return simulate_gossip(nodes, writes, cfg, rng);
+}
+
+void expect_reports_identical(const GossipReport& a, const GossipReport& b) {
+  EXPECT_EQ(a.arrival, b.arrival);
+  EXPECT_EQ(a.max_delay, b.max_delay);
+  EXPECT_EQ(a.mean_delay, b.mean_delay);
+  EXPECT_EQ(a.all_delivered, b.all_delivered);
+  EXPECT_EQ(a.deferred_writes, b.deferred_writes);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+  EXPECT_EQ(a.messages_lost, b.messages_lost);
+  EXPECT_EQ(a.posts_shipped, b.posts_shipped);
+  EXPECT_EQ(a.sync_rounds, b.sync_rounds);
+  EXPECT_EQ(a.messages_dropped, b.messages_dropped);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+}
+
+// The tentpole identity: a zero fault plan (even with a non-zero plan seed
+// and retransmission enabled) must reproduce the unfaulted protocol's
+// whole report bit for bit — the injector consumes nothing the unfaulted
+// path would not.
+TEST(GossipFaults, ZeroFaultPlanBitIdentical) {
+  const auto baseline = run_pair_scenario(fast_config(3));
+
+  GossipConfig cfg = fast_config(3);
+  cfg.faults.seed = 0xdeadbeef;  // seed alone must not change anything
+  cfg.max_retransmits = 4;       // never fires without wire drops
+  const auto hardened = run_pair_scenario(cfg);
+  expect_reports_identical(baseline, hardened);
+  EXPECT_EQ(hardened.messages_dropped, 0u);
+  EXPECT_EQ(hardened.retransmits, 0u);
+}
+
+TEST(GossipFaults, WireDropsLoseMessagesWithoutRetransmission) {
+  GossipConfig cfg = fast_config(3);
+  cfg.faults.seed = 5;
+  cfg.faults.message_drop = 0.5;
+  const auto r = run_pair_scenario(cfg);
+  EXPECT_GT(r.messages_dropped, 0u);
+  EXPECT_EQ(r.retransmits, 0u);  // fire-and-forget drops stay dropped
+  const auto clean = run_pair_scenario(fast_config(3));
+  // Losing half the wire slows realized propagation.
+  EXPECT_GT(r.mean_delay, clean.mean_delay);
+}
+
+// The hardening claim from the issue: with message loss, the
+// retransmission layer strictly beats fire-and-forget on realized delay
+// (coarse threshold — same schedules, writes, protocol seed, and fault
+// streams; only the retry budget differs).
+TEST(GossipFaults, RetransmissionBeatsNoneUnderMessageLoss) {
+  GossipConfig lossy = fast_config(3);
+  lossy.faults.seed = 5;
+  lossy.faults.message_drop = 0.5;
+  const auto without = run_pair_scenario(lossy);
+
+  GossipConfig hardened = lossy;
+  hardened.max_retransmits = 6;
+  hardened.retransmit_timeout = 30;
+  hardened.retransmit_backoff_cap = 240;
+  const auto with = run_pair_scenario(hardened);
+
+  EXPECT_GT(with.retransmits, 0u);
+  EXPECT_LT(with.mean_delay, without.mean_delay);
+  // Retries recover deliveries fire-and-forget loses to earlier rounds,
+  // so the hardened run also delivers everything here.
+  EXPECT_TRUE(with.all_delivered);
+}
+
+TEST(GossipFaults, JitterDelaysButStillDelivers) {
+  GossipConfig cfg = fast_config(3);
+  cfg.faults.seed = 9;
+  cfg.faults.latency_jitter_max = 120;
+  const auto jittered = run_pair_scenario(cfg);
+  const auto clean = run_pair_scenario(fast_config(3));
+  EXPECT_TRUE(jittered.all_delivered);
+  // Every message arrives no earlier than its unjittered counterpart.
+  EXPECT_GE(jittered.mean_delay, clean.mean_delay);
+}
+
+TEST(GossipFaults, ChurnFaultsReduceRendezvous) {
+  GossipConfig cfg = fast_config(5);
+  cfg.faults.seed = 13;
+  cfg.faults.session_no_show = 0.6;
+  const auto flaky = run_pair_scenario(cfg);
+  const auto clean = run_pair_scenario(fast_config(5));
+  // Skipped sessions mean fewer anti-entropy rounds ever fire.
+  EXPECT_LT(flaky.sync_rounds, clean.sync_rounds);
+}
+
+TEST(GossipFaults, ValidatesRetransmitConfig) {
+  std::vector<DaySchedule> nodes{window(8, 10)};
+  util::Rng rng(9);
+  GossipConfig cfg = fast_config(1);
+  cfg.max_retransmits = 3;
+  cfg.retransmit_timeout = 0;
+  EXPECT_THROW(simulate_gossip(nodes, {}, cfg, rng), ConfigError);
+  cfg.retransmit_timeout = 60;
+  cfg.retransmit_backoff_cap = 30;  // cap below the initial timeout
+  EXPECT_THROW(simulate_gossip(nodes, {}, cfg, rng), ConfigError);
+  cfg.faults.message_drop = 2.0;  // malformed plan rejected up front
+  cfg.retransmit_backoff_cap = 960;
+  EXPECT_THROW(simulate_gossip(nodes, {}, cfg, rng), ConfigError);
+}
+
 }  // namespace
 }  // namespace dosn::net

@@ -178,5 +178,128 @@ TEST(ProfileSync, EmpiricalReadRateTracksAnalyticAodTime) {
   EXPECT_NEAR(r.read_success_rate, 5.0 / 8.0, 0.03);
 }
 
+TEST(ProfileSyncFaults, ZeroFaultPlanBitIdentical) {
+  std::vector<DaySchedule> nodes{window(8, 10), window(9, 13)};
+  std::vector<DaySchedule> readers{window(8, 22)};
+  std::vector<WriteEvent> writes{{9 * kH, 7}, {11 * kH, 8}};
+  std::vector<ReadEvent> reads{{10 * kH, 0}, {12 * kH, 0}, {20 * kH, 0}};
+  ProfileSyncConfig plain;
+  plain.horizon_days = 3;
+  ProfileSyncConfig seeded = plain;
+  seeded.faults.seed = 0xabcdef;  // seed without faults: no effect
+  const auto a = simulate_profile_sync(nodes, readers, writes, reads, plain);
+  const auto b = simulate_profile_sync(nodes, readers, writes, reads, seeded);
+  EXPECT_EQ(a.writes_succeeded, b.writes_succeeded);
+  EXPECT_EQ(a.read_success_rate, b.read_success_rate);
+  EXPECT_EQ(a.mean_missing, b.mean_missing);
+  EXPECT_EQ(a.max_staleness, b.max_staleness);
+  EXPECT_EQ(a.converged, b.converged);
+  ASSERT_EQ(a.reads.size(), b.reads.size());
+  for (std::size_t i = 0; i < a.reads.size(); ++i) {
+    EXPECT_EQ(a.reads[i].success, b.reads[i].success);
+    EXPECT_EQ(a.reads[i].missing, b.reads[i].missing);
+    EXPECT_EQ(a.reads[i].staleness, b.reads[i].staleness);
+  }
+}
+
+TEST(ProfileSyncFaults, DegradedReadsAreFlagged) {
+  // Same scenario as StalenessMeasuresUnsyncedPosts: the evening read is
+  // served with a post missing, which now marks it degraded.
+  std::vector<DaySchedule> nodes{window(8, 10), window(20, 22)};
+  std::vector<DaySchedule> readers{window(20, 22)};
+  std::vector<WriteEvent> writes{{9 * kH, 7}};
+  std::vector<ReadEvent> reads{{21 * kH, 0}};
+  ProfileSyncConfig cfg;
+  cfg.horizon_days = 1;
+  const auto r = simulate_profile_sync(nodes, readers, writes, reads, cfg);
+  ASSERT_TRUE(r.reads[0].success);
+  EXPECT_TRUE(r.reads[0].degraded);
+  EXPECT_EQ(r.degraded_reads, 1u);
+  EXPECT_EQ(r.read_repairs, 0u);  // repair is off by default
+}
+
+TEST(ProfileSyncFaults, ReadRepairRestoresLostPosts) {
+  // Replica A (08-10) accepts a post the reader sees at 09:00. Replica B
+  // (20-22) never met A, so B's evening state misses the post — but the
+  // reader's cache carries it and writes it back at the evening read.
+  std::vector<DaySchedule> nodes{window(8, 10), window(20, 22)};
+  std::vector<DaySchedule> readers{window(8, 22)};
+  std::vector<WriteEvent> writes{{8 * kH + 1800, 7}};
+  std::vector<ReadEvent> reads{{9 * kH, 0}, {21 * kH, 0}};
+  ProfileSyncConfig cfg;
+  cfg.horizon_days = 1;
+
+  const auto without = simulate_profile_sync(nodes, readers, writes, reads,
+                                             cfg);
+  ASSERT_TRUE(without.reads[1].success);
+  EXPECT_EQ(without.reads[1].missing, 1u);
+  EXPECT_FALSE(without.converged);
+
+  cfg.read_repair = true;
+  const auto with = simulate_profile_sync(nodes, readers, writes, reads,
+                                          cfg);
+  ASSERT_TRUE(with.reads[1].success);
+  // The read still observes the gap (repair happens at the same probe),
+  // but the post is back in the group afterwards and the run reports it.
+  EXPECT_EQ(with.reads[1].repaired, 1u);
+  EXPECT_EQ(with.read_repairs, 1u);
+  EXPECT_TRUE(with.converged);  // B ends the day with the post restored
+}
+
+TEST(ProfileSyncFaults, RelayOutageBlocksUnconRepBridging) {
+  // UnconRepRelayFixesStaleness, with the relay down across both the
+  // write and the evening read: the store can't bridge, and the blocked
+  // path is visible through the degraded read.
+  std::vector<DaySchedule> nodes{window(8, 10), window(20, 22)};
+  std::vector<DaySchedule> readers{window(20, 22)};
+  std::vector<WriteEvent> writes{{9 * kH, 7}};
+  std::vector<ReadEvent> reads{{21 * kH, 0}};
+  ProfileSyncConfig cfg;
+  cfg.connectivity = placement::Connectivity::kUnconRep;
+  cfg.horizon_days = 1;
+  cfg.faults.relay_outages.push_back({7 * kH, 23 * kH});
+  const auto r = simulate_profile_sync(nodes, readers, writes, reads, cfg);
+  ASSERT_TRUE(r.reads[0].success);
+  EXPECT_EQ(r.reads[0].missing, 1u);  // ConRep semantics during the outage
+  EXPECT_TRUE(r.reads[0].degraded);
+}
+
+TEST(ProfileSyncFaults, RelayRecoveryRestoresDurability) {
+  // Relay down only over the morning: the write lands in the live group,
+  // the relay re-merges at 12:00 while node 0 is gone — so only what the
+  // relay held survives until node 0 returns next day. The evening read
+  // of day 1 sees the post via the recovered relay.
+  std::vector<DaySchedule> nodes{window(8, 10), window(20, 22)};
+  std::vector<DaySchedule> readers{window(20, 22)};
+  std::vector<WriteEvent> writes{{9 * kH, 7}};
+  std::vector<ReadEvent> reads{{21 * kH, 0},
+                               {interval::kDaySeconds + 21 * kH, 0}};
+  ProfileSyncConfig cfg;
+  cfg.connectivity = placement::Connectivity::kUnconRep;
+  cfg.horizon_days = 2;
+  cfg.faults.relay_outages.push_back({7 * kH, 12 * kH});
+  const auto r = simulate_profile_sync(nodes, readers, writes, reads, cfg);
+  ASSERT_EQ(r.reads.size(), 2u);
+  EXPECT_EQ(r.reads[0].missing, 1u);  // day 0: relay never saw the post
+  EXPECT_EQ(r.reads[1].missing, 0u);  // day 1: node 0 re-synced the relay
+}
+
+TEST(ProfileSyncFaults, ChurnLowersWriteSuccess) {
+  std::vector<DaySchedule> nodes{window(0, 12)};
+  std::vector<WriteEvent> writes;
+  for (int d = 0; d < 30; ++d)
+    writes.push_back({d * interval::kDaySeconds + 6 * kH, 7});
+  ProfileSyncConfig clean;
+  clean.horizon_days = 30;
+  const auto a = simulate_profile_sync(nodes, {}, writes, {}, clean);
+  EXPECT_DOUBLE_EQ(a.write_success_rate, 1.0);
+
+  ProfileSyncConfig flaky = clean;
+  flaky.faults.seed = 31;
+  flaky.faults.session_no_show = 0.5;
+  const auto b = simulate_profile_sync(nodes, {}, writes, {}, flaky);
+  EXPECT_LT(b.write_success_rate, 1.0);
+}
+
 }  // namespace
 }  // namespace dosn::net

@@ -6,6 +6,7 @@
 #include <span>
 
 #include "graph/degree_stats.hpp"
+#include "obs/obs.hpp"
 #include "sim/study.hpp"
 #include "synth/presets.hpp"
 #include "util/error.hpp"
@@ -415,6 +416,116 @@ TEST_F(StudySweeps, CohortDegreeRespected) {
   EXPECT_FALSE(cohort.empty());
   for (graph::UserId u : cohort)
     EXPECT_EQ(dataset_->graph.degree(u), cohort_degree_);
+}
+
+net::FaultPlan strong_fault_plan() {
+  net::FaultPlan plan;
+  plan.seed = 0xbad5eed;
+  plan.session_no_show = 0.4;
+  plan.session_truncate = 0.6;
+  plan.truncate_max_fraction = 0.8;
+  return plan;
+}
+
+// Zero intensity feeds the evaluation the ideal schedules, so the sweep's
+// first column must reproduce the replication_sweep point at k bit for
+// bit for a deterministic policy (same model stream seeds, MaxAv draws
+// nothing from its placement stream).
+TEST_F(StudySweeps, ResilienceSweepZeroIntensityMatchesReplicationSweep) {
+  Study study(*dataset_, 211);
+  auto opts = fast_options();
+  opts.policies = {PolicyKind::kMaxAv};
+  const std::size_t k = 3;
+  opts.k_max = k;
+  const auto baseline = study.replication_sweep(
+      ModelKind::kSporadic, {}, Connectivity::kConRep, opts);
+
+  const std::vector<double> intensities{0.0, 1.0};
+  const auto r = study.resilience_sweep(ModelKind::kSporadic, {},
+                                        Connectivity::kConRep,
+                                        strong_fault_plan(), intensities, k,
+                                        opts);
+  ASSERT_EQ(r.xs, intensities);
+  ASSERT_EQ(r.policies.size(), 1u);
+  const auto& at_zero = r.policies[0].points[0];
+  const auto& ref = baseline.policies[0].points[k];
+  EXPECT_EQ(at_zero.availability, ref.availability);
+  EXPECT_EQ(at_zero.aod_time, ref.aod_time);
+  EXPECT_EQ(at_zero.aod_activity, ref.aod_activity);
+  EXPECT_EQ(at_zero.delay_actual_h, ref.delay_actual_h);
+  EXPECT_EQ(at_zero.delay_observed_h, ref.delay_observed_h);
+  EXPECT_EQ(at_zero.replicas_used, ref.replicas_used);
+}
+
+// Nested fault realizations: every fault present at f1 is present at
+// f2 >= f1, so cohort availability degrades monotonically along the
+// intensity axis — exactly, not merely in expectation.
+TEST_F(StudySweeps, ResilienceSweepAvailabilityMonotone) {
+  Study study(*dataset_, 223);
+  auto opts = fast_options();
+  const std::vector<double> intensities{0.0, 0.25, 0.5, 0.75, 1.0};
+  const auto r = study.resilience_sweep(ModelKind::kSporadic, {},
+                                        Connectivity::kConRep,
+                                        strong_fault_plan(), intensities,
+                                        /*k=*/3, opts);
+  for (const auto& curve : r.policies) {
+    ASSERT_EQ(curve.points.size(), intensities.size());
+    for (std::size_t i = 1; i < curve.points.size(); ++i)
+      EXPECT_LE(curve.points[i].availability,
+                curve.points[i - 1].availability)
+          << curve.policy_name << " at intensity " << intensities[i];
+    // A plan this aggressive must actually bite.
+    EXPECT_LT(curve.points.back().availability,
+              curve.points.front().availability)
+        << curve.policy_name;
+  }
+}
+
+TEST_F(StudySweeps, ResilienceSweepBitIdenticalAcrossThreadsAndObs) {
+  Study study(*dataset_, 227);
+  auto opts = fast_options();
+  const std::vector<double> intensities{0.0, 0.5, 1.0};
+  const auto run = [&] {
+    return study.resilience_sweep(ModelKind::kRandomLength, {},
+                                  Connectivity::kConRep,
+                                  strong_fault_plan(), intensities,
+                                  /*k=*/3, opts);
+  };
+  opts.threads = 1;
+  const auto serial = run();
+  opts.threads = 8;
+  const auto parallel = run();
+  expect_bit_identical(serial, parallel);
+
+  // Observability must never perturb results: counters are side channels.
+  const bool was_enabled = obs::enabled();
+  obs::set_enabled(!was_enabled);
+  const auto flipped = run();
+  obs::set_enabled(was_enabled);
+  expect_bit_identical(serial, flipped);
+}
+
+TEST_F(StudySweeps, ResilienceSweepValidatesInputs) {
+  Study study(*dataset_, 229);
+  auto opts = fast_options();
+  const std::vector<double> none;
+  EXPECT_THROW(study.resilience_sweep(ModelKind::kSporadic, {},
+                                      Connectivity::kConRep,
+                                      strong_fault_plan(), none, 3, opts),
+               ConfigError);
+  const std::vector<double> out_of_range{0.0, 1.5};
+  EXPECT_THROW(study.resilience_sweep(ModelKind::kSporadic, {},
+                                      Connectivity::kConRep,
+                                      strong_fault_plan(), out_of_range, 3,
+                                      opts),
+               ConfigError);
+  net::FaultPlan bad = strong_fault_plan();
+  bad.session_no_show = 1.5;
+  const std::vector<double> ok{0.0, 1.0};
+  EXPECT_THROW(study.resilience_sweep(ModelKind::kSporadic, {},
+                                      Connectivity::kConRep, bad, ok, 3,
+                                      opts),
+               ConfigError);
 }
 
 TEST(StudyErrors, EmptyCohortThrows) {

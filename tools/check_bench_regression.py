@@ -1,15 +1,18 @@
 #!/usr/bin/env python3
-"""Bench-regression gate for BENCH_study_engine.json.
+"""Bench-regression gate for the BENCH_*.json reports.
 
 Compares a freshly produced bench report against the committed baseline
 and fails when the current run is meaningfully worse. Two checks:
 
 correctness
     Every scenario must report ``outputs_identical: true`` — the engine
-    optimizations are exact, so any divergence between the seed engine and
-    the optimized paths is a correctness bug regardless of speed. A scenario
-    present in the baseline but missing from the current report also fails
-    (a silently dropped workload is not a pass).
+    optimizations are exact and the fault-injection layer's zero plan must
+    reproduce unfaulted outputs, so any divergence is a correctness bug
+    regardless of speed. A scenario present in the baseline but missing
+    from the current report also fails (a silently dropped workload is not
+    a pass). A scenario present only in the *current* report is an
+    addition: the gate prints a warning so the baseline gets refreshed,
+    but does not fail — new coverage must never be punished.
 
 performance
     Raw milliseconds are machine-dependent (the committed baseline and the
@@ -23,7 +26,10 @@ performance
     machine, so the ratio cancels hardware speed and measures only how
     much of the optimization's advantage survives. The gate fails when a
     current ratio exceeds the baseline ratio by more than ``--threshold``
-    (default 0.25, i.e. a >25% relative regression).
+    (default 0.25, i.e. a >25% relative regression). Scenarios without a
+    ``seed_engine_ms`` anchor (e.g. the fault-resilience report, whose
+    timings are informational) are correctness-only: their booleans are
+    enforced, their milliseconds are not.
 
 Usage
 -----
@@ -63,24 +69,37 @@ def load_report(path: pathlib.Path) -> dict:
 
 
 def scenario_ratios(scenario: dict) -> dict[str, float]:
+    """Timed fields normalized by the seed-engine anchor. Empty for
+    correctness-only scenarios (no ``seed_engine_ms``)."""
+    if "seed_engine_ms" not in scenario:
+        return {}
     seed_ms = float(scenario["seed_engine_ms"])
     if seed_ms <= 0:
         raise ValueError(
             f"scenario {scenario.get('name')!r}: non-positive seed_engine_ms"
         )
-    return {f: float(scenario[f]) / seed_ms for f in TIMED_FIELDS}
+    return {f: float(scenario[f]) / seed_ms
+            for f in TIMED_FIELDS if f in scenario}
 
 
 def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
     """Returns a list of failure messages (empty = gate passes)."""
     failures = []
+    baseline_names = {s["name"] for s in baseline["scenarios"]}
     current_by_name = {s["name"]: s for s in current["scenarios"]}
 
     for cur in current["scenarios"]:
         if not cur.get("outputs_identical", False):
             failures.append(
-                f"{cur['name']}: outputs_identical is false — the optimized "
-                "engines no longer reproduce the seed engine bit for bit"
+                f"{cur['name']}: outputs_identical is false — the run no "
+                "longer reproduces its reference outputs bit for bit"
+            )
+        if cur["name"] not in baseline_names:
+            # New coverage, not a regression: warn so the committed baseline
+            # gets refreshed, but let the gate pass.
+            print(
+                f"  WARNING: {cur['name']}: present only in the current "
+                "report (new scenario) — refresh the committed baseline"
             )
 
     for base in baseline["scenarios"]:
@@ -92,7 +111,11 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
             continue
         base_ratios = scenario_ratios(base)
         cur_ratios = scenario_ratios(cur)
-        for field in TIMED_FIELDS:
+        for field in base_ratios:
+            if field not in cur_ratios:
+                failures.append(f"{name}: timed field {field} present in "
+                                "baseline but missing from the current report")
+                continue
             b, c = base_ratios[field], cur_ratios[field]
             limit = b * (1.0 + threshold)
             status = "FAIL" if c > limit else "ok"
@@ -170,10 +193,44 @@ def self_test() -> int:
     dropped["scenarios"] = []
     expect("missing scenario fails", dropped, False)
 
+    # A scenario only the current report has is an addition: warn, pass.
+    added = copy.deepcopy(baseline)
+    added["scenarios"].append({
+        "name": "fault_resilience_new",
+        "outputs_identical": True,
+    })
+    expect("current-only scenario passes with a warning", added, True)
+
+    # ... unless its correctness booleans are broken.
+    added_broken = copy.deepcopy(added)
+    added_broken["scenarios"][1]["outputs_identical"] = False
+    expect("current-only scenario with broken outputs fails", added_broken,
+           False)
+
+    # Correctness-only scenarios (no seed_engine_ms anchor) compare without
+    # timing: matching booleans pass even when informational timings drift.
+    corr_baseline = {
+        "benchmark": "fault_resilience",
+        "scenarios": [
+            {"name": "sweep", "sweep_ms": 100.0, "outputs_identical": True}
+        ],
+    }
+    corr_current = copy.deepcopy(corr_baseline)
+    corr_current["scenarios"][0]["sweep_ms"] = 500.0
+    print("self-test: correctness-only scenario ignores timing drift")
+    if compare(corr_baseline, corr_current, DEFAULT_THRESHOLD):
+        failures += 1
+        print("self-test FAIL: correctness-only scenario should pass")
+    corr_current["scenarios"][0]["outputs_identical"] = False
+    print("self-test: correctness-only scenario still enforces booleans")
+    if not compare(corr_baseline, corr_current, DEFAULT_THRESHOLD):
+        failures += 1
+        print("self-test FAIL: broken correctness-only scenario should fail")
+
     if failures:
         print(f"self-test: {failures} case(s) failed")
         return 1
-    print("self-test OK (6 cases)")
+    print("self-test OK (10 cases)")
     return 0
 
 
