@@ -1,5 +1,7 @@
 #include "common.hpp"
 
+#include <sys/resource.h>
+
 #include <cstdio>
 #include <cstdlib>
 
@@ -20,6 +22,13 @@ std::uint64_t bench_seed() {
   if (const char* s = std::getenv("DOSN_BENCH_SEED"))
     return static_cast<std::uint64_t>(util::parse_i64(s));
   return 20120618;  // ICDCS'12 week
+}
+
+double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
+  // ru_maxrss is KiB on Linux.
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
 }
 
 void write_bench_json(const std::string& path, const std::string& benchmark,

@@ -24,6 +24,11 @@ namespace dosn::bench {
 /// DOSN_BENCH_SEED, default 20120618 (the ICDCS'12 week).
 std::uint64_t bench_seed();
 
+/// Peak resident set size of this process so far, in MiB (Linux
+/// getrusage ru_maxrss; 0.0 where unavailable). Monotone over the process
+/// lifetime — sample it right after the phase being measured.
+double peak_rss_mb();
+
 /// DOSN_BENCH_SCALE, or `fallback` when unset.
 double bench_scale(double fallback = 1.0);
 

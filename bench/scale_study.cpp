@@ -1,0 +1,189 @@
+// Million-user scale benchmark: chunked generation plus the streaming
+// study engine at N = 100k / 500k / 1M synthetic users, written to
+// BENCH_scale.json.
+//
+// Per population size the harness measures
+//   * gen_ms      — chunked dataset construction (graph + all schedules +
+//                   the cohort-restricted trace; the full activity trace is
+//                   never materialized);
+//   * sweep times — the same replication sweep run serial, parallel, and
+//                   parallel with a different shard size. The three sweep
+//                   outputs are checksummed and must agree bit for bit:
+//                   the streaming engine's determinism contract;
+//   * peak_rss_mb — getrusage high-water mark after each phase, the memory
+//                   envelope the ISSUE acceptance criterion tracks.
+//
+// Environment knobs: DOSN_SCALE_USERS (comma-separated population sizes,
+// default "100000,500000,1000000" — CI smoke runs just 100000),
+// DOSN_BENCH_SEED, DOSN_THREADS, DOSN_OBS.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/export.hpp"
+#include "sim/streaming.hpp"
+#include "synth/scale.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::vector<std::size_t> scale_users() {
+  std::string spec = "100000,500000,1000000";
+  if (const char* s = std::getenv("DOSN_SCALE_USERS"); s && *s) spec = s;
+  std::vector<std::size_t> out;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string tok =
+        spec.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!tok.empty())
+      out.push_back(static_cast<std::size_t>(dosn::util::parse_i64(tok)));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+struct Scenario {
+  std::size_t users = 0;
+  std::size_t cohort_degree = 0;
+  std::size_t cohort_size = 0;
+  std::uint64_t activities_total = 0;
+  std::uint64_t activities_retained = 0;
+  double gen_ms = 0;
+  double gen_peak_rss_mb = 0;
+  double sweep_serial_ms = 0;
+  double sweep_parallel_ms = 0;
+  double sweep_reshard_ms = 0;
+  std::uint64_t checksum = 0;
+  bool identical = false;
+  double peak_rss_mb = 0;
+};
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = dosn::bench::bench_seed();
+  const std::size_t threads = dosn::util::default_thread_count();
+
+  std::vector<Scenario> scenarios;
+  bool all_identical = true;
+
+  for (const std::size_t users : scale_users()) {
+    Scenario s;
+    s.users = users;
+
+    dosn::synth::ScaleInputConfig config;
+    dosn::synth::ScaleOptions opts;
+    opts.users = users;
+    config.preset = dosn::synth::scale_preset(opts);
+
+    const auto gen_start = Clock::now();
+    const auto input = dosn::synth::build_scale_study_input(config, seed);
+    s.gen_ms = ms_since(gen_start);
+    s.gen_peak_rss_mb = dosn::bench::peak_rss_mb();
+    s.cohort_degree = input.cohort_degree;
+    s.activities_total = input.total_activities;
+    s.activities_retained = input.dataset.trace.size();
+
+    dosn::sim::StreamingStudy study(input.dataset, seed);
+    dosn::sim::StreamingStudy::Options options;
+    options.cohort_degree = input.cohort_degree;
+    options.k_max = 10;
+    options.repetitions = 3;
+    options.policies = {dosn::placement::PolicyKind::kMaxAv,
+                        dosn::placement::PolicyKind::kRandom};
+    // A million users yield tens of thousands of degree-d cohort members;
+    // cap the evaluated prefix so the sweep time stays bounded while the
+    // generation still exercises the full population.
+    options.cohort_limit = 20'000;
+    s.cohort_size = study.cohort(options.cohort_degree, options.cohort_limit)
+                        .size();
+
+    const auto sweep_with = [&](std::size_t nthreads,
+                                std::size_t shard_size) {
+      auto o = options;
+      o.threads = nthreads;
+      o.shard_size = shard_size;
+      return study.replication_sweep(
+          input.schedules, input.model_name,
+          dosn::placement::Connectivity::kConRep, o);
+    };
+
+    auto start = Clock::now();
+    const auto serial = sweep_with(1, 1024);
+    s.sweep_serial_ms = ms_since(start);
+
+    start = Clock::now();
+    const auto parallel = sweep_with(threads, 1024);
+    s.sweep_parallel_ms = ms_since(start);
+
+    start = Clock::now();
+    const auto resharded = sweep_with(threads, 257);
+    s.sweep_reshard_ms = ms_since(start);
+
+    s.checksum = dosn::sim::sweep_checksum(serial);
+    s.identical = s.checksum == dosn::sim::sweep_checksum(parallel) &&
+                  s.checksum == dosn::sim::sweep_checksum(resharded);
+    all_identical &= s.identical;
+    s.peak_rss_mb = dosn::bench::peak_rss_mb();
+
+    std::printf(
+        "scale N=%-8zu cohort=%zu(deg %zu)  activities=%llu (kept %llu)  "
+        "gen=%.0fms  serial=%.0fms  parallel(%zu)=%.0fms  reshard=%.0fms  "
+        "rss=%.0fMiB  identical=%s\n",
+        s.users, s.cohort_size, s.cohort_degree,
+        static_cast<unsigned long long>(s.activities_total),
+        static_cast<unsigned long long>(s.activities_retained), s.gen_ms,
+        s.sweep_serial_ms, threads, s.sweep_parallel_ms, s.sweep_reshard_ms,
+        s.peak_rss_mb, s.identical ? "yes" : "NO");
+    scenarios.push_back(s);
+  }
+
+  if (dosn::obs::enabled()) {
+    std::printf("\nobservability snapshot:\n%s\n",
+                dosn::obs::to_table(dosn::obs::Registry::global().snapshot())
+                    .c_str());
+  }
+
+  dosn::bench::write_bench_json(
+      "BENCH_scale.json", "scale_study", seed, threads,
+      [&](dosn::util::JsonWriter& w) {
+        w.key("scenarios");
+        w.begin_array();
+        for (const auto& s : scenarios) {
+          w.begin_object();
+          w.field("name", "scale_" + std::to_string(s.users));
+          w.field("users", static_cast<std::uint64_t>(s.users));
+          w.field("cohort_degree",
+                  static_cast<std::uint64_t>(s.cohort_degree));
+          w.field("cohort_size", static_cast<std::uint64_t>(s.cohort_size));
+          w.field("activities_total", s.activities_total);
+          w.field("activities_retained", s.activities_retained);
+          w.field("gen_ms", s.gen_ms);
+          w.field("gen_peak_rss_mb", s.gen_peak_rss_mb);
+          w.field("sweep_serial_ms", s.sweep_serial_ms);
+          w.field("sweep_parallel_ms", s.sweep_parallel_ms);
+          w.field("sweep_reshard_ms", s.sweep_reshard_ms);
+          w.field("checksum", s.checksum);
+          w.field("outputs_identical", s.identical);
+          w.field("peak_rss_mb", s.peak_rss_mb);
+          w.end_object();
+        }
+        w.end_array();
+      });
+  std::printf("wrote BENCH_scale.json\n");
+
+  return all_identical ? 0 : 1;
+}

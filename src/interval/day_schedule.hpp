@@ -67,6 +67,13 @@ class DaySchedule {
   DaySchedule unite(const DaySchedule& other) const {
     return DaySchedule(set_.unite(other.set_));
   }
+  /// In-place union through caller-owned scratch: allocation-free once the
+  /// scratch capacity has warmed up. Day-confinement is preserved (the
+  /// union of two within-day sets is within-day).
+  void unite_with(const DaySchedule& other,
+                  std::vector<Interval>* scratch) {
+    set_.unite_with(other.set_, scratch);
+  }
   DaySchedule intersect(const DaySchedule& other) const {
     return DaySchedule(set_.intersect(other.set_));
   }

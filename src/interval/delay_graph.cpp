@@ -36,52 +36,62 @@ void IncrementalGroupDelay::push(const DaySchedule& node) {
   const std::size_t m = participants_.size();
   // One-hop edges between the existing participants and the new node, both
   // directions (the delay graph is directed).
-  std::vector<Seconds> edge_to(m, kInf), edge_from(m, kInf);
+  edge_to_.assign(m, kInf);
+  edge_from_.assign(m, kInf);
   for (std::size_t p = 0; p < m; ++p) {
-    if (auto w = pair_delay(participants_[p], node, mode_)) edge_to[p] = *w;
-    if (auto w = pair_delay(node, participants_[p], mode_)) edge_from[p] = *w;
+    if (auto w = pair_delay(participants_[p], node, mode_)) edge_to_[p] = *w;
+    if (auto w = pair_delay(node, participants_[p], mode_)) edge_from_[p] = *w;
   }
 
   // Shortest i -> new and new -> j. A shortest path touches the new node
   // only at its endpoint (weights are nonnegative), so it decomposes into
   // an old-graph shortest path plus one new edge.
-  std::vector<Seconds> dist_to(m, kInf), dist_from(m, kInf);
+  dist_to_.assign(m, kInf);
+  dist_from_.assign(m, kInf);
   for (std::size_t i = 0; i < m; ++i) {
-    Seconds best = edge_to[i];
+    Seconds best = edge_to_[i];
     for (std::size_t j = 0; j < m; ++j) {
-      if (at(i, j) == kInf || edge_to[j] == kInf) continue;
-      best = std::min(best, at(i, j) + edge_to[j]);
+      if (at(i, j) == kInf || edge_to_[j] == kInf) continue;
+      best = std::min(best, at(i, j) + edge_to_[j]);
     }
-    dist_to[i] = best;
+    dist_to_[i] = best;
   }
   for (std::size_t j = 0; j < m; ++j) {
-    Seconds best = edge_from[j];
+    Seconds best = edge_from_[j];
     for (std::size_t p = 0; p < m; ++p) {
-      if (edge_from[p] == kInf || at(p, j) == kInf) continue;
-      best = std::min(best, edge_from[p] + at(p, j));
+      if (edge_from_[p] == kInf || at(p, j) == kInf) continue;
+      best = std::min(best, edge_from_[p] + at(p, j));
     }
-    dist_from[j] = best;
+    dist_from_[j] = best;
   }
 
   // Relax old pairs through the new node and rebuild the matrix at the
   // larger stride.
-  std::vector<Seconds> next((m + 1) * (m + 1), kInf);
+  next_.assign((m + 1) * (m + 1), kInf);
   for (std::size_t i = 0; i < m; ++i)
     for (std::size_t j = 0; j < m; ++j) {
       Seconds d = at(i, j);
-      if (dist_to[i] != kInf && dist_from[j] != kInf)
-        d = std::min(d, dist_to[i] + dist_from[j]);
-      next[i * (m + 1) + j] = d;
+      if (dist_to_[i] != kInf && dist_from_[j] != kInf)
+        d = std::min(d, dist_to_[i] + dist_from_[j]);
+      next_[i * (m + 1) + j] = d;
     }
   for (std::size_t i = 0; i < m; ++i) {
-    next[i * (m + 1) + m] = dist_to[i];
-    next[m * (m + 1) + i] = dist_from[i];
+    next_[i * (m + 1) + m] = dist_to_[i];
+    next_[m * (m + 1) + i] = dist_from_[i];
   }
-  next[m * (m + 1) + m] = 0;
+  next_[m * (m + 1) + m] = 0;
 
-  dist_ = std::move(next);
+  dist_.swap(next_);
   participants_.push_back(node);
   index_.push_back(slot);
+}
+
+void IncrementalGroupDelay::reset(RendezvousMode mode) {
+  mode_ = mode;
+  pushed_ = 0;
+  participants_.clear();
+  index_.clear();
+  dist_.clear();
 }
 
 GroupDelayResult IncrementalGroupDelay::result() const {

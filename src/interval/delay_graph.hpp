@@ -65,6 +65,11 @@ class IncrementalGroupDelay {
   /// slot in the input indexing) but never participate.
   void push(const DaySchedule& node);
 
+  /// Returns to the empty state (as freshly constructed with `mode`) while
+  /// keeping buffer capacity, so shard loops can reuse one instance across
+  /// many users without reallocating the matrix per user.
+  void reset(RendezvousMode mode);
+
   /// Equivalent of group_delay over every node pushed so far.
   GroupDelayResult result() const;
 
@@ -80,6 +85,11 @@ class IncrementalGroupDelay {
   std::vector<DaySchedule> participants_;  // non-empty pushed nodes
   std::vector<std::size_t> index_;         // their slots in push order
   std::vector<Seconds> dist_;              // shortest delays, row-major
+  // push() scratch, kept as members so steady-state pushes are
+  // allocation-free once the buffers have warmed up.
+  std::vector<Seconds> edge_to_, edge_from_;
+  std::vector<Seconds> dist_to_, dist_from_;
+  std::vector<Seconds> next_;
 };
 
 }  // namespace dosn::interval

@@ -99,6 +99,55 @@ IntervalSet IntervalSet::unite(const IntervalSet& other) const {
   return out;
 }
 
+void IntervalSet::unite_with(const IntervalSet& other,
+                             std::vector<Interval>* scratch) {
+  DOSN_REQUIRE(scratch != nullptr, "unite_with: scratch must be non-null");
+  if (other.intervals_.empty()) return;
+  if (intervals_.empty()) {
+    intervals_ = other.intervals_;
+    return;
+  }
+  // Two-pointer merge of two canonical lists; output is built canonical
+  // directly (sorted inputs, touching pieces merged), so the result is the
+  // unique canonical form — identical to unite().
+  scratch->clear();
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  auto emit = [&scratch](const Interval& iv) {
+    if (!scratch->empty() && iv.start <= scratch->back().end)
+      scratch->back().end = std::max(scratch->back().end, iv.end);
+    else
+      scratch->push_back(iv);
+  };
+  while (a != intervals_.end() || b != other.intervals_.end()) {
+    if (b == other.intervals_.end() ||
+        (a != intervals_.end() && a->start <= b->start))
+      emit(*a++);
+    else
+      emit(*b++);
+  }
+  intervals_.swap(*scratch);
+  DOSN_DCHECK(is_canonical(), "unite_with postcondition: ", to_string());
+}
+
+Seconds IntervalSet::subtract_measure(const IntervalSet& other) const {
+  // Same sweep as subtract(), summing piece lengths instead of storing them.
+  Seconds total = 0;
+  auto b = other.intervals_.begin();
+  for (const Interval& cur : intervals_) {
+    while (b != other.intervals_.end() && b->end <= cur.start) ++b;
+    auto bb = b;
+    Seconds pos = cur.start;
+    while (bb != other.intervals_.end() && bb->start < cur.end) {
+      if (bb->start > pos) total += bb->start - pos;
+      pos = std::max(pos, bb->end);
+      ++bb;
+    }
+    if (pos < cur.end) total += cur.end - pos;
+  }
+  return total;
+}
+
 IntervalSet IntervalSet::intersect(const IntervalSet& other) const {
   IntervalSet out;
   auto a = intervals_.begin();

@@ -74,6 +74,17 @@ class IntervalSet {
   IntervalSet intersect(const IntervalSet& other) const;
   IntervalSet subtract(const IntervalSet& other) const;
 
+  /// In-place union: *this becomes this ∪ other. Merges the two canonical
+  /// piece lists into *scratch (grown but never shrunk) and swaps it in, so
+  /// steady-state callers (shard loops, greedy candidate scans) do no
+  /// allocation once the scratch has warmed up. Exactly equivalent to
+  /// `*this = unite(other)` — the canonical representation is unique.
+  void unite_with(const IntervalSet& other, std::vector<Interval>* scratch);
+
+  /// Measure of this \ other, without materializing the difference.
+  /// Exactly `subtract(other).measure()`; allocation-free.
+  Seconds subtract_measure(const IntervalSet& other) const;
+
   /// Complement within the window [lo, hi).
   IntervalSet complement(Seconds lo, Seconds hi) const;
 

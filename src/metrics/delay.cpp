@@ -48,6 +48,14 @@ void DelayPrefixEvaluator::push(const DaySchedule& replica) {
   group_.push(replica);
 }
 
+void DelayPrefixEvaluator::reset(const DaySchedule& owner,
+                                 Connectivity connectivity) {
+  nodes_.clear();
+  group_.reset(mode_of(connectivity));
+  nodes_.push_back(owner);
+  group_.push(owner);
+}
+
 DelayResult DelayPrefixEvaluator::result() const {
   const auto group = group_.result();
 

@@ -85,6 +85,10 @@ class DelayPrefixEvaluator {
   /// Appends the next replica of the selection order.
   void push(const DaySchedule& replica);
 
+  /// Restarts the evaluator for a new owner (as freshly constructed) while
+  /// keeping buffer capacity — lets one instance serve a whole user shard.
+  void reset(const DaySchedule& owner, Connectivity connectivity);
+
   /// Delay metrics for the owner plus every replica pushed so far.
   DelayResult result() const;
 

@@ -53,12 +53,14 @@ PlacementMetrics& placement_metrics() {
 struct ScheduleOracle {
   const PlacementContext& context;
   IntervalSet covered;
+  std::vector<interval::Interval> scratch;  ///< unite_with spare buffer
 
   std::int64_t gain(std::size_t i) const {
+    // subtract_measure sweeps without materializing the difference set —
+    // the by-far hottest call of a MaxAv candidate scan.
     return context.schedule_of(context.candidates[i])
         .set()
-        .subtract(covered)
-        .measure();
+        .subtract_measure(covered);
   }
   std::int64_t overlap(std::size_t i) const {
     return context.schedule_of(context.candidates[i])
@@ -66,8 +68,8 @@ struct ScheduleOracle {
         .intersection_measure(covered);
   }
   void commit(std::size_t i) {
-    covered =
-        covered.unite(context.schedule_of(context.candidates[i]).set());
+    covered.unite_with(context.schedule_of(context.candidates[i]).set(),
+                       &scratch);
   }
 };
 
@@ -111,6 +113,7 @@ std::vector<UserId> greedy_eager(const PlacementContext& context,
 
   std::vector<UserId> chosen;
   std::vector<bool> used(context.candidates.size(), false);
+  std::vector<interval::Interval> union_scratch;
   std::uint64_t gain_evals = 0;
 
   while (chosen.size() < context.max_replicas) {
@@ -145,8 +148,8 @@ std::vector<UserId> greedy_eager(const PlacementContext& context,
     used[idx] = true;
     chosen.push_back(context.candidates[idx]);
     oracle.commit(idx);
-    connectivity_union =
-        connectivity_union.unite(context.schedule_of(context.candidates[idx]));
+    connectivity_union.unite_with(context.schedule_of(context.candidates[idx]),
+                                  &union_scratch);
   }
   placement_metrics().gain_evals.add(gain_evals);
   return chosen;
@@ -197,6 +200,7 @@ std::vector<UserId> greedy_lazy(const PlacementContext& context,
 
   std::vector<UserId> chosen;
   std::vector<LazyEntry> parked;  // disconnected this round
+  std::vector<interval::Interval> union_scratch;
   while (chosen.size() < context.max_replicas && !heap.empty()) {
     std::ptrdiff_t picked = -1;
     while (!heap.empty()) {
@@ -226,8 +230,8 @@ std::vector<UserId> greedy_lazy(const PlacementContext& context,
     const std::size_t idx = static_cast<std::size_t>(picked);
     chosen.push_back(context.candidates[idx]);
     oracle.commit(idx);
-    connectivity_union =
-        connectivity_union.unite(context.schedule_of(context.candidates[idx]));
+    connectivity_union.unite_with(context.schedule_of(context.candidates[idx]),
+                                  &union_scratch);
     for (const LazyEntry& e : parked) heap.push(e);
     parked.clear();
   }

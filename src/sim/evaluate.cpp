@@ -96,21 +96,38 @@ std::vector<UserMetrics> evaluate_user_prefixes(
     const trace::Dataset& dataset, std::span<const DaySchedule> schedules,
     graph::UserId u, std::span<const graph::UserId> selected,
     placement::Connectivity connectivity, std::size_t k_max) {
+  EvalScratch scratch;
+  std::vector<UserMetrics> out;
+  evaluate_user_prefixes(dataset, schedules, u, selected, connectivity, k_max,
+                         scratch, out);
+  return out;
+}
+
+void evaluate_user_prefixes(const trace::Dataset& dataset,
+                            std::span<const DaySchedule> schedules,
+                            graph::UserId u,
+                            std::span<const graph::UserId> selected,
+                            placement::Connectivity connectivity,
+                            std::size_t k_max, EvalScratch& scratch,
+                            std::vector<UserMetrics>& out) {
   DOSN_REQUIRE(schedules.size() == dataset.num_users(),
                "evaluate_user: schedule count mismatch");
   const DaySchedule& owner = schedules[u];
   const std::size_t take_max = std::min(k_max, selected.size());
 
-  std::vector<DaySchedule> contacts;
+  // Prefix-independent pieces, computed once. The unions are built with
+  // unite_with into warmed scratch buffers; the canonical interval
+  // representation is unique, so the measures (and every double derived
+  // from them) match the allocating unite() path bit for bit.
+  scratch.demand = interval::IntervalSet{};
   for (graph::UserId f : dataset.graph.contacts(u))
-    contacts.push_back(schedules[f]);
-
-  // Prefix-independent pieces, computed once.
+    scratch.demand.unite_with(schedules[f].set(), &scratch.unite_scratch);
+  const interval::Seconds demand_s = scratch.demand.measure();
+  scratch.max_profile = scratch.demand;
+  scratch.max_profile.unite_with(owner.set(), &scratch.unite_scratch);
   const double max_availability =
-      metrics::max_achievable_availability(owner, contacts);
-  DaySchedule demand;
-  for (const auto& f : contacts) demand = demand.unite(f);
-  const interval::Seconds demand_s = demand.online_seconds();
+      static_cast<double>(scratch.max_profile.measure()) /
+      static_cast<double>(interval::kDaySeconds);
 
   // Each received activity is served at prefix k iff the profile union of
   // that prefix covers its time-of-day instant. The profile only grows, so
@@ -118,8 +135,8 @@ std::vector<UserMetrics> evaluate_user_prefixes(
   // instant, i + 1 when replica i is the first holder that does, never
   // otherwise. Bucket counts by that threshold; running sums then give the
   // served counts of every prefix.
-  std::vector<std::size_t> expected_at(take_max + 1, 0);
-  std::vector<std::size_t> unexpected_at(take_max + 1, 0);
+  scratch.expected_at.assign(take_max + 1, 0);
+  scratch.unexpected_at.assign(take_max + 1, 0);
   std::size_t expected_total = 0, unexpected_total = 0;
   std::uint64_t activities = 0;
   for (const auto& a : dataset.trace.received_by(u)) {
@@ -140,34 +157,38 @@ std::vector<UserMetrics> evaluate_user_prefixes(
         }
       }
     }
-    if (first <= take_max) (is_expected ? expected_at : unexpected_at)[first] += 1;
+    if (first <= take_max)
+      (is_expected ? scratch.expected_at : scratch.unexpected_at)[first] += 1;
   }
 
-  metrics::DelayPrefixEvaluator delay(owner, connectivity);
-  DaySchedule profile = owner;
+  scratch.delay.reset(owner, connectivity);
+  scratch.profile = owner.set();
   std::size_t expected_served = 0, unexpected_served = 0;
 
-  std::vector<UserMetrics> out;
+  out.clear();
   out.reserve(k_max + 1);
   for (std::size_t k = 0; k <= k_max; ++k) {
     if (k >= 1 && k <= take_max) {
       const DaySchedule& added = schedules[selected[k - 1]];
-      profile = profile.unite(added);
-      delay.push(added);
-      expected_served += expected_at[k];
-      unexpected_served += unexpected_at[k];
+      scratch.profile.unite_with(added.set(), &scratch.unite_scratch);
+      scratch.delay.push(added);
+      expected_served += scratch.expected_at[k];
+      unexpected_served += scratch.unexpected_at[k];
     } else if (k == 0) {
-      expected_served += expected_at[0];
-      unexpected_served += unexpected_at[0];
+      expected_served += scratch.expected_at[0];
+      unexpected_served += scratch.unexpected_at[0];
     }
 
     UserMetrics m;
-    m.availability = profile.coverage();
+    m.availability = static_cast<double>(scratch.profile.measure()) /
+                     static_cast<double>(interval::kDaySeconds);
     m.max_availability = max_availability;
-    m.aod_time = demand_s == 0
-                     ? 1.0
-                     : static_cast<double>(demand.overlap_seconds(profile)) /
-                           static_cast<double>(demand_s);
+    m.aod_time =
+        demand_s == 0
+            ? 1.0
+            : static_cast<double>(
+                  scratch.demand.intersection_measure(scratch.profile)) /
+                  static_cast<double>(demand_s);
 
     const std::size_t total = expected_total + unexpected_total;
     m.aod_activity =
@@ -183,7 +204,7 @@ std::vector<UserMetrics> evaluate_user_prefixes(
                                    static_cast<double>(unexpected_total)
                              : 1.0;
 
-    const auto d = delay.result();
+    const auto d = scratch.delay.result();
     m.delay_actual_h = d.actual_hours();
     m.delay_observed_h = d.observed_hours();
     m.replicas_used = static_cast<double>(std::min(k, selected.size()));
@@ -199,7 +220,6 @@ std::vector<UserMetrics> evaluate_user_prefixes(
   em.prefix_sweeps.add(1);
   em.prefix_points.add(k_max + 1);
   em.activities_classified.add(activities);
-  return out;
 }
 
 }  // namespace dosn::sim

@@ -49,4 +49,31 @@ std::vector<UserMetrics> evaluate_user_prefixes(
     graph::UserId u, std::span<const graph::UserId> selected,
     placement::Connectivity connectivity, std::size_t k_max);
 
+/// Reusable buffers for the allocation-free evaluate_user_prefixes
+/// overload: one instance per worker, reused across every user of a shard,
+/// so steady-state evaluation does not allocate once the buffers have
+/// warmed up. Default-constructed cold; contents are overwritten per call.
+struct EvalScratch {
+  interval::IntervalSet profile;      ///< growing replica-prefix union
+  interval::IntervalSet demand;       ///< union of the contacts' schedules
+  interval::IntervalSet max_profile;  ///< demand ∪ owner (F2F bound)
+  std::vector<interval::Interval> unite_scratch;
+  std::vector<std::size_t> expected_at;
+  std::vector<std::size_t> unexpected_at;
+  /// Reset per user; the placeholder construction is never queried.
+  metrics::DelayPrefixEvaluator delay{DaySchedule{},
+                                      placement::Connectivity::kConRep};
+};
+
+/// Allocation-free evaluate_user_prefixes: identical rows (bit for bit),
+/// written into `out` (cleared first) using only `scratch`'s buffers. The
+/// allocating overload above is a thin wrapper over this one.
+void evaluate_user_prefixes(const trace::Dataset& dataset,
+                            std::span<const DaySchedule> schedules,
+                            graph::UserId u,
+                            std::span<const graph::UserId> selected,
+                            placement::Connectivity connectivity,
+                            std::size_t k_max, EvalScratch& scratch,
+                            std::vector<UserMetrics>& out);
+
 }  // namespace dosn::sim

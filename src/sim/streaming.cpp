@@ -1,0 +1,230 @@
+#include "sim/streaming.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "graph/degree_stats.hpp"
+#include "obs/obs.hpp"
+#include "sim/cohort_accum.hpp"
+
+namespace dosn::sim {
+namespace {
+
+/// Streaming-engine volume counters. The counter names shared with the
+/// seed engine (users/cells) resolve to the same registry entries, so
+/// reports aggregate both paths; shards_evaluated is streaming-only.
+struct StreamingMetrics {
+  obs::Counter& users_evaluated =
+      obs::Registry::global().counter("sim.users_evaluated");
+  obs::Counter& sweep_cells =
+      obs::Registry::global().counter("sim.sweep_cells");
+  obs::Counter& shards_evaluated =
+      obs::Registry::global().counter("sim.shards_evaluated");
+};
+
+StreamingMetrics& streaming_metrics() {
+  static StreamingMetrics m;
+  return m;
+}
+
+}  // namespace
+
+StreamingStudy::StreamingStudy(const trace::Dataset& dataset,
+                               std::uint64_t seed)
+    : dataset_(dataset), seed_(seed) {}
+
+std::vector<graph::UserId> StreamingStudy::cohort(std::size_t degree,
+                                                  std::size_t limit) const {
+  auto users = graph::users_with_degree(dataset_.graph, degree);
+  if (limit > 0 && users.size() > limit) users.resize(limit);
+  return users;
+}
+
+std::vector<CohortMetrics> StreamingStudy::evaluate_policy_sharded(
+    std::span<const DaySchedule> schedules,
+    std::span<const graph::UserId> cohort_users,
+    const placement::ReplicaPolicy& policy,
+    placement::Connectivity connectivity, std::size_t k_max,
+    std::uint64_t stream_seed, std::size_t shard_size,
+    util::ThreadPool& pool) const {
+  obs::ScopedTimer span("streaming.evaluate_policy");
+  const std::size_t n = cohort_users.size();
+  const std::size_t shard = std::max<std::size_t>(1, shard_size);
+  const std::size_t num_shards = (n + shard - 1) / shard;
+  const std::size_t stride = k_max + 1;
+  streaming_metrics().sweep_cells.add(1);
+  streaming_metrics().users_evaluated.add(n);
+  streaming_metrics().shards_evaluated.add(num_shards);
+
+  // Phase 1 (parallel): one task per shard. Each task owns a per-shard
+  // arena — the EvalScratch and the shard's flat row buffer — reused
+  // across the shard's users, and each user draws from the same
+  // mix64(stream_seed, user_id) stream the seed engine uses.
+  std::vector<std::vector<UserMetrics>> shard_rows(num_shards);
+  util::parallel_for_each(&pool, num_shards, [&](std::size_t s) {
+    const std::size_t begin = s * shard;
+    const std::size_t end = std::min(n, begin + shard);
+    EvalScratch scratch;
+    std::vector<UserMetrics> user_rows;
+    auto& rows = shard_rows[s];
+    rows.reserve((end - begin) * stride);
+    for (std::size_t i = begin; i < end; ++i) {
+      const graph::UserId u = cohort_users[i];
+      placement::PlacementContext context;
+      context.user = u;
+      context.candidates = dataset_.graph.contacts(u);
+      context.schedules = schedules;
+      context.trace = &dataset_.trace;
+      context.connectivity = connectivity;
+      context.max_replicas = k_max;
+      util::Rng rng(util::mix64(stream_seed, u));
+      const auto selected = policy.select(context, rng);
+      evaluate_user_prefixes(dataset_, schedules, u, selected, connectivity,
+                             k_max, scratch, user_rows);
+      DOSN_ASSERT(user_rows.size() == stride);
+      rows.insert(rows.end(), user_rows.begin(), user_rows.end());
+    }
+  });
+
+  // Phase 2 (serial): shard-ordered reduction. Walking shards in index
+  // order and users in order within each shard visits users in exactly
+  // cohort index order — the seed engine's accumulation order — so the
+  // result is bit-identical for every shard size and thread count.
+  std::vector<detail::CohortAccum> accum(stride);
+  for (const auto& rows : shard_rows) {
+    DOSN_ASSERT(rows.size() % stride == 0);
+    for (std::size_t off = 0; off < rows.size(); off += stride)
+      for (std::size_t k = 0; k <= k_max; ++k) accum[k].add(rows[off + k]);
+  }
+  std::vector<CohortMetrics> out;
+  out.reserve(stride);
+  for (const auto& a : accum) out.push_back(a.mean());
+  return out;
+}
+
+SweepResult StreamingStudy::sweep_over_schedules(
+    std::span<const std::vector<DaySchedule>> schedules,
+    bool model_randomized, std::string_view model_name,
+    placement::Connectivity connectivity, const Options& options) const {
+  obs::ScopedTimer span("streaming.replication_sweep");
+  const auto cohort_users =
+      cohort(options.cohort_degree, options.cohort_limit);
+  DOSN_REQUIRE(!cohort_users.empty(),
+               "replication_sweep: no user has the cohort degree");
+  DOSN_REQUIRE(!schedules.empty(),
+               "replication_sweep: no schedule realization");
+
+  SweepResult result;
+  result.dataset_name = dataset_.name;
+  result.model_name = std::string(model_name);
+  result.connectivity_name = placement::to_string(connectivity);
+  result.x_label = "replication degree";
+  for (std::size_t k = 0; k <= options.k_max; ++k)
+    result.xs.push_back(static_cast<double>(k));
+
+  util::ThreadPool pool(options.threads);
+  for (std::size_t p = 0; p < options.policies.size(); ++p) {
+    const placement::PolicyKind kind = options.policies[p];
+    const auto policy = placement::make_policy(kind, options.policy_params);
+    const std::size_t reps =
+        (model_randomized || policy->randomized()) ? options.repetitions : 1;
+    std::vector<std::vector<CohortMetrics>> runs;
+    for (std::size_t r = 0; r < reps; ++r) {
+      const auto& sched = schedules[model_randomized ? r : 0];
+      runs.push_back(evaluate_policy_sharded(
+          sched, cohort_users, *policy, connectivity, options.k_max,
+          sweep_stream(seed_, detail::kReplicationTag, 0, p, r),
+          options.shard_size, pool));
+    }
+    PolicyCurve curve;
+    curve.policy_name = policy->name();
+    curve.policy = kind;
+    for (std::size_t k = 0; k <= options.k_max; ++k) {
+      std::vector<CohortMetrics> at_k;
+      at_k.reserve(runs.size());
+      for (const auto& run : runs) at_k.push_back(run[k]);
+      curve.points.push_back(detail::average_runs(at_k));
+    }
+    result.policies.push_back(std::move(curve));
+  }
+  return result;
+}
+
+SweepResult StreamingStudy::replication_sweep(
+    onlinetime::ModelKind model, const onlinetime::ModelParams& params,
+    placement::Connectivity connectivity, const Options& options) const {
+  return replication_sweep(*onlinetime::make_model(model, params),
+                           connectivity, options);
+}
+
+SweepResult StreamingStudy::replication_sweep(
+    const onlinetime::OnlineTimeModel& model,
+    placement::Connectivity connectivity, const Options& options) const {
+  const std::size_t model_reps =
+      model.randomized() ? options.repetitions : 1;
+  std::vector<std::vector<DaySchedule>> schedules;
+  schedules.reserve(model_reps);
+  for (std::size_t r = 0; r < model_reps; ++r) {
+    util::Rng rng(detail::schedule_stream(seed_, r));
+    schedules.push_back(model.schedules(dataset_, rng));
+  }
+  return sweep_over_schedules(schedules, model.randomized(), model.name(),
+                              connectivity, options);
+}
+
+SweepResult StreamingStudy::replication_sweep(
+    std::span<const DaySchedule> schedules, std::string_view model_name,
+    placement::Connectivity connectivity, const Options& options) const {
+  DOSN_REQUIRE(schedules.size() == dataset_.num_users(),
+               "replication_sweep: schedule count mismatch");
+  std::vector<std::vector<DaySchedule>> realizations;
+  realizations.emplace_back(schedules.begin(), schedules.end());
+  return sweep_over_schedules(realizations, /*model_randomized=*/false,
+                              model_name, connectivity, options);
+}
+
+std::uint64_t sweep_checksum(const SweepResult& result) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_double = [&mix](double d) {
+    std::uint64_t bits = 0;
+    std::memcpy(&bits, &d, sizeof(bits));
+    mix(bits);
+  };
+  const auto mix_str = [&h](const std::string& s) {
+    for (const char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ULL;
+    }
+  };
+  mix_str(result.dataset_name);
+  mix_str(result.model_name);
+  mix_str(result.connectivity_name);
+  mix(result.xs.size());
+  for (const double x : result.xs) mix_double(x);
+  mix(result.policies.size());
+  for (const auto& curve : result.policies) {
+    mix_str(curve.policy_name);
+    mix(curve.points.size());
+    for (const auto& m : curve.points) {
+      mix_double(m.availability);
+      mix_double(m.max_availability);
+      mix_double(m.aod_time);
+      mix_double(m.aod_activity);
+      mix_double(m.aod_activity_expected);
+      mix_double(m.aod_activity_unexpected);
+      mix_double(m.delay_actual_h);
+      mix_double(m.delay_observed_h);
+      mix_double(m.replicas_used);
+      mix(m.cohort_size);
+    }
+  }
+  return h;
+}
+
+}  // namespace dosn::sim

@@ -50,6 +50,10 @@ struct CohortMetrics {
   double delay_observed_h = 0.0;
   double replicas_used = 0.0;
   std::size_t cohort_size = 0;
+
+  /// Exact (bit-level) comparison — the differential tests assert the
+  /// streaming engine reproduces the seed engine bit for bit.
+  friend bool operator==(const CohortMetrics&, const CohortMetrics&) = default;
 };
 
 /// Which scalar a figure plots.

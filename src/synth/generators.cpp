@@ -115,22 +115,80 @@ SocialGraph generate_power_law_graph(const GraphGenConfig& config,
   return std::move(builder).build();
 }
 
-trace::ActivityTrace generate_activities(const SocialGraph& graph,
-                                         const ActivityGenConfig& config,
-                                         util::Rng& rng) {
+namespace {
+
+/// One creator's activities, appended to `out`. Consumes the RNG in the
+/// fixed per-user order the bit-identity of chunked generation relies on:
+/// home hour, preference shuffle, degree-bias keys, then per-activity
+/// (self-post chance, partner zipf, day, time-of-day) draws.
+void generate_user_activities(const SocialGraph& graph,
+                              const ActivityGenConfig& config, UserId u,
+                              std::size_t count, util::Rng& rng,
+                              std::vector<Activity>& out) {
+  // Persistent per-user diurnal habit.
+  const double home_h =
+      static_cast<double>(global_diurnal_sample(rng)) / 3600.0;
+
+  // Per-user preference order over partners with Zipf weights: the first
+  // few neighbours receive most interactions, skewed towards sociable
+  // (high-degree) partners.
+  const auto partners = graph.out_neighbors(u);
+  std::vector<UserId> pref(partners.begin(), partners.end());
+  rng.shuffle(pref);
+  if (config.partner_degree_bias > 0.0 && pref.size() > 1) {
+    std::vector<std::pair<double, UserId>> keyed;
+    keyed.reserve(pref.size());
+    for (UserId v : pref) {
+      const double key =
+          config.partner_degree_bias *
+              std::log(static_cast<double>(graph.degree(v) + 1)) +
+          rng.normal();
+      keyed.emplace_back(-key, v);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    for (std::size_t i = 0; i < keyed.size(); ++i) pref[i] = keyed[i].second;
+  }
+  std::optional<util::ZipfTable> zipf;
+  if (!pref.empty()) zipf.emplace(pref.size(), config.partner_zipf);
+
+  for (std::size_t k = 0; k < count; ++k) {
+    Activity a;
+    a.creator = u;
+    if (pref.empty() || rng.chance(config.self_post_prob)) {
+      a.receiver = u;
+    } else {
+      a.receiver = pref[zipf->draw(rng) - 1];
+    }
+    const auto day = static_cast<Seconds>(
+        rng.below(static_cast<std::uint64_t>(config.num_days)));
+    const Seconds tod =
+        rng.chance(config.home_concentration)
+            ? diurnal_sample(home_h, config.home_stddev_h, rng)
+            : global_diurnal_sample(rng);
+    a.timestamp = config.start_timestamp + day * kDaySeconds + tod;
+    out.push_back(a);
+  }
+}
+
+}  // namespace
+
+void generate_activities_chunked(const SocialGraph& graph,
+                                 const ActivityGenConfig& config,
+                                 util::Rng& rng, std::size_t chunk_users,
+                                 const ActivityChunkSink& sink) {
   DOSN_REQUIRE(config.num_days > 0, "activity gen: num_days must be > 0");
   DOSN_REQUIRE(config.mean_activities > 0,
                "activity gen: mean_activities must be > 0");
   DOSN_REQUIRE(config.volume_alpha > 1.0,
                "activity gen: volume_alpha must exceed 1");
+  DOSN_REQUIRE(chunk_users >= 1, "activity gen: chunk_users must be >= 1");
+  DOSN_REQUIRE(sink != nullptr, "activity gen: sink must be callable");
 
   const std::size_t n = graph.num_users();
-  std::vector<Activity> activities;
-  activities.reserve(static_cast<std::size_t>(
-      config.mean_activities * static_cast<double>(n)));
 
   // Normalize volumes so the realized mean tracks mean_activities: compute
-  // raw volume factors first, then scale.
+  // raw volume factors first, then scale. This full pass is O(users)
+  // memory — the only whole-population state the generator keeps.
   std::vector<double> raw(n);
   double raw_sum = 0.0;
   // Pareto noise with unit mean: x_min = (alpha - 1) / alpha.
@@ -145,54 +203,34 @@ trace::ActivityTrace generate_activities(const SocialGraph& graph,
   const double scale =
       config.mean_activities * static_cast<double>(n) / raw_sum;
 
-  for (UserId u = 0; u < n; ++u) {
-    auto count = static_cast<std::size_t>(std::llround(raw[u] * scale));
-    count = std::min(count, config.max_per_user);
-
-    // Persistent per-user diurnal habit.
-    const double home_h =
-        static_cast<double>(global_diurnal_sample(rng)) / 3600.0;
-
-    // Per-user preference order over partners with Zipf weights: the first
-    // few neighbours receive most interactions, skewed towards sociable
-    // (high-degree) partners.
-    const auto partners = graph.out_neighbors(u);
-    std::vector<UserId> pref(partners.begin(), partners.end());
-    rng.shuffle(pref);
-    if (config.partner_degree_bias > 0.0 && pref.size() > 1) {
-      std::vector<std::pair<double, UserId>> keyed;
-      keyed.reserve(pref.size());
-      for (UserId v : pref) {
-        const double key =
-            config.partner_degree_bias *
-                std::log(static_cast<double>(graph.degree(v) + 1)) +
-            rng.normal();
-        keyed.emplace_back(-key, v);
-      }
-      std::sort(keyed.begin(), keyed.end());
-      for (std::size_t i = 0; i < keyed.size(); ++i) pref[i] = keyed[i].second;
+  std::vector<Activity> chunk;
+  for (std::size_t first = 0; first < n; first += chunk_users) {
+    const std::size_t end = std::min(n, first + chunk_users);
+    chunk.clear();
+    for (std::size_t u = first; u < end; ++u) {
+      auto count = static_cast<std::size_t>(std::llround(raw[u] * scale));
+      count = std::min(count, config.max_per_user);
+      generate_user_activities(graph, config, static_cast<UserId>(u), count,
+                               rng, chunk);
     }
-    std::optional<util::ZipfTable> zipf;
-    if (!pref.empty()) zipf.emplace(pref.size(), config.partner_zipf);
-
-    for (std::size_t k = 0; k < count; ++k) {
-      Activity a;
-      a.creator = u;
-      if (pref.empty() || rng.chance(config.self_post_prob)) {
-        a.receiver = u;
-      } else {
-        a.receiver = pref[zipf->draw(rng) - 1];
-      }
-      const auto day = static_cast<Seconds>(
-          rng.below(static_cast<std::uint64_t>(config.num_days)));
-      const Seconds tod =
-          rng.chance(config.home_concentration)
-              ? diurnal_sample(home_h, config.home_stddev_h, rng)
-              : global_diurnal_sample(rng);
-      a.timestamp = config.start_timestamp + day * kDaySeconds + tod;
-      activities.push_back(a);
-    }
+    sink(static_cast<UserId>(first), static_cast<UserId>(end), chunk);
   }
+}
+
+trace::ActivityTrace generate_activities(const SocialGraph& graph,
+                                         const ActivityGenConfig& config,
+                                         util::Rng& rng) {
+  const std::size_t n = graph.num_users();
+  std::vector<Activity> activities;
+  activities.reserve(static_cast<std::size_t>(
+      config.mean_activities * static_cast<double>(n)));
+  // One chunk spanning every creator: the chunked generator consumes the
+  // RNG in exactly this order, so this is the same trace it streams.
+  generate_activities_chunked(
+      graph, config, rng, std::max<std::size_t>(n, 1),
+      [&activities](UserId, UserId, std::span<const Activity> chunk) {
+        activities.insert(activities.end(), chunk.begin(), chunk.end());
+      });
   return trace::ActivityTrace(n, std::move(activities));
 }
 

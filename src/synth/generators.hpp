@@ -16,6 +16,9 @@
 //      mode) and the Sporadic model both behave as they would on real data.
 #pragma once
 
+#include <functional>
+#include <span>
+
 #include "graph/social_graph.hpp"
 #include "trace/activity.hpp"
 #include "util/rng.hpp"
@@ -80,5 +83,26 @@ struct ActivityGenConfig {
 trace::ActivityTrace generate_activities(const graph::SocialGraph& graph,
                                          const ActivityGenConfig& config,
                                          util::Rng& rng);
+
+/// Receives one creator chunk of the activity stream: every activity
+/// created by users in [first_user, end_user), grouped by creator in
+/// ascending order. The span aliases an internal buffer that is reused
+/// after the sink returns — copy out what must be kept.
+using ActivityChunkSink =
+    std::function<void(graph::UserId first_user, graph::UserId end_user,
+                       std::span<const trace::Activity>)>;
+
+/// Streaming form of generate_activities: emits the trace creator-chunk by
+/// creator-chunk (`chunk_users` creators at a time) without ever holding
+/// the full activity set. Consumes `rng` in exactly the order
+/// generate_activities does, so the concatenation of all chunks equals the
+/// materialized trace bit for bit — generate_activities is implemented on
+/// top of this function, and tests/test_synth.cpp asserts the equivalence.
+/// Peak memory is O(users) for the volume-normalization pass plus one
+/// chunk of activities.
+void generate_activities_chunked(const graph::SocialGraph& graph,
+                                 const ActivityGenConfig& config,
+                                 util::Rng& rng, std::size_t chunk_users,
+                                 const ActivityChunkSink& sink);
 
 }  // namespace dosn::synth

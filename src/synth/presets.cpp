@@ -51,6 +51,29 @@ DatasetPreset scaled(DatasetPreset preset, double factor) {
   return preset;
 }
 
+DatasetPreset scale_preset(const ScaleOptions& options) {
+  DOSN_REQUIRE(options.users >= 16, "scale_preset: users must be >= 16");
+  DatasetPreset p;
+  p.name = "scale-" + std::to_string(options.users);
+  p.kind = graph::GraphKind::kUndirected;
+  p.graph.users = options.users;
+  p.graph.avg_degree = options.avg_degree;
+  p.graph.weight_alpha = options.weight_alpha;
+  p.graph.min_weight = 1.0;
+  p.activity.mean_activities = options.mean_activities;
+  p.activity.volume_alpha = options.volume_alpha;
+  p.activity.degree_coupling = 0.6;
+  p.activity.num_days = options.num_days;
+  p.activity.self_post_prob = options.self_post_prob;
+  // Tighter per-user cap than the paper presets: bounds any single
+  // creator's contribution to a generation chunk.
+  p.activity.max_per_user = 500;
+  p.min_created_activities = 0;
+  return p;
+}
+
+DatasetPreset million_user() { return scale_preset(ScaleOptions{}); }
+
 trace::Dataset generate_raw(const DatasetPreset& preset, util::Rng& rng) {
   trace::Dataset d;
   d.name = preset.name;

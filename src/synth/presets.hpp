@@ -34,6 +34,32 @@ DatasetPreset twitter_preset();
 /// `factor` — used by tests and the quickstart to run in milliseconds.
 DatasetPreset scaled(DatasetPreset preset, double factor);
 
+/// Knobs of the production-scale synthetic populations (the ROADMAP north
+/// star): user count, power-law degree tail and activity mix.
+struct ScaleOptions {
+  std::size_t users = 1'000'000;
+  double avg_degree = 14.0;
+  /// Pareto shape of the popularity weights feeding the degree
+  /// distribution; smaller = heavier tail.
+  double weight_alpha = 1.6;
+  /// Expected activities per user.
+  double mean_activities = 8.0;
+  /// Pareto shape of the per-user activity-volume noise.
+  double volume_alpha = 1.5;
+  /// Activity mix: probability of an own-wall post vs a partner post.
+  double self_post_prob = 0.3;
+  int num_days = 14;
+};
+
+/// Production-scale preset. Unlike the paper presets, scale presets run
+/// unfiltered (min_created_activities = 0): the ≥10-activity filter would
+/// need a second full pass over the trace, and the generator already
+/// couples activity volume to degree, which is what the filter modeled.
+DatasetPreset scale_preset(const ScaleOptions& options);
+
+/// scale_preset at one million users — the headline scale target.
+DatasetPreset million_user();
+
 /// Generates the raw dataset for a preset (no filtering).
 trace::Dataset generate_raw(const DatasetPreset& preset, util::Rng& rng);
 

@@ -1,0 +1,98 @@
+#include "synth/scale.hpp"
+
+#include <algorithm>
+
+#include "graph/degree_stats.hpp"
+#include "onlinetime/sporadic.hpp"
+
+namespace dosn::synth {
+
+using graph::UserId;
+using interval::DaySchedule;
+using interval::Seconds;
+using trace::Activity;
+
+ScaleStudyInput build_scale_study_input(const ScaleInputConfig& config,
+                                        std::uint64_t seed) {
+  DOSN_REQUIRE(config.chunk_users >= 1,
+               "build_scale_study_input: chunk_users must be >= 1");
+  const onlinetime::SporadicModel model(config.session_length);
+
+  ScaleStudyInput out;
+  out.model_name = model.name();
+
+  // Graph and activities draw from one sequential stream, exactly as
+  // generate_raw() does (graph first, then activities).
+  util::Rng gen_rng(seed);
+  graph::SocialGraph g =
+      generate_power_law_graph(config.preset.graph, config.preset.kind,
+                               gen_rng);
+
+  out.cohort_degree = config.cohort_degree != 0
+                          ? config.cohort_degree
+                          : graph::most_populated_degree(g, 5, 15);
+  out.cohort = graph::users_with_degree(g, out.cohort_degree);
+  std::vector<bool> in_cohort(g.num_users(), false);
+  for (const UserId u : out.cohort) in_cohort[u] = true;
+
+  // Session offsets draw from the seed engine's rep-0 schedule stream
+  // (sim::detail::schedule_stream(seed, 0) = mix64(seed, 0x5ced0000)), so
+  // the schedules equal what Study/StreamingStudy would generate from the
+  // materialized dataset.
+  util::Rng sched_rng(util::mix64(seed, 0x5ced0000));
+  const Seconds session = config.session_length;
+
+  std::vector<DaySchedule> schedules(g.num_users());
+  std::vector<Activity> retained;
+  std::vector<Activity> mine;                 // one creator, sorted
+  std::vector<interval::Interval> sessions;   // one creator's sessions
+
+  generate_activities_chunked(
+      g, config.preset.activity, gen_rng, config.chunk_users,
+      [&](UserId first, UserId end, std::span<const Activity> chunk) {
+        out.total_activities += chunk.size();
+        // The chunk is grouped by creator in ascending order; walk the
+        // runs (creators without activities have empty runs).
+        std::size_t i = 0;
+        for (UserId u = first; u < end; ++u) {
+          const std::size_t begin = i;
+          while (i < chunk.size() && chunk[i].creator == u) ++i;
+          if (i == begin) continue;  // no activities: empty schedule
+
+          // SporadicModel draws one session offset per created activity
+          // in created_index order, which within one creator is
+          // (timestamp, then by_receiver rank) = (timestamp, receiver).
+          // Sorting the run by that key reproduces the draw order, so
+          // the schedule union is bit-identical to the model's.
+          mine.assign(chunk.begin() + static_cast<std::ptrdiff_t>(begin),
+                      chunk.begin() + static_cast<std::ptrdiff_t>(i));
+          std::sort(mine.begin(), mine.end(),
+                    [](const Activity& a, const Activity& b) {
+                      if (a.timestamp != b.timestamp)
+                        return a.timestamp < b.timestamp;
+                      return a.receiver < b.receiver;
+                    });
+          sessions.clear();
+          for (const Activity& a : mine) {
+            const auto offset = static_cast<Seconds>(
+                sched_rng.below(static_cast<std::uint64_t>(session)));
+            sessions.push_back(
+                {a.timestamp - offset, a.timestamp - offset + session});
+          }
+          schedules[u] = DaySchedule::project(sessions);
+
+          for (std::size_t j = begin; j < i; ++j)
+            if (in_cohort[chunk[j].receiver]) retained.push_back(chunk[j]);
+        }
+        DOSN_ASSERT(i == chunk.size());
+      });
+
+  out.dataset.name = config.preset.name;
+  out.dataset.graph = std::move(g);
+  out.dataset.trace = trace::ActivityTrace(out.dataset.graph.num_users(),
+                                           std::move(retained));
+  out.schedules = std::move(schedules);
+  return out;
+}
+
+}  // namespace dosn::synth

@@ -206,8 +206,16 @@ INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
 class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {
  protected:
   void SetUp() override {
+    // Unique per test case (not just per seed): ctest -j runs each case
+    // as its own process, and two cases sharing a seed would race one
+    // another's TearDown. The gtest name is "<Test>/<index>"; keep the
+    // path flat by replacing the slash.
+    std::string name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    for (char& c : name)
+      if (c == '/') c = '_';
     dir_ = std::filesystem::path(testing::TempDir()) /
-           ("dosn_parser_fuzz_" + std::to_string(GetParam()));
+           ("dosn_parser_fuzz_" + name + "_" + std::to_string(GetParam()));
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,93 @@
+// Golden-figure regression tests: byte-exact CSV comparison.
+//
+// Two committed CSVs under tests/golden/ pin the fig03-style ConRep
+// availability curves and the fig07-style update-delay curves on a small
+// fixed synthetic preset (scale_preset at 2000 users, seed 20120618). The
+// test regenerates the sweep, renders it through the same
+// util::write_series_csv path the figure harnesses use, and diffs the
+// bytes. Any drift — an engine change, an RNG stream change, a CSV
+// formatting change — fails loudly; nothing about these curves is allowed
+// to move silently.
+//
+// To refresh after an intentional change:
+//   DOSN_UPDATE_GOLDEN=1 ./tests-build/test_golden_figures
+// rewrites the files under the source tree; re-run without the variable to
+// confirm, and commit the diff with the change that caused it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "graph/degree_stats.hpp"
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "util/csv.hpp"
+
+namespace dosn {
+namespace {
+
+constexpr std::uint64_t kSeed = 20120618;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return {};
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+const sim::SweepResult& golden_sweep() {
+  static const sim::SweepResult sweep = [] {
+    synth::ScaleOptions opts;
+    opts.users = 2000;
+    util::Rng rng(kSeed);
+    const auto dataset =
+        synth::generate_raw(synth::scale_preset(opts), rng);
+    sim::Study study(dataset, kSeed);
+    sim::StudyOptions options;
+    options.cohort_degree =
+        graph::most_populated_degree(dataset.graph, 5, 15);
+    options.k_max = 5;
+    options.repetitions = 2;
+    return study.replication_sweep(onlinetime::ModelKind::kSporadic, {},
+                                   placement::Connectivity::kConRep,
+                                   options);
+  }();
+  return sweep;
+}
+
+void check_golden(const std::string& name, sim::Metric metric) {
+  const auto& sweep = golden_sweep();
+  const std::string golden_path =
+      std::string(DOSN_TEST_SOURCE_DIR) + "/golden/" + name + ".csv";
+
+  if (const char* update = std::getenv("DOSN_UPDATE_GOLDEN");
+      update && *update) {
+    util::write_series_csv(golden_path, sweep.x_label, sweep.series(metric));
+    GTEST_SKIP() << "rewrote " << golden_path;
+  }
+
+  const std::string regen_path = "results/golden_" + name + ".csv";
+  util::write_series_csv(regen_path, sweep.x_label, sweep.series(metric));
+
+  const std::string expected = read_file(golden_path);
+  const std::string actual = read_file(regen_path);
+  ASSERT_FALSE(expected.empty()) << "missing golden file " << golden_path;
+  ASSERT_FALSE(actual.empty()) << "regeneration wrote nothing";
+  EXPECT_EQ(expected, actual)
+      << "golden figure drifted from " << golden_path
+      << "\nIf the change is intentional, refresh with "
+         "DOSN_UPDATE_GOLDEN=1 and commit the new CSV.";
+}
+
+TEST(GoldenFigures, Fig03ConRepAvailability) {
+  check_golden("fig03_conrep_availability", sim::Metric::kAvailability);
+}
+
+TEST(GoldenFigures, Fig07UpdateDelay) {
+  check_golden("fig07_update_delay", sim::Metric::kDelayActualH);
+}
+
+}  // namespace
+}  // namespace dosn

@@ -15,7 +15,11 @@ using graph::GraphKind;
 class ParsersTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = std::filesystem::path(testing::TempDir()) / "dosn_parsers";
+    // Unique per test case: ctest -j runs each case as its own process,
+    // so a shared directory races against a sibling's TearDown.
+    dir_ = std::filesystem::path(testing::TempDir()) /
+           (std::string("dosn_parsers_") +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
     std::filesystem::create_directories(dir_);
   }
   void TearDown() override { std::filesystem::remove_all(dir_); }

@@ -1,0 +1,203 @@
+// Differential tests of the streaming scale path against the seed engine.
+//
+// The StreamingStudy contract is bit-identity: for every shard size and
+// thread count, its sweeps must equal Study's on the same dataset, seed and
+// options — not approximately, but double for double. Likewise the chunked
+// million-user input builder (synth::build_scale_study_input) must
+// reproduce the materialized generate_raw + SporadicModel pipeline exactly
+// (schedules equal, trace equal restricted to cohort receivers, sweeps
+// equal). These tests pin both contracts at small N where the materialized
+// path is cheap.
+#include <gtest/gtest.h>
+
+#include "graph/degree_stats.hpp"
+#include "onlinetime/sporadic.hpp"
+#include "sim/streaming.hpp"
+#include "sim/study.hpp"
+#include "synth/presets.hpp"
+#include "synth/scale.hpp"
+
+namespace dosn {
+namespace {
+
+using placement::Connectivity;
+using sim::StreamingStudy;
+using sim::Study;
+using sim::SweepResult;
+
+constexpr std::uint64_t kSeed = 20120618;
+
+void expect_sweeps_identical(const SweepResult& a, const SweepResult& b) {
+  EXPECT_EQ(a.dataset_name, b.dataset_name);
+  EXPECT_EQ(a.model_name, b.model_name);
+  EXPECT_EQ(a.connectivity_name, b.connectivity_name);
+  EXPECT_EQ(a.xs, b.xs);
+  ASSERT_EQ(a.policies.size(), b.policies.size());
+  for (std::size_t p = 0; p < a.policies.size(); ++p) {
+    EXPECT_EQ(a.policies[p].policy_name, b.policies[p].policy_name);
+    ASSERT_EQ(a.policies[p].points.size(), b.policies[p].points.size());
+    for (std::size_t k = 0; k < a.policies[p].points.size(); ++k) {
+      const auto& x = a.policies[p].points[k];
+      const auto& y = b.policies[p].points[k];
+      // Field-wise EXPECT_EQ (not the aggregate operator==) so a mismatch
+      // reports which metric and which bit pattern diverged.
+      EXPECT_EQ(x.availability, y.availability) << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.max_availability, y.max_availability)
+          << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.aod_time, y.aod_time) << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.aod_activity, y.aod_activity) << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.aod_activity_expected, y.aod_activity_expected)
+          << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.aod_activity_unexpected, y.aod_activity_unexpected)
+          << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.delay_actual_h, y.delay_actual_h)
+          << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.delay_observed_h, y.delay_observed_h)
+          << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.replicas_used, y.replicas_used) << "p=" << p << " k=" << k;
+      EXPECT_EQ(x.cohort_size, y.cohort_size) << "p=" << p << " k=" << k;
+    }
+  }
+  // Checksum consistency rides along: identical sweeps must digest
+  // identically (the scale bench relies on the checksum as the comparator).
+  EXPECT_EQ(sim::sweep_checksum(a), sim::sweep_checksum(b));
+}
+
+trace::Dataset make_dataset(std::size_t users) {
+  synth::ScaleOptions opts;
+  opts.users = users;
+  util::Rng rng(kSeed);
+  return synth::generate_raw(synth::scale_preset(opts), rng);
+}
+
+sim::StudyOptions base_options() {
+  sim::StudyOptions o;
+  o.cohort_degree = 0;  // set per dataset below
+  o.k_max = 5;
+  o.repetitions = 2;
+  return o;
+}
+
+class StreamingEquivalence : public ::testing::TestWithParam<std::size_t> {};
+
+// The tentpole contract: StreamingStudy == Study for every shard size and
+// thread count, across all policies, at N = 1k and 10k.
+TEST_P(StreamingEquivalence, MatchesStudyAcrossShardSizesAndThreadCounts) {
+  const auto dataset = make_dataset(GetParam());
+  const std::size_t degree =
+      graph::most_populated_degree(dataset.graph, 5, 15);
+
+  Study study(dataset, kSeed);
+  StreamingStudy streaming(dataset, kSeed);
+
+  auto options = base_options();
+  options.cohort_degree = degree;
+  options.k_max = std::min<std::size_t>(options.k_max, degree);
+  const auto baseline = study.replication_sweep(
+      onlinetime::ModelKind::kSporadic, {}, Connectivity::kConRep, options);
+
+  for (const std::size_t shard_size : {1, 7, 64}) {
+    for (const std::size_t threads : {1, 4}) {
+      StreamingStudy::Options streaming_options;
+      static_cast<sim::StudyOptions&>(streaming_options) = options;
+      streaming_options.shard_size = shard_size;
+      streaming_options.threads = threads;
+      const auto sweep = streaming.replication_sweep(
+          onlinetime::ModelKind::kSporadic, {}, Connectivity::kConRep,
+          streaming_options);
+      SCOPED_TRACE("shard_size=" + std::to_string(shard_size) +
+                   " threads=" + std::to_string(threads));
+      expect_sweeps_identical(baseline, sweep);
+    }
+  }
+
+  // UnconRep spot check at one non-trivial configuration.
+  const auto uncon_baseline = study.replication_sweep(
+      onlinetime::ModelKind::kSporadic, {}, Connectivity::kUnconRep, options);
+  StreamingStudy::Options streaming_options;
+  static_cast<sim::StudyOptions&>(streaming_options) = options;
+  streaming_options.shard_size = 7;
+  streaming_options.threads = 4;
+  expect_sweeps_identical(
+      uncon_baseline,
+      streaming.replication_sweep(onlinetime::ModelKind::kSporadic, {},
+                                  Connectivity::kUnconRep,
+                                  streaming_options));
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, StreamingEquivalence,
+                         ::testing::Values(1000, 10000));
+
+// The chunked scale-input builder reproduces the materialized pipeline:
+// same schedules, the same trace restricted to cohort receivers, and a
+// bit-identical sweep through the precomputed-schedules overload.
+TEST(ScaleInput, MatchesMaterializedPipeline) {
+  constexpr std::size_t kUsers = 1000;
+
+  synth::ScaleInputConfig config;
+  synth::ScaleOptions opts;
+  opts.users = kUsers;
+  config.preset = synth::scale_preset(opts);
+  config.chunk_users = 97;  // force many chunks
+  const auto input = synth::build_scale_study_input(config, kSeed);
+
+  // Materialized reference: same generation stream, full trace.
+  util::Rng gen_rng(kSeed);
+  const auto full = synth::generate_raw(config.preset, gen_rng);
+  ASSERT_EQ(full.num_users(), kUsers);
+  ASSERT_EQ(input.dataset.num_users(), kUsers);
+
+  // Schedules: SporadicModel over the full dataset under the seed engine's
+  // rep-0 schedule stream.
+  util::Rng sched_rng(util::mix64(kSeed, 0x5ced0000));
+  const onlinetime::SporadicModel model(config.session_length);
+  const auto expected_schedules = model.schedules(full, sched_rng);
+  ASSERT_EQ(input.schedules.size(), expected_schedules.size());
+  for (std::size_t u = 0; u < expected_schedules.size(); ++u)
+    EXPECT_EQ(input.schedules[u], expected_schedules[u]) << "user " << u;
+
+  // Cohort: same degree, same members.
+  EXPECT_EQ(input.cohort_degree,
+            graph::most_populated_degree(full.graph, 5, 15));
+  EXPECT_EQ(input.cohort,
+            graph::users_with_degree(full.graph, input.cohort_degree));
+
+  // Trace: everything a cohort member receives is retained, byte for byte.
+  EXPECT_EQ(input.total_activities,
+            static_cast<std::uint64_t>(full.trace.size()));
+  EXPECT_LT(input.dataset.trace.size(), full.trace.size());
+  for (const graph::UserId u : input.cohort) {
+    const auto got = input.dataset.trace.received_by(u);
+    const auto want = full.trace.received_by(u);
+    ASSERT_EQ(got.size(), want.size()) << "user " << u;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].creator, want[i].creator);
+      EXPECT_EQ(got[i].receiver, want[i].receiver);
+      EXPECT_EQ(got[i].timestamp, want[i].timestamp);
+    }
+  }
+
+  // End to end: the precomputed-schedules sweep over the restricted input
+  // equals the seed Study sweep over the materialized dataset.
+  auto options = base_options();
+  options.cohort_degree = input.cohort_degree;
+  options.k_max = std::min<std::size_t>(options.k_max, input.cohort_degree);
+  Study study(full, kSeed);
+  const auto baseline = study.replication_sweep(
+      onlinetime::ModelKind::kSporadic,
+      {.session_length = config.session_length}, Connectivity::kConRep,
+      options);
+
+  StreamingStudy streaming(input.dataset, kSeed);
+  StreamingStudy::Options streaming_options;
+  static_cast<sim::StudyOptions&>(streaming_options) = options;
+  streaming_options.shard_size = 64;
+  streaming_options.threads = 4;
+  expect_sweeps_identical(
+      baseline,
+      streaming.replication_sweep(input.schedules, input.model_name,
+                                  Connectivity::kConRep, streaming_options));
+}
+
+}  // namespace
+}  // namespace dosn

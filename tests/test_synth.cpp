@@ -203,6 +203,58 @@ TEST(Presets, FacebookDegree10CohortPopulated) {
   EXPECT_GT(cohort.size(), 20u);
 }
 
+// The chunked activity generator must emit, for ANY chunk size, exactly
+// the trace the one-shot generator materializes: same activities, same
+// order, same RNG consumption. This is the foundation of the million-user
+// path (it streams chunks instead of holding the trace).
+TEST(ChunkedGeneration, BitIdenticalToMaterializedForAnyChunkSize) {
+  ScaleOptions opts;
+  opts.users = 400;
+  const auto preset = scale_preset(opts);
+
+  util::Rng graph_rng(31);
+  const auto graph =
+      generate_power_law_graph(preset.graph, preset.kind, graph_rng);
+
+  util::Rng ref_rng(77);
+  const auto reference =
+      generate_activities(graph, preset.activity, ref_rng);
+  const std::uint64_t sentinel = ref_rng();  // post-generation RNG state
+
+  for (const std::size_t chunk_users : {1, 13, 400, 1000}) {
+    util::Rng rng(77);
+    std::vector<trace::Activity> streamed;
+    graph::UserId expected_first = 0;
+    generate_activities_chunked(
+        graph, preset.activity, rng, chunk_users,
+        [&](graph::UserId first, graph::UserId end,
+            std::span<const trace::Activity> chunk) {
+          EXPECT_EQ(first, expected_first);
+          EXPECT_LE(end - first, chunk_users);
+          for (const auto& a : chunk) {
+            EXPECT_GE(a.creator, first);
+            EXPECT_LT(a.creator, end);
+          }
+          expected_first = end;
+          streamed.insert(streamed.end(), chunk.begin(), chunk.end());
+        });
+    EXPECT_EQ(expected_first, graph.num_users());
+    // The RNG must land in the same state (identical draw sequence).
+    EXPECT_EQ(rng(), sentinel);
+
+    const trace::ActivityTrace trace(graph.num_users(), std::move(streamed));
+    ASSERT_EQ(trace.size(), reference.size()) << "chunk " << chunk_users;
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      EXPECT_EQ(trace.activity(static_cast<std::uint32_t>(i)).creator,
+                reference.activity(static_cast<std::uint32_t>(i)).creator);
+      EXPECT_EQ(trace.activity(static_cast<std::uint32_t>(i)).receiver,
+                reference.activity(static_cast<std::uint32_t>(i)).receiver);
+      EXPECT_EQ(trace.activity(static_cast<std::uint32_t>(i)).timestamp,
+                reference.activity(static_cast<std::uint32_t>(i)).timestamp);
+    }
+  }
+}
+
 TEST(Presets, TwitterCalibrationRegime) {
   auto preset = scaled(twitter_preset(), 0.25);
   util::Rng rng(13);

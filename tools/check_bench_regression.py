@@ -31,10 +31,23 @@ performance
     timings are informational) are correctness-only: their booleans are
     enforced, their milliseconds are not.
 
+memory (warn-only)
+    Fields ending in ``peak_rss_mb`` track the memory envelope (the scale
+    bench's acceptance criterion). Peak RSS depends on allocator, page
+    size and machine, so growth beyond 50% of the baseline prints a
+    warning for a human to judge; it never fails the gate.
+
+``--allow-missing`` downgrades "present in baseline but missing from the
+current report" from failure to warning. It exists for baselines committed
+from a full run whose CI job reruns only a subset — e.g. BENCH_scale.json
+holds N = 100k/500k/1M while the smoke job reruns only N = 100k. Never
+use it for same-workload comparisons, where a dropped scenario is a bug.
+
 Usage
 -----
   tools/check_bench_regression.py --baseline BENCH_study_engine.json \
-      --current ci-bench/BENCH_study_engine.json [--threshold 0.25]
+      --current ci-bench/BENCH_study_engine.json [--threshold 0.25] \
+      [--allow-missing]
   tools/check_bench_regression.py --self-test
 
 ``--self-test`` verifies the gate itself: an identical report must pass,
@@ -59,6 +72,10 @@ TIMED_FIELDS = [
 
 DEFAULT_THRESHOLD = 0.25
 
+# Peak-RSS growth beyond this fraction of the baseline prints a warning
+# (never a failure — memory is machine-dependent but worth eyeballing).
+RSS_WARN_FRACTION = 0.50
+
 
 def load_report(path: pathlib.Path) -> dict:
     with path.open(encoding="utf-8") as fh:
@@ -82,7 +99,25 @@ def scenario_ratios(scenario: dict) -> dict[str, float]:
             for f in TIMED_FIELDS if f in scenario}
 
 
-def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
+def warn_on_rss_growth(name: str, base: dict, cur: dict) -> None:
+    """Warn-only memory-envelope comparison over *_peak_rss_mb fields."""
+    for field, base_value in base.items():
+        if not field.endswith("peak_rss_mb"):
+            continue
+        cur_value = cur.get(field)
+        if cur_value is None or float(base_value) <= 0:
+            continue
+        growth = float(cur_value) / float(base_value) - 1.0
+        if growth > RSS_WARN_FRACTION:
+            print(
+                f"  WARNING: {name}.{field}: peak RSS grew "
+                f"{growth * 100.0:+.0f}% ({base_value} -> {cur_value} MiB) — "
+                "memory envelope drift, check before refreshing the baseline"
+            )
+
+
+def compare(baseline: dict, current: dict, threshold: float,
+            allow_missing: bool = False) -> list[str]:
     """Returns a list of failure messages (empty = gate passes)."""
     failures = []
     baseline_names = {s["name"] for s in baseline["scenarios"]}
@@ -106,9 +141,16 @@ def compare(baseline: dict, current: dict, threshold: float) -> list[str]:
         name = base["name"]
         cur = current_by_name.get(name)
         if cur is None:
-            failures.append(f"{name}: present in baseline but missing from "
-                            "the current report")
+            if allow_missing:
+                print(
+                    f"  WARNING: {name}: present in baseline but missing "
+                    "from the current report (tolerated by --allow-missing)"
+                )
+            else:
+                failures.append(f"{name}: present in baseline but missing "
+                                "from the current report")
             continue
+        warn_on_rss_growth(name, base, cur)
         base_ratios = scenario_ratios(base)
         cur_ratios = scenario_ratios(cur)
         for field in base_ratios:
@@ -227,10 +269,42 @@ def self_test() -> int:
         failures += 1
         print("self-test FAIL: broken correctness-only scenario should fail")
 
+    # --allow-missing: a baseline-only scenario (subset rerun) passes with a
+    # warning instead of failing — but only under the flag.
+    scale_baseline = {
+        "benchmark": "scale_study",
+        "scenarios": [
+            {"name": "scale_100000", "outputs_identical": True,
+             "peak_rss_mb": 100.0},
+            {"name": "scale_1000000", "outputs_identical": True,
+             "peak_rss_mb": 900.0},
+        ],
+    }
+    subset = copy.deepcopy(scale_baseline)
+    subset["scenarios"] = subset["scenarios"][:1]
+    print("self-test: subset rerun passes under --allow-missing")
+    if compare(scale_baseline, subset, DEFAULT_THRESHOLD,
+               allow_missing=True):
+        failures += 1
+        print("self-test FAIL: --allow-missing should tolerate the subset")
+    print("self-test: subset rerun still fails without --allow-missing")
+    if not compare(scale_baseline, subset, DEFAULT_THRESHOLD):
+        failures += 1
+        print("self-test FAIL: missing scenario must fail by default")
+
+    # Peak RSS is warn-only: a doubled memory envelope must not fail the
+    # gate (it prints a warning for a human).
+    bloated = copy.deepcopy(scale_baseline)
+    bloated["scenarios"][0]["peak_rss_mb"] = 250.0
+    print("self-test: peak-RSS growth warns but passes")
+    if compare(scale_baseline, bloated, DEFAULT_THRESHOLD):
+        failures += 1
+        print("self-test FAIL: peak-RSS growth must be warn-only")
+
     if failures:
         print(f"self-test: {failures} case(s) failed")
         return 1
-    print("self-test OK (10 cases)")
+    print("self-test OK (13 cases)")
     return 0
 
 
@@ -243,6 +317,10 @@ def main(argv: list[str]) -> int:
     parser.add_argument("--threshold", type=float, default=DEFAULT_THRESHOLD,
                         help="allowed relative ratio regression "
                              "(default %(default)s)")
+    parser.add_argument("--allow-missing", action="store_true",
+                        help="tolerate scenarios present only in the "
+                             "baseline (CI reruns a subset of a full-run "
+                             "baseline, e.g. BENCH_scale.json)")
     parser.add_argument("--self-test", action="store_true",
                         help="verify the gate against synthetic reports")
     args = parser.parse_args(argv)
@@ -257,7 +335,8 @@ def main(argv: list[str]) -> int:
     current = load_report(args.current)
     print(f"baseline: {args.baseline}")
     print(f"current:  {args.current}")
-    failures = compare(baseline, current, args.threshold)
+    failures = compare(baseline, current, args.threshold,
+                       allow_missing=args.allow_missing)
     for msg in failures:
         print(f"FAIL: {msg}")
     if failures:
