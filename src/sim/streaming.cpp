@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <optional>
 
 #include "graph/degree_stats.hpp"
 #include "obs/obs.hpp"
@@ -122,7 +123,13 @@ SweepResult StreamingStudy::sweep_over_schedules(
   for (std::size_t k = 0; k <= options.k_max; ++k)
     result.xs.push_back(static_cast<double>(k));
 
-  util::ThreadPool pool(options.threads);
+  // One worker set for the whole sweep: either the caller's shared pool
+  // (kept warm across generation and successive sweeps) or a sweep-local
+  // pool sized by options.threads.
+  std::optional<util::ThreadPool> local_pool;
+  util::ThreadPool& pool =
+      options.pool != nullptr ? *options.pool
+                              : local_pool.emplace(options.threads);
   for (std::size_t p = 0; p < options.policies.size(); ++p) {
     const placement::PolicyKind kind = options.policies[p];
     const auto policy = placement::make_policy(kind, options.policy_params);

@@ -36,6 +36,12 @@ struct StreamingOptions : StudyOptions {
   /// bench, where a million-user population yields tens of thousands of
   /// degree-d cohort users.
   std::size_t cohort_limit = 0;
+  /// Shared worker pool. When set, sweeps run on this pool (its
+  /// work-stealing runtime stays warm across generation and every sweep —
+  /// no teardown/re-fork between pipeline phases) and `threads` is
+  /// ignored; when null, the sweep constructs its own pool from
+  /// `threads`. Results are bit-identical either way.
+  util::ThreadPool* pool = nullptr;
 };
 
 class StreamingStudy {

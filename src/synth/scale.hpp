@@ -18,10 +18,20 @@
 // dataset under the seed engine's rep-0 schedule stream — so a
 // StreamingStudy sweep over this input is bit-identical to the seed
 // Study path on the materialized dataset.
+// Pipelined construction (DESIGN.md §12): the overload taking a
+// util::PipelineRuntime runs the activity generator on a dedicated
+// producer thread, hands chunks to the caller through a bounded
+// util::SpscQueue, and folds each chunk on the runtime's workers — the
+// per-creator argsort and DaySchedule projection parallelize, while the
+// two RNG streams and the retained-trace append stay serial in their
+// original draw/append order. The pipelined result is bit-identical to
+// the serial path (same test as above pins it), so generation stops being
+// a serial prefix of a scale study without weakening the contract.
 #pragma once
 
 #include "interval/day_schedule.hpp"
 #include "synth/presets.hpp"
+#include "util/pipeline_runtime.hpp"
 
 namespace dosn::synth {
 
@@ -35,6 +45,10 @@ struct ScaleInputConfig {
   std::size_t cohort_degree = 0;
   /// Sporadic online-time model session length.
   interval::Seconds session_length = 20 * 60;
+  /// Generator→folder SPSC queue capacity (chunks in flight) for the
+  /// pipelined overload; bounds pipeline memory at roughly
+  /// `pipeline_queue_capacity · chunk_users · mean_activities` activities.
+  std::size_t pipeline_queue_capacity = 2;
 };
 
 struct ScaleStudyInput {
@@ -56,5 +70,13 @@ struct ScaleStudyInput {
 /// Builds the streaming-study input for `config.preset` from one seed.
 ScaleStudyInput build_scale_study_input(const ScaleInputConfig& config,
                                         std::uint64_t seed);
+
+/// Same result, built as a pipeline on `runtime`: generation overlaps
+/// chunk folding, and the per-chunk sort/projection stages fan out over
+/// the runtime's workers. A null or single-threaded runtime falls back to
+/// the serial path; every configuration is bit-identical.
+ScaleStudyInput build_scale_study_input(const ScaleInputConfig& config,
+                                        std::uint64_t seed,
+                                        util::PipelineRuntime* runtime);
 
 }  // namespace dosn::synth

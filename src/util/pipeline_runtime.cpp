@@ -1,0 +1,203 @@
+#include "util/pipeline_runtime.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "obs/obs.hpp"
+
+namespace dosn::util {
+namespace {
+
+// Runtime metrics (DESIGN.md §12). jobs/blocks/indices are deterministic
+// for a fixed seed and configuration; steals depend on the scheduler (like
+// span durations) and are reported for tuning, never compared bit-wise.
+struct RuntimeMetrics {
+  obs::Counter& jobs = obs::Registry::global().counter("util.runtime.jobs");
+  obs::Counter& nested_jobs =
+      obs::Registry::global().counter("util.runtime.nested_jobs");
+  obs::Counter& blocks =
+      obs::Registry::global().counter("util.runtime.blocks");
+  obs::Counter& steals =
+      obs::Registry::global().counter("util.runtime.steals");
+};
+
+RuntimeMetrics& metrics() {
+  static RuntimeMetrics m;
+  return m;
+}
+
+/// The runtime a thread is currently executing a block for, if any.
+/// Nested parallel_for_index calls from job code inline serially instead
+/// of re-entering the rendezvous (which would deadlock worker 0 against
+/// its own helpers).
+thread_local PipelineRuntime* tl_active_runtime = nullptr;
+
+std::size_t env_steal_grain() {
+  static const std::size_t cached = [] {
+    if (const char* env = std::getenv("DOSN_STEAL_GRAIN")) {
+      char* end = nullptr;
+      const long v = std::strtol(env, &end, 10);
+      if (end != env && *end == '\0' && v >= 1)
+        return static_cast<std::size_t>(v);
+    }
+    return static_cast<std::size_t>(0);
+  }();
+  return cached;
+}
+
+}  // namespace
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DOSN_THREADS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1)
+      return static_cast<std::size_t>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+PipelineRuntime::PipelineRuntime(RuntimeOptions options)
+    : options_(options),
+      threads_(options.threads > 0 ? options.threads
+                                   : default_thread_count()),
+      deques_(threads_) {
+  helpers_.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w)
+    helpers_.emplace_back([this, w] { worker_loop(w); });
+}
+
+PipelineRuntime::~PipelineRuntime() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (auto& helper : helpers_) helper.join();
+}
+
+std::size_t PipelineRuntime::effective_grain(std::size_t n) const {
+  std::size_t grain = options_.steal_grain;
+  if (grain == 0) grain = env_steal_grain();
+  if (grain == 0) grain = std::max<std::size_t>(1, n / (threads_ * 8));
+  return grain;
+}
+
+void PipelineRuntime::run_block(IndexBlock block) noexcept {
+  try {
+    for (std::size_t i = block.begin; i < block.end; ++i) (*job_)(i);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!first_error_) first_error_ = std::current_exception();
+  }
+  blocks_left_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void PipelineRuntime::drain(std::size_t worker) noexcept {
+  PipelineRuntime* const prev = tl_active_runtime;
+  tl_active_runtime = this;
+  IndexBlock block;
+  for (;;) {
+    if (deques_[worker].take(block)) {
+      run_block(block);
+      continue;
+    }
+    bool progressed = false;
+    for (std::size_t offset = 1; offset < threads_; ++offset) {
+      if (deques_[(worker + offset) % threads_].steal(block)) {
+        job_steals_.fetch_add(1, std::memory_order_relaxed);
+        run_block(block);
+        progressed = true;
+        break;
+      }
+    }
+    if (progressed) continue;
+    // Nothing to take or steal: either the job is done, or its last
+    // blocks are in flight on other workers — spin politely until the
+    // remaining-block count settles.
+    if (blocks_left_.load(std::memory_order_acquire) == 0) break;
+    std::this_thread::yield();
+  }
+  tl_active_runtime = prev;
+}
+
+void PipelineRuntime::worker_loop(std::size_t worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    drain(worker);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+      if (running_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+PipelineRuntime::JobStats PipelineRuntime::parallel_for_index(
+    std::size_t n, const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return {};
+  if (threads_ == 1 || tl_active_runtime == this) {
+    // Single-threaded runtime, or a nested job issued from inside one of
+    // this runtime's blocks: inline serially (same index order, no
+    // rendezvous). Nested jobs count separately so schedulers misusing
+    // nesting show up in reports.
+    if (tl_active_runtime == this) metrics().nested_jobs.add(1);
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return {.blocks = 1, .steals = 0};
+  }
+
+  std::lock_guard<std::mutex> client(client_mutex_);
+  // Seed each worker's deque with its static slab [w·n/T, (w+1)·n/T)
+  // split into grain blocks: a steal-free run executes exactly the old
+  // static partition (same locality), and stealing only redistributes
+  // stragglers. All pushes happen while the workers are quiescent; the
+  // generation bump below publishes them.
+  const std::size_t grain = effective_grain(n);
+  std::size_t total_blocks = 0;
+  for (std::size_t w = 0; w < threads_; ++w) {
+    const std::size_t begin = w * n / threads_;
+    const std::size_t end = (w + 1) * n / threads_;
+    for (std::size_t b = begin; b < end; b += grain) {
+      deques_[w].push({b, std::min(end, b + grain)});
+      ++total_blocks;
+    }
+  }
+  blocks_left_.store(total_blocks, std::memory_order_relaxed);
+  job_steals_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &fn;
+    running_ = threads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain(0);  // the calling thread is worker 0
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  job_ = nullptr;
+
+  JobStats stats;
+  stats.blocks = total_blocks;
+  stats.steals = job_steals_.load(std::memory_order_relaxed);
+  metrics().jobs.add(1);
+  metrics().blocks.add(stats.blocks);
+  metrics().steals.add(stats.steals);
+
+  if (first_error_) {
+    auto error = first_error_;
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+  return stats;
+}
+
+}  // namespace dosn::util

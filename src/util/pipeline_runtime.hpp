@@ -1,0 +1,112 @@
+// Work-stealing pipeline runtime (DESIGN.md §12).
+//
+// PipelineRuntime replaces the static fork-join partition that made the
+// million-user sweep effectively serial under load imbalance: worker w no
+// longer owns exactly [w·n/T, (w+1)·n/T) — that range is only its *seed*
+// slab, split into steal-granularity blocks in a per-worker Chase-Lev
+// deque (util/steal_deque.hpp). Workers drain their own slab LIFO, then
+// steal straggling blocks FIFO from the heaviest-loaded peers, so a shard
+// of heavy-degree cohort users delays the loop by at most one block
+// instead of a whole static chunk.
+//
+// Determinism contract (unchanged from DESIGN.md §7): stealing reorders
+// only *execution*. Every index runs exactly once; callers write results
+// into per-index slots and reduce serially in index order, so neither the
+// steal schedule nor the thread count can reach an output bit. The
+// `util.runtime.steals` counter and queue-depth gauges are the one class
+// of scheduling-dependent metrics (like span durations) — they never feed
+// back into results.
+//
+// Serial stages (an RNG-consuming generator, an order-sensitive reduce)
+// connect to parallel stages through util::SpscQueue rather than through
+// the runtime: one producer thread, one consumer thread, FIFO chunks (see
+// synth::build_scale_study_input for the canonical pipeline).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/steal_deque.hpp"
+
+namespace dosn::util {
+
+/// Worker count used when a runtime/pool is built with `threads == 0`:
+/// the DOSN_THREADS environment variable if set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+std::size_t default_thread_count();
+
+struct RuntimeOptions {
+  /// Worker threads (the caller participates as worker 0);
+  /// 0 = default_thread_count().
+  std::size_t threads = 0;
+  /// Indices per steal block. 0 = the DOSN_STEAL_GRAIN environment
+  /// variable if set, else auto: max(1, n / (threads · 8)) per job —
+  /// small enough to rebalance stragglers, large enough to amortize
+  /// deque traffic.
+  std::size_t steal_grain = 0;
+  /// Default capacity (elements in flight) for SPSC stage queues built
+  /// for this runtime's pipelines; bounds pipeline memory.
+  std::size_t queue_capacity = 4;
+};
+
+class PipelineRuntime {
+ public:
+  explicit PipelineRuntime(RuntimeOptions options = {});
+  ~PipelineRuntime();
+
+  PipelineRuntime(const PipelineRuntime&) = delete;
+  PipelineRuntime& operator=(const PipelineRuntime&) = delete;
+
+  std::size_t thread_count() const { return threads_; }
+  std::size_t queue_capacity() const { return options_.queue_capacity; }
+
+  /// Per-job execution stats (also accumulated into obs counters).
+  struct JobStats {
+    std::size_t blocks = 0;  ///< non-empty steal blocks executed
+    std::size_t steals = 0;  ///< blocks run by a worker other than their
+                             ///< seed owner (0 on a balanced run)
+  };
+
+  /// Runs fn(i) for every i in [0, n) with work stealing; indices within
+  /// one block run in ascending order. Blocks until every index
+  /// completed; the first exception thrown by fn is rethrown on the
+  /// calling thread after the job drains. Serial (and steal-free) when
+  /// thread_count() == 1 or when called from inside one of this
+  /// runtime's own workers (nested jobs never deadlock — they inline).
+  JobStats parallel_for_index(std::size_t n,
+                              const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop(std::size_t worker);
+  void drain(std::size_t worker) noexcept;
+  void run_block(IndexBlock block) noexcept;
+  std::size_t effective_grain(std::size_t n) const;
+
+  RuntimeOptions options_;
+  std::size_t threads_;
+  std::vector<StealDeque> deques_;
+  std::vector<std::thread> helpers_;
+
+  // Serializes external callers: one job owns the workers at a time.
+  std::mutex client_mutex_;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::uint64_t generation_ = 0;
+  std::size_t running_ = 0;
+  std::exception_ptr first_error_;
+  bool stop_ = false;
+
+  alignas(64) std::atomic<std::size_t> blocks_left_{0};
+  alignas(64) std::atomic<std::size_t> job_steals_{0};
+};
+
+}  // namespace dosn::util

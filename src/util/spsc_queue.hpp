@@ -1,0 +1,124 @@
+// Bounded lock-free single-producer/single-consumer queue.
+//
+// The pipeline runtime (DESIGN.md §12) connects serial stages — the
+// activity generator producing chunks, the folding stage consuming them —
+// with exactly one producer thread and one consumer thread per queue, so
+// the classic Lamport ring buffer applies: `head_` is written only by the
+// consumer, `tail_` only by the producer, and each side re-reads the other
+// side's index with acquire ordering only when its cached copy says the
+// queue looks full resp. empty. Slots are plain (non-atomic) storage;
+// the release store on the index publishes the slot contents.
+//
+// close() is the end-of-stream signal: pop() drains every element pushed
+// before the close and only then starts returning false. Determinism note:
+// the queue carries *data*, never scheduling decisions — element order is
+// FIFO by construction, so a pipeline built on it processes chunks in
+// exactly the order the producer emitted them.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dosn::util {
+
+template <typename T>
+class SpscQueue {
+ public:
+  /// `capacity` elements can be in flight (>= 1); one extra slot
+  /// distinguishes full from empty.
+  explicit SpscQueue(std::size_t capacity)
+      : slots_(round_up_pow2(capacity + 1)), mask_(slots_.size() - 1) {
+    DOSN_REQUIRE(capacity >= 1, "SpscQueue: capacity must be >= 1");
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer side. Returns false when the queue is full.
+  bool try_push(T&& value) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    const std::size_t next = (tail + 1) & mask_;
+    if (next == head_cache_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (next == head_cache_) return false;
+    }
+    slots_[tail] = std::move(value);
+    tail_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer side: blocks (spin + yield) until there is room.
+  void push(T value) {
+    while (!try_push(std::move(value))) std::this_thread::yield();
+  }
+
+  /// Consumer side. Returns false when the queue is currently empty
+  /// (which is not end-of-stream — see pop()).
+  bool try_pop(T& out) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    out = std::move(slots_[head]);
+    head_.store((head + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side: blocks until an element arrives or the producer
+  /// closed the queue *and* every pushed element was drained. Returns
+  /// false only at end-of-stream.
+  bool pop(T& out) {
+    for (;;) {
+      if (try_pop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check: the producer may have pushed between the failed
+        // try_pop and the close flag becoming visible.
+        return try_pop(out);
+      }
+      std::this_thread::yield();
+    }
+  }
+
+  /// Producer side: declares end-of-stream. Elements already queued stay
+  /// poppable.
+  void close() { closed_.store(true, std::memory_order_release); }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  std::size_t capacity() const { return slots_.size() - 1; }
+
+  /// Instantaneous element count (either side; approximate under
+  /// concurrency, exact when the other side is quiescent).
+  std::size_t size() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (tail - head) & mask_;
+  }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t p = 1;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
+  std::vector<T> slots_;
+  std::size_t mask_;
+
+  alignas(64) std::atomic<std::size_t> head_{0};  // consumer-owned
+  alignas(64) std::atomic<std::size_t> tail_{0};  // producer-owned
+  alignas(64) std::atomic<bool> closed_{false};
+
+  // Each side's cached copy of the other side's index (avoids cache-line
+  // ping-pong on the common path). Only touched by the owning side.
+  alignas(64) std::size_t head_cache_ = 0;  // producer-owned
+  alignas(64) std::size_t tail_cache_ = 0;  // consumer-owned
+};
+
+}  // namespace dosn::util

@@ -1,0 +1,109 @@
+// Chase-Lev-style work-stealing deque of index blocks.
+//
+// One deque per runtime worker: the owner pushes its job's blocks before
+// the job is published and pops them LIFO from the bottom; idle workers
+// steal FIFO from the top. The memory-order discipline follows Lê,
+// Pop, Cohen & Zappa Nardelli, "Correct and Efficient Work-Stealing for
+// Weak Memory Models" (PPoPP'13), with one simplification the runtime's
+// job protocol makes safe: push() only runs while the runtime is
+// quiescent (between jobs, before the generation counter publishes the
+// work, with happens-before established by the pool mutex), so the
+// buffer never grows or gets written concurrently with take()/steal().
+//
+// Determinism: the deque reorders only *execution*. Every block is run
+// exactly once by exactly one worker; callers write results into
+// per-index slots and reduce in index order, so which worker ran a block
+// can never reach the output (DESIGN.md §7 rules, unchanged).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace dosn::util {
+
+/// A contiguous index range [begin, end) — the unit of stealing.
+struct IndexBlock {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+class StealDeque {
+ public:
+  StealDeque() : buffer_(64) {}
+
+  /// Owner only, and only while the runtime is quiescent (no concurrent
+  /// take/steal): appends a block at the bottom.
+  void push(IndexBlock block) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (static_cast<std::size_t>(b - t) >= buffer_.size()) grow();
+    buffer_[static_cast<std::size_t>(b) & (buffer_.size() - 1)] = block;
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only: pops the most recently pushed remaining block (LIFO —
+  /// the owner works through its slab in the order it was seeded).
+  bool take(IndexBlock& out) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t <= b) {
+      out = buffer_[static_cast<std::size_t>(b) & (buffer_.size() - 1)];
+      if (t == b) {
+        // Last element: race the thieves for it.
+        const bool won = top_.compare_exchange_strong(
+            t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        bottom_.store(b + 1, std::memory_order_relaxed);
+        return won;
+      }
+      return true;
+    }
+    bottom_.store(b + 1, std::memory_order_relaxed);
+    return false;
+  }
+
+  /// Any other worker: steals the oldest block (FIFO — thieves take from
+  /// the far end of the victim's slab, minimizing contention with the
+  /// owner's LIFO end).
+  bool steal(IndexBlock& out) {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return false;
+    // Safe to read before the CAS: the buffer is immutable while any
+    // take/steal runs (push happens only between jobs).
+    out = buffer_[static_cast<std::size_t>(t) & (buffer_.size() - 1)];
+    return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed);
+  }
+
+  /// Either side while quiescent: true when every block was claimed.
+  bool empty() const {
+    return top_.load(std::memory_order_acquire) >=
+           bottom_.load(std::memory_order_acquire);
+  }
+
+ private:
+  // Quiescent-only (called from push): double the power-of-two buffer,
+  // repacking live elements at the same logical positions.
+  void grow() {
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    std::vector<IndexBlock> bigger(buffer_.size() * 2);
+    for (std::int64_t i = t; i < b; ++i)
+      bigger[static_cast<std::size_t>(i) & (bigger.size() - 1)] =
+          buffer_[static_cast<std::size_t>(i) & (buffer_.size() - 1)];
+    buffer_ = std::move(bigger);
+  }
+
+  std::vector<IndexBlock> buffer_;
+  alignas(64) std::atomic<std::int64_t> top_{0};
+  alignas(64) std::atomic<std::int64_t> bottom_{0};
+};
+
+}  // namespace dosn::util

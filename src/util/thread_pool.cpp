@@ -1,16 +1,14 @@
 #include "util/thread_pool.hpp"
 
-#include <cstdlib>
-
 #include "obs/obs.hpp"
 
 namespace dosn::util {
 namespace {
 
-// Pool metrics (DESIGN.md §9). There is no work stealing to count — the
-// partition is static by design — so the interesting quantities are how
-// many fork-joins ran, how much index space they covered, and how many
-// worker chunks that fanned into (serial loops count as one chunk).
+// Pool metrics (DESIGN.md §9/§12). `chunks` counts steal blocks actually
+// executed — non-empty by construction, so a loop with n < threads no
+// longer inflates the count with empty chunks. Steal traffic itself is
+// reported by the runtime (`util.runtime.steals`).
 struct PoolMetrics {
   obs::Counter& jobs =
       obs::Registry::global().counter("util.thread_pool.jobs");
@@ -27,108 +25,39 @@ PoolMetrics& metrics() {
   return m;
 }
 
+/// The single bookkeeping path for loops that run serially on the calling
+/// thread (single-thread pool, null pool, nested call): one serial job,
+/// n indices, one chunk. Shared by for_each_index and parallel_for_each
+/// so the two entry points cannot drift.
+void record_serial_job(std::size_t n) {
+  metrics().serial_jobs.add(1);
+  metrics().indices.add(n);
+  metrics().chunks.add(1);
+}
+
 }  // namespace
-
-std::size_t default_thread_count() {
-  if (const char* env = std::getenv("DOSN_THREADS")) {
-    char* end = nullptr;
-    const long v = std::strtol(env, &end, 10);
-    if (end != env && *end == '\0' && v >= 1)
-      return static_cast<std::size_t>(v);
-  }
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw > 0 ? hw : 1;
-}
-
-ThreadPool::ThreadPool(std::size_t threads)
-    : threads_(threads > 0 ? threads : default_thread_count()) {
-  helpers_.reserve(threads_ - 1);
-  for (std::size_t w = 1; w < threads_; ++w)
-    helpers_.emplace_back([this, w] { worker_loop(w); });
-}
-
-ThreadPool::~ThreadPool() {
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    stop_ = true;
-  }
-  start_cv_.notify_all();
-  for (auto& helper : helpers_) helper.join();
-}
-
-void ThreadPool::run_chunk(std::size_t worker) noexcept {
-  // Static partition: worker w owns [w*n/T, (w+1)*n/T).
-  const std::size_t begin = worker * job_n_ / threads_;
-  const std::size_t end = (worker + 1) * job_n_ / threads_;
-  try {
-    for (std::size_t i = begin; i < end; ++i) (*job_)(i);
-  } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (!first_error_) first_error_ = std::current_exception();
-  }
-}
-
-void ThreadPool::worker_loop(std::size_t worker) {
-  std::uint64_t seen = 0;
-  for (;;) {
-    {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
-      if (stop_) return;
-      seen = generation_;
-    }
-    run_chunk(worker);
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      --running_;
-      if (running_ == 0) done_cv_.notify_all();
-    }
-  }
-}
 
 void ThreadPool::for_each_index(std::size_t n,
                                 const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
-  if (threads_ == 1) {
-    metrics().serial_jobs.add(1);
-    metrics().indices.add(n);
-    metrics().chunks.add(1);
+  if (thread_count() == 1) {
+    record_serial_job(n);
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  const auto stats = runtime_.parallel_for_index(n, fn);
   metrics().jobs.add(1);
   metrics().indices.add(n);
-  metrics().chunks.add(threads_);
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    job_ = &fn;
-    job_n_ = n;
-    running_ = threads_ - 1;
-    first_error_ = nullptr;
-    ++generation_;
-  }
-  start_cv_.notify_all();
-  run_chunk(0);  // the calling thread is worker 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
-  job_ = nullptr;
-  if (first_error_) {
-    auto error = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
+  metrics().chunks.add(stats.blocks);
 }
 
 void parallel_for_each(ThreadPool* pool, std::size_t n,
                        const std::function<void(std::size_t)>& fn) {
   if (pool == nullptr || pool->thread_count() == 1) {
     if (n > 0) {
-      metrics().serial_jobs.add(1);
-      metrics().indices.add(n);
-      metrics().chunks.add(1);
+      record_serial_job(n);
+      for (std::size_t i = 0; i < n; ++i) fn(i);
     }
-    for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
   pool->for_each_index(n, fn);

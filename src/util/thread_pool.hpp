@@ -1,11 +1,18 @@
-// Deterministic fork-join parallelism for the study engine.
+// Deterministic parallelism for the study engine.
 //
-// A ThreadPool owns a fixed set of worker threads and runs index-space
-// loops over contiguous, statically partitioned chunks — no work stealing,
-// no dynamic scheduling. The chunk layout depends only on (n, thread
-// count), and callers that need bit-identical results across thread counts
-// write into per-index slots and reduce serially in index order, so the
-// same seed produces the same output for every DOSN_THREADS value.
+// ThreadPool is the fork-join façade over util::PipelineRuntime (DESIGN.md
+// §12): `for_each_index(n, fn)` runs fn over [0, n) on the runtime's
+// work-stealing workers. Worker w's *seed* slab is still the contiguous
+// chunk [w·n/T, (w+1)·n/T) — a steal-free run executes exactly the old
+// static partition — but the slab is split into steal-granularity blocks,
+// and idle workers steal straggling blocks from loaded peers, so
+// heavy-degree shards no longer serialize the loop.
+//
+// The determinism contract is unchanged: callers that need bit-identical
+// results across thread counts write into per-index slots and reduce
+// serially in index order; stealing reorders only execution, which such
+// callers cannot observe. The same seed produces the same output for
+// every DOSN_THREADS / DOSN_STEAL_GRAIN value.
 //
 // `parallel_for_each` is the convenience entry point: with a null pool or
 // a single-thread pool it degenerates to a plain serial loop on the
@@ -13,56 +20,42 @@
 // execution order for determinism tests.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <exception>
 #include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+
+#include "util/pipeline_runtime.hpp"
 
 namespace dosn::util {
-
-/// Worker count used when a ThreadPool is built with `threads == 0`:
-/// the DOSN_THREADS environment variable if set to a positive integer,
-/// otherwise std::thread::hardware_concurrency() (at least 1).
-std::size_t default_thread_count();
 
 class ThreadPool {
  public:
   /// Spawns `threads - 1` helper threads (the calling thread participates
   /// in every loop as worker 0). `threads == 0` means default_thread_count().
-  explicit ThreadPool(std::size_t threads = 0);
-  ~ThreadPool();
+  explicit ThreadPool(std::size_t threads = 0)
+      : runtime_(RuntimeOptions{.threads = threads}) {}
+
+  /// Full runtime configuration (steal granularity, stage-queue capacity).
+  explicit ThreadPool(RuntimeOptions options) : runtime_(options) {}
 
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  std::size_t thread_count() const { return threads_; }
+  std::size_t thread_count() const { return runtime_.thread_count(); }
 
-  /// Runs fn(i) for every i in [0, n). [0, n) is split into thread_count()
-  /// contiguous chunks, worker w owning [w*n/T, (w+1)*n/T); indices within
-  /// a chunk run in ascending order. Blocks until every index completed.
-  /// The first exception thrown by fn is rethrown on the calling thread
-  /// (after all workers finished their chunks).
+  /// The underlying work-stealing runtime, for callers that share one
+  /// warm worker set across pipeline stages (e.g. chunked generation
+  /// followed by shard evaluation — no teardown/re-fork between phases).
+  PipelineRuntime& runtime() { return runtime_; }
+
+  /// Runs fn(i) for every i in [0, n); indices within one steal block run
+  /// in ascending order. Blocks until every index completed. The first
+  /// exception thrown by fn is rethrown on the calling thread (after all
+  /// in-flight blocks finished; the throwing block's remaining indices
+  /// are skipped). Nested calls from inside fn run serially inline.
   void for_each_index(std::size_t n, const std::function<void(std::size_t)>& fn);
 
  private:
-  void worker_loop(std::size_t worker);
-  void run_chunk(std::size_t worker) noexcept;
-
-  std::size_t threads_;
-  std::vector<std::thread> helpers_;
-
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::size_t job_n_ = 0;
-  std::uint64_t generation_ = 0;
-  std::size_t running_ = 0;
-  std::exception_ptr first_error_;
-  bool stop_ = false;
+  PipelineRuntime runtime_;
 };
 
 /// fn(i) for every i in [0, n): serial on the calling thread when `pool`

@@ -199,5 +199,86 @@ TEST(ScaleInput, MatchesMaterializedPipeline) {
                                   Connectivity::kConRep, streaming_options));
 }
 
+// The pipelined scale-input builder (producer thread + SPSC chunk queue +
+// parallel fold stages on the work-stealing runtime) reproduces the
+// serial builder bit for bit: same schedules, same restricted trace, same
+// cohort — for several queue capacities and chunk sizes, repeated so
+// different producer/consumer interleavings are actually exercised.
+TEST(ScalePipeline, PipelinedInputMatchesSerialBuilder) {
+  constexpr std::size_t kUsers = 1000;
+  synth::ScaleOptions opts;
+  opts.users = kUsers;
+
+  synth::ScaleInputConfig config;
+  config.preset = synth::scale_preset(opts);
+  config.chunk_users = 97;  // force many chunks
+  const auto serial = synth::build_scale_study_input(config, kSeed);
+
+  for (const std::size_t queue_capacity : {1, 2, 4}) {
+    for (const std::size_t chunk_users : {31, 97, 2048}) {
+      auto pipelined_config = config;
+      pipelined_config.chunk_users = chunk_users;
+      pipelined_config.pipeline_queue_capacity = queue_capacity;
+      util::PipelineRuntime runtime({.threads = 4});
+      const auto pipelined =
+          synth::build_scale_study_input(pipelined_config, kSeed, &runtime);
+      SCOPED_TRACE("queue_capacity=" + std::to_string(queue_capacity) +
+                   " chunk_users=" + std::to_string(chunk_users));
+
+      EXPECT_EQ(pipelined.total_activities, serial.total_activities);
+      EXPECT_EQ(pipelined.cohort_degree, serial.cohort_degree);
+      EXPECT_EQ(pipelined.cohort, serial.cohort);
+      ASSERT_EQ(pipelined.schedules.size(), serial.schedules.size());
+      for (std::size_t u = 0; u < serial.schedules.size(); ++u)
+        ASSERT_EQ(pipelined.schedules[u], serial.schedules[u])
+            << "user " << u;
+      const auto got = pipelined.dataset.trace.all();
+      const auto want = serial.dataset.trace.all();
+      ASSERT_EQ(got.size(), want.size());
+      for (std::size_t i = 0; i < got.size(); ++i)
+        ASSERT_EQ(got[i], want[i]) << "activity " << i;
+    }
+  }
+}
+
+// The ISSUE acceptance matrix, pinned as a test: sweep_checksum is
+// bit-identical across thread counts {1, 2, 4, 8} × shard sizes
+// {1, 64, 1024} under the work-stealing runtime, with steal granularity
+// forced to 1 so steal traffic is maximal. Runs under the TSan CI job
+// (suite name carries "ScalePipeline").
+TEST(ScalePipeline, SweepChecksumIdenticalAcrossThreadsAndShards) {
+  const auto dataset = make_dataset(1000);
+  const std::size_t degree =
+      graph::most_populated_degree(dataset.graph, 5, 15);
+  StreamingStudy streaming(dataset, kSeed);
+
+  auto options = base_options();
+  options.cohort_degree = degree;
+  options.k_max = std::min<std::size_t>(options.k_max, degree);
+
+  std::uint64_t reference = 0;
+  bool have_reference = false;
+  for (const std::size_t threads : {1, 2, 4, 8}) {
+    util::ThreadPool pool(
+        util::RuntimeOptions{.threads = threads, .steal_grain = 1});
+    for (const std::size_t shard_size : {1, 64, 1024}) {
+      StreamingStudy::Options streaming_options;
+      static_cast<sim::StudyOptions&>(streaming_options) = options;
+      streaming_options.shard_size = shard_size;
+      streaming_options.pool = &pool;
+      const auto sweep = streaming.replication_sweep(
+          onlinetime::ModelKind::kSporadic, {}, Connectivity::kConRep,
+          streaming_options);
+      const std::uint64_t checksum = sim::sweep_checksum(sweep);
+      if (!have_reference) {
+        reference = checksum;
+        have_reference = true;
+      }
+      EXPECT_EQ(checksum, reference)
+          << "threads=" << threads << " shard_size=" << shard_size;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace dosn

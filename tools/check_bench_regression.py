@@ -37,6 +37,21 @@ memory (warn-only)
     size and machine, so growth beyond 50% of the baseline prints a
     warning for a human to judge; it never fails the gate.
 
+speedup (warn-only)
+    Parallel-scaling health for scenarios that time the same work in two
+    configurations (``SPEEDUP_PAIRS``, e.g. ``sweep_parallel_ms`` vs
+    ``sweep_serial_ms`` in the scale bench). The within-report quotient
+
+        ratio = parallel_ms / serial_ms
+
+    cancels hardware speed the same way the seed-engine anchor does; a
+    ratio drifting up past the baseline by ``SPEEDUP_WARN_FRACTION`` means
+    the parallel path lost ground relative to the serial path (the "flat
+    parallel scaling" failure mode the work-stealing runtime fixed).
+    Warn-only because the quotient also depends on the runner's core
+    count: the committed baseline may come from a single-core container,
+    where "parallel" measures oversubscription overhead, not speedup.
+
 ``--allow-missing`` downgrades "present in baseline but missing from the
 current report" from failure to warning. It exists for baselines committed
 from a full run whose CI job reruns only a subset — e.g. BENCH_scale.json
@@ -76,6 +91,17 @@ DEFAULT_THRESHOLD = 0.25
 # (never a failure — memory is machine-dependent but worth eyeballing).
 RSS_WARN_FRACTION = 0.50
 
+# (parallel_field, serial_field) pairs whose within-report quotient tracks
+# parallel-scaling health. Warn-only: the quotient depends on the runner's
+# core count, which baseline and CI need not share.
+SPEEDUP_PAIRS = [
+    ("sweep_parallel_ms", "sweep_serial_ms"),
+    ("sweep_reshard_ms", "sweep_serial_ms"),
+    ("gen_pipelined_ms", "gen_ms"),
+]
+
+SPEEDUP_WARN_FRACTION = 0.25
+
 
 def load_report(path: pathlib.Path) -> dict:
     with path.open(encoding="utf-8") as fh:
@@ -97,6 +123,40 @@ def scenario_ratios(scenario: dict) -> dict[str, float]:
         )
     return {f: float(scenario[f]) / seed_ms
             for f in TIMED_FIELDS if f in scenario}
+
+
+def speedup_ratios(scenario: dict) -> dict[str, float]:
+    """parallel/serial quotients for every SPEEDUP_PAIRS pair the scenario
+    reports. Lower is better; > 1.0 means the parallel configuration ran
+    slower than the serial one."""
+    ratios = {}
+    for parallel_field, serial_field in SPEEDUP_PAIRS:
+        if parallel_field not in scenario or serial_field not in scenario:
+            continue
+        serial_ms = float(scenario[serial_field])
+        if serial_ms <= 0:
+            continue
+        key = f"{parallel_field}/{serial_field}"
+        ratios[key] = float(scenario[parallel_field]) / serial_ms
+    return ratios
+
+
+def warn_on_speedup_regression(name: str, base: dict, cur: dict) -> None:
+    """Warn-only parallel-scaling comparison over SPEEDUP_PAIRS."""
+    base_ratios = speedup_ratios(base)
+    cur_ratios = speedup_ratios(cur)
+    for key, base_ratio in base_ratios.items():
+        cur_ratio = cur_ratios.get(key)
+        if cur_ratio is None or base_ratio <= 0:
+            continue
+        drift = cur_ratio / base_ratio - 1.0
+        if drift > SPEEDUP_WARN_FRACTION:
+            print(
+                f"  WARNING: {name}.{key}: parallel/serial ratio "
+                f"{cur_ratio:.3f} vs baseline {base_ratio:.3f} "
+                f"({drift * 100.0:+.0f}%) — parallel scaling regressed, "
+                "check the runtime before refreshing the baseline"
+            )
 
 
 def warn_on_rss_growth(name: str, base: dict, cur: dict) -> None:
@@ -151,6 +211,7 @@ def compare(baseline: dict, current: dict, threshold: float,
                                 "from the current report")
             continue
         warn_on_rss_growth(name, base, cur)
+        warn_on_speedup_regression(name, base, cur)
         base_ratios = scenario_ratios(base)
         cur_ratios = scenario_ratios(cur)
         for field in base_ratios:
@@ -301,10 +362,35 @@ def self_test() -> int:
         failures += 1
         print("self-test FAIL: peak-RSS growth must be warn-only")
 
+    # Speedup drift is warn-only: a parallel sweep that lost ground against
+    # its own serial run warns (for a human to judge — the runner's core
+    # count may simply differ) but never fails the gate.
+    speedup_baseline = {
+        "benchmark": "scale_study",
+        "scenarios": [
+            {"name": "scale_100000", "outputs_identical": True,
+             "gen_ms": 500.0, "gen_pipelined_ms": 400.0,
+             "sweep_serial_ms": 1000.0, "sweep_parallel_ms": 400.0,
+             "sweep_reshard_ms": 420.0},
+        ],
+    }
+    flat = copy.deepcopy(speedup_baseline)
+    flat["scenarios"][0]["sweep_parallel_ms"] = 950.0  # speedup collapsed
+    print("self-test: collapsed parallel speedup warns but passes")
+    if compare(speedup_baseline, flat, DEFAULT_THRESHOLD):
+        failures += 1
+        print("self-test FAIL: speedup drift must be warn-only")
+    print("self-test: speedup ratio computation")
+    ratios = speedup_ratios(speedup_baseline["scenarios"][0])
+    if abs(ratios["sweep_parallel_ms/sweep_serial_ms"] - 0.4) > 1e-9 or \
+            abs(ratios["gen_pipelined_ms/gen_ms"] - 0.8) > 1e-9:
+        failures += 1
+        print(f"self-test FAIL: unexpected speedup ratios {ratios}")
+
     if failures:
         print(f"self-test: {failures} case(s) failed")
         return 1
-    print("self-test OK (13 cases)")
+    print("self-test OK (15 cases)")
     return 0
 
 
