@@ -13,12 +13,15 @@
 namespace dosn::bench {
 
 double bench_scale(double fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at bench startup,
+  // before any worker thread exists.
   if (const char* s = std::getenv("DOSN_BENCH_SCALE"))
     return util::parse_f64(s);
   return fallback;
 }
 
 std::uint64_t bench_seed() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at bench startup.
   if (const char* s = std::getenv("DOSN_BENCH_SEED"))
     return static_cast<std::uint64_t>(util::parse_i64(s));
   return 20120618;  // ICDCS'12 week

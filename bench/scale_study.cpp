@@ -60,6 +60,7 @@ double ms_since(Clock::time_point start) {
 
 std::vector<std::size_t> scale_users() {
   std::string spec = "100000,500000,1000000";
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at study startup.
   if (const char* s = std::getenv("DOSN_SCALE_USERS"); s && *s) spec = s;
   std::vector<std::size_t> out;
   std::size_t pos = 0;

@@ -210,6 +210,7 @@ int main() {
     s.lazy_ms = run_ms([&] { return sweep_with(1, true); }, lazy_out);
     s.parallel_ms =
         run_ms([&] { return sweep_with(threads, true); }, parallel_out);
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — serial section between runs.
     if (const char* dbg = std::getenv("DOSN_BENCH_DEBUG"); dbg && *dbg) {
       for (std::size_t p = 0; p < seed_out.policies.size(); ++p)
         for (std::size_t k = 0; k < seed_out.policies[p].points.size(); ++k) {

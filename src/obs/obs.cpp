@@ -13,6 +13,8 @@ std::atomic<bool>& enabled_flag() {
   // Initialized once from the environment: DOSN_OBS=0 starts disabled,
   // anything else (or unset) starts enabled.
   static std::atomic<bool> flag = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — one read under the static
+    // initializer's guard, before any instrumented thread can exist.
     const char* env = std::getenv("DOSN_OBS");
     return !(env != nullptr && env[0] == '0' && env[1] == '\0');
   }();
@@ -30,9 +32,13 @@ std::uint64_t now_ns() {
 
 }  // namespace
 
+// protocol: relaxed — a standalone on/off flag; flips happen between
+// phases and order nothing. Hot paths pay one unordered load.
 bool enabled() { return enabled_flag().load(std::memory_order_relaxed); }
 
 void set_enabled(bool on) {
+  // protocol: relaxed — pairs with the relaxed load in enabled(); no
+  // data is published under this flag, so no release is needed.
   enabled_flag().store(on, std::memory_order_relaxed);
 }
 
@@ -40,6 +46,8 @@ namespace detail {
 
 std::size_t shard_slot() {
   static std::atomic<std::size_t> next_slot{0};
+  // protocol: relaxed — a unique-ticket draw; only atomicity matters
+  // (two threads must not share a ticket), no ordering with other data.
   thread_local const std::size_t slot =
       next_slot.fetch_add(1, std::memory_order_relaxed) % kShards;
   return slot;
@@ -67,17 +75,24 @@ thread_local SpanNode* t_current_span = nullptr;
 
 std::uint64_t Counter::value() const noexcept {
   std::uint64_t total = 0;
+  // protocol: relaxed — pairs with the relaxed shard increments in add();
+  // readers merge between phases (quiescent) or accept a momentary sum.
   for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
   return total;
 }
 
 void Counter::reset() noexcept {
+  // protocol: relaxed — between-phases operation; concurrent adds would
+  // be lost by design (counters are write-mostly sinks, §9 rule 1).
   for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
 }
 
 void Gauge::record_max(std::int64_t v) noexcept {
   if (!enabled()) return;
+  // protocol: relaxed — monotone high-water CAS loop; the final maximum
+  // is interleaving-independent and orders no other data.
   std::int64_t seen = value_.load(std::memory_order_relaxed);
+  // protocol: relaxed ^ (the CAS retries until v <= max; commutative)
   while (v > seen &&
          !value_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
   }
@@ -101,27 +116,33 @@ void Histogram::record(std::int64_t v) noexcept {
   // beyond the last bound land in the overflow bucket.
   const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
   const auto idx = static_cast<std::size_t>(it - bounds_.begin());
+  // protocol: relaxed — independent commutative tallies (bucket, count,
+  // sum); cross-field consistency only read between phases (quiescent).
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
-  sum_.fetch_add(v, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);   // protocol: relaxed ^
+  sum_.fetch_add(v, std::memory_order_relaxed);     // protocol: relaxed ^
 }
 
 std::uint64_t Histogram::bucket_count(std::size_t i) const noexcept {
+  // protocol: relaxed — pairs with record()'s relaxed tallies; readers
+  // sample between phases.
   return buckets_[i].load(std::memory_order_relaxed);
 }
 
 std::uint64_t Histogram::count() const noexcept {
-  return count_.load(std::memory_order_relaxed);
+  return count_.load(std::memory_order_relaxed);  // protocol: relaxed ^
 }
 
 std::int64_t Histogram::sum() const noexcept {
-  return sum_.load(std::memory_order_relaxed);
+  return sum_.load(std::memory_order_relaxed);  // protocol: relaxed ^
 }
 
 void Histogram::reset() noexcept {
+  // protocol: relaxed — between-phases zeroing, same rules as
+  // Counter::reset().
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
-  count_.store(0, std::memory_order_relaxed);
-  sum_.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);  // protocol: relaxed ^
+  sum_.store(0, std::memory_order_relaxed);    // protocol: relaxed ^
 }
 
 // --------------------------------------------------------------- registry
@@ -143,7 +164,7 @@ Registry& Registry::global() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     auto entry = std::make_unique<Entry>();
@@ -157,7 +178,7 @@ Counter& Registry::counter(std::string_view name) {
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     auto entry = std::make_unique<Entry>();
@@ -172,7 +193,7 @@ Gauge& Registry::gauge(std::string_view name) {
 
 Histogram& Registry::histogram(std::string_view name,
                                std::span<const std::int64_t> bounds) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  util::MutexLock lock(mutex_);
   auto it = metrics_.find(name);
   if (it == metrics_.end()) {
     auto entry = std::make_unique<Entry>();
@@ -207,7 +228,7 @@ SpanSample sample_span_tree(const detail::SpanNode& node) {
 Snapshot Registry::snapshot() const {
   Snapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     // std::map iteration = sorted names: the deterministic export order.
     for (const auto& [name, entry] : metrics_) {
       switch (entry->kind) {
@@ -233,7 +254,7 @@ Snapshot Registry::snapshot() const {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(span_mutex_);
+    util::MutexLock lock(span_mutex_);
     for (const auto& [name, child] : span_root_->children)
       snap.spans.push_back(sample_span_tree(*child));
   }
@@ -242,7 +263,7 @@ Snapshot Registry::snapshot() const {
 
 void Registry::reset() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto& [name, entry] : metrics_) {
       switch (entry->kind) {
         case MetricKind::kCounter: entry->counter->reset(); break;
@@ -254,13 +275,13 @@ void Registry::reset() {
   {
     // Precondition: no ScopedTimer is live anywhere (their nodes would
     // dangle). reset() is a between-phases operation, not a hot-path one.
-    std::lock_guard<std::mutex> lock(span_mutex_);
+    util::MutexLock lock(span_mutex_);
     span_root_->children.clear();
   }
 }
 
 detail::SpanNode* Registry::span_enter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(span_mutex_);
+  util::MutexLock lock(span_mutex_);
   detail::SpanNode* parent = detail::t_current_span != nullptr
                                  ? detail::t_current_span
                                  : span_root_.get();
@@ -274,7 +295,7 @@ detail::SpanNode* Registry::span_enter(std::string_view name) {
 }
 
 void Registry::span_exit(detail::SpanNode* node, std::uint64_t elapsed_ns) {
-  std::lock_guard<std::mutex> lock(span_mutex_);
+  util::MutexLock lock(span_mutex_);
   node->calls += 1;
   node->total_ns += elapsed_ns;
 }

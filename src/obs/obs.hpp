@@ -38,11 +38,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace dosn::obs {
 
@@ -73,6 +74,8 @@ class Counter {
  public:
   void add(std::uint64_t n = 1) noexcept {
     if (!enabled()) return;
+    // protocol: relaxed — per-thread shard tally; pairs with the relaxed
+    // merge in value(). Sums commute, so no ordering is needed.
     shards_[detail::shard_slot()].v.fetch_add(n, std::memory_order_relaxed);
   }
 
@@ -101,10 +104,13 @@ class Gauge {
  public:
   void set(std::int64_t v) noexcept {
     if (!enabled()) return;
+    // protocol: relaxed — last-writer-wins level; orders no other data.
     value_.store(v, std::memory_order_relaxed);
   }
   void add(std::int64_t delta) noexcept {
     if (!enabled()) return;
+    // protocol: relaxed — commutative delta; pairs with value()'s
+    // relaxed load between phases.
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
   /// Raises the gauge to `v` if it is below (a monotone high-water mark —
@@ -112,9 +118,13 @@ class Gauge {
   void record_max(std::int64_t v) noexcept;
 
   std::int64_t value() const noexcept {
+    // protocol: relaxed — sampling read; see set()/add().
     return value_.load(std::memory_order_relaxed);
   }
-  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+  void reset() noexcept {
+    // protocol: relaxed — between-phases zeroing.
+    value_.store(0, std::memory_order_relaxed);
+  }
   const std::string& name() const { return name_; }
 
  private:
@@ -203,32 +213,43 @@ class Registry {
 
   /// Returns the counter named `name`, creating it on first use. Fails a
   /// contract check if the name is already registered as another kind.
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) DOSN_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) DOSN_EXCLUDES(mutex_);
   /// As above; re-registration must also repeat the same bucket bounds
   /// (which must be strictly increasing and non-empty).
   Histogram& histogram(std::string_view name,
-                       std::span<const std::int64_t> bounds);
+                       std::span<const std::int64_t> bounds)
+      DOSN_EXCLUDES(mutex_);
 
-  Snapshot snapshot() const;
+  Snapshot snapshot() const DOSN_EXCLUDES(mutex_, span_mutex_);
 
   /// Zeroes every metric and clears the span tree. Registrations (and the
   /// references they handed out) stay valid.
-  void reset();
+  void reset() DOSN_EXCLUDES(mutex_, span_mutex_);
 
  private:
   friend class ScopedTimer;
   Registry();
 
-  detail::SpanNode* span_enter(std::string_view name);
-  void span_exit(detail::SpanNode* node, std::uint64_t elapsed_ns);
+  detail::SpanNode* span_enter(std::string_view name)
+      DOSN_EXCLUDES(span_mutex_);
+  void span_exit(detail::SpanNode* node, std::uint64_t elapsed_ns)
+      DOSN_EXCLUDES(span_mutex_);
 
+  // Capability map (DESIGN.md §13): `mutex_` guards the sorted metric
+  // registry (name -> Entry); the metric objects it hands out are
+  // internally synchronized (sharded/relaxed atomics), so references
+  // escape the lock on purpose. `span_mutex_` guards the span profile
+  // tree — the root and every node reachable from it. The two are never
+  // held together (snapshot/reset take them in sequence, not nested).
   struct Entry;
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Entry>, std::less<>> metrics_;
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Entry>, std::less<>> metrics_
+      DOSN_GUARDED_BY(mutex_);
 
-  mutable std::mutex span_mutex_;
-  std::unique_ptr<detail::SpanNode> span_root_;
+  mutable util::Mutex span_mutex_;
+  std::unique_ptr<detail::SpanNode> span_root_
+      DOSN_GUARDED_BY(span_mutex_) DOSN_PT_GUARDED_BY(span_mutex_);
 };
 
 // ----------------------------------------------------------------- spans

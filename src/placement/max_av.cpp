@@ -287,7 +287,8 @@ std::vector<UserId> MaxAvPolicy::select_schedule_cover(
   ScheduleOracle oracle{context,
                         objective_ == MaxAvObjective::kAvailability
                             ? owner.set()
-                            : IntervalSet{}};
+                            : IntervalSet{},
+                        {}};
   return run_greedy(context, oracle, owner, conrep_least_overlap_, lazy_);
 }
 

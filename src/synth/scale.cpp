@@ -135,6 +135,9 @@ void fold_chunks_pipelined(FoldState& state, const ScaleInputConfig& config,
   util::SpscQueue<GenChunk> recycle(queue_capacity + 1);
 
   std::exception_ptr producer_error;
+  // lint:atomics-ok — the pipeline's one serial producer stage (DESIGN.md
+  // §12): joined before return, and every shared handoff goes through the
+  // SPSC queues' release/acquire protocol, never ad-hoc shared state.
   std::thread producer([&] {
     try {
       generate_activities_chunked(

@@ -20,12 +20,20 @@ const char* level_name(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) {
+  // protocol: relaxed — a standalone filter level; pairs with the
+  // relaxed loads below. No data is published under it, so no release.
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() {
+  // protocol: relaxed — see set_log_level().
+  return g_level.load(std::memory_order_relaxed);
+}
 
 void log(LogLevel level, const std::string& message) {
-  if (level < g_level.load()) return;
+  // protocol: relaxed — a stale level at worst drops/emits one line.
+  if (level < g_level.load(std::memory_order_relaxed)) return;
   std::fprintf(stderr, "[%s] %s\n", level_name(level), message.c_str());
 }
 

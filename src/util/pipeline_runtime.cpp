@@ -34,6 +34,8 @@ thread_local PipelineRuntime* tl_active_runtime = nullptr;
 
 std::size_t env_steal_grain() {
   static const std::size_t cached = [] {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once, before any
+    // runtime worker exists; nothing in the process calls setenv.
     if (const char* env = std::getenv("DOSN_STEAL_GRAIN")) {
       char* end = nullptr;
       const long v = std::strtol(env, &end, 10);
@@ -48,6 +50,8 @@ std::size_t env_steal_grain() {
 }  // namespace
 
 std::size_t default_thread_count() {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — env read at pool/runtime
+  // construction, before its workers exist; nothing calls setenv.
   if (const char* env = std::getenv("DOSN_THREADS")) {
     char* end = nullptr;
     const long v = std::strtol(env, &end, 10);
@@ -70,7 +74,7 @@ PipelineRuntime::PipelineRuntime(RuntimeOptions options)
 
 PipelineRuntime::~PipelineRuntime() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     stop_ = true;
   }
   start_cv_.notify_all();
@@ -84,30 +88,36 @@ std::size_t PipelineRuntime::effective_grain(std::size_t n) const {
   return grain;
 }
 
-void PipelineRuntime::run_block(IndexBlock block) noexcept {
+void PipelineRuntime::run_block(IndexBlock block, const Job& job) noexcept {
   try {
-    for (std::size_t i = block.begin; i < block.end; ++i) (*job_)(i);
+    for (std::size_t i = block.begin; i < block.end; ++i) job(i);
   } catch (...) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (!first_error_) first_error_ = std::current_exception();
   }
+  // protocol: acq_rel — the release half publishes this block's side
+  // effects to whoever observes the count hit zero; the acquire half
+  // makes each decrement a synchronization point so the final
+  // decrementer (and the acquire load in drain()) sees every block.
   blocks_left_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
-void PipelineRuntime::drain(std::size_t worker) noexcept {
+void PipelineRuntime::drain(std::size_t worker, const Job& job) noexcept {
   PipelineRuntime* const prev = tl_active_runtime;
   tl_active_runtime = this;
   IndexBlock block;
   for (;;) {
     if (deques_[worker].take(block)) {
-      run_block(block);
+      run_block(block, job);
       continue;
     }
     bool progressed = false;
     for (std::size_t offset = 1; offset < threads_; ++offset) {
       if (deques_[(worker + offset) % threads_].steal(block)) {
+        // protocol: relaxed — scheduling telemetry only (util.runtime.
+        // steals); read after the job's mutex rendezvous, never racing.
         job_steals_.fetch_add(1, std::memory_order_relaxed);
-        run_block(block);
+        run_block(block, job);
         progressed = true;
         break;
       }
@@ -116,6 +126,9 @@ void PipelineRuntime::drain(std::size_t worker) noexcept {
     // Nothing to take or steal: either the job is done, or its last
     // blocks are in flight on other workers — spin politely until the
     // remaining-block count settles.
+    // protocol: acquire — pairs with the acq_rel fetch_sub in
+    // run_block(); observing zero here means every block's effects
+    // happened-before this worker leaves the job.
     if (blocks_left_.load(std::memory_order_acquire) == 0) break;
     std::this_thread::yield();
   }
@@ -125,15 +138,19 @@ void PipelineRuntime::drain(std::size_t worker) noexcept {
 void PipelineRuntime::worker_loop(std::size_t worker) {
   std::uint64_t seen = 0;
   for (;;) {
+    const Job* job = nullptr;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      MutexLock lock(mutex_);
+      // Plain while loop, not a wait predicate: the guarded reads stay
+      // inside this annotated scope where the analysis can see the lock.
+      while (!stop_ && generation_ == seen) start_cv_.wait(lock);
       if (stop_) return;
       seen = generation_;
+      job = job_;  // published under mutex_ by parallel_for_index
     }
-    drain(worker);
+    drain(worker, *job);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       --running_;
       if (running_ == 0) done_cv_.notify_all();
     }
@@ -153,7 +170,7 @@ PipelineRuntime::JobStats PipelineRuntime::parallel_for_index(
     return {.blocks = 1, .steals = 0};
   }
 
-  std::lock_guard<std::mutex> client(client_mutex_);
+  MutexLock client(client_mutex_);
   // Seed each worker's deque with its static slab [w·n/T, (w+1)·n/T)
   // split into grain blocks: a steal-free run executes exactly the old
   // static partition (same locality), and stealing only redistributes
@@ -169,34 +186,39 @@ PipelineRuntime::JobStats PipelineRuntime::parallel_for_index(
       ++total_blocks;
     }
   }
+  // protocol: relaxed — workers are quiescent here; the release
+  // publication is the mutex_-guarded generation bump below, whose
+  // unlock orders these stores before any worker's wake-up load.
   blocks_left_.store(total_blocks, std::memory_order_relaxed);
-  job_steals_.store(0, std::memory_order_relaxed);
+  job_steals_.store(0, std::memory_order_relaxed);  // protocol: relaxed ^
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     job_ = &fn;
     running_ = threads_ - 1;
     first_error_ = nullptr;
     ++generation_;
   }
   start_cv_.notify_all();
-  drain(0);  // the calling thread is worker 0
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
-  job_ = nullptr;
+  drain(0, fn);  // the calling thread is worker 0
 
   JobStats stats;
   stats.blocks = total_blocks;
+  std::exception_ptr error;
+  {
+    MutexLock lock(mutex_);
+    while (running_ != 0) done_cv_.wait(lock);
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  // protocol: relaxed — every worker has left the job (mutex rendezvous
+  // above), so this is a quiescent read of telemetry.
   stats.steals = job_steals_.load(std::memory_order_relaxed);
   metrics().jobs.add(1);
   metrics().blocks.add(stats.blocks);
   metrics().steals.add(stats.steals);
 
-  if (first_error_) {
-    auto error = first_error_;
-    first_error_ = nullptr;
-    lock.unlock();
-    std::rethrow_exception(error);
-  }
+  if (error) std::rethrow_exception(error);
   return stats;
 }
 

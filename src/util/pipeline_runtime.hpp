@@ -21,18 +21,26 @@
 // connect to parallel stages through util::SpscQueue rather than through
 // the runtime: one producer thread, one consumer thread, FIFO chunks (see
 // synth::build_scale_study_input for the canonical pipeline).
+//
+// Locking map (DESIGN.md §13): `mutex_` is the rendezvous capability —
+// it guards the published job pointer, the generation ticket, the
+// running-worker count, the first captured error, and the stop flag.
+// `client_mutex_` serializes external callers and is always acquired
+// before `mutex_`. Workers read the job pointer *under* `mutex_` when
+// they observe a new generation and then run lock-free on their deques;
+// the two atomics below the mutexes carry the lock-free completion
+// protocol (see the `protocol:` comments in the .cpp).
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/steal_deque.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dosn::util {
 
@@ -80,12 +88,16 @@ class PipelineRuntime {
   /// thread_count() == 1 or when called from inside one of this
   /// runtime's own workers (nested jobs never deadlock — they inline).
   JobStats parallel_for_index(std::size_t n,
-                              const std::function<void(std::size_t)>& fn);
+                              const std::function<void(std::size_t)>& fn)
+      DOSN_EXCLUDES(client_mutex_, mutex_);
 
  private:
-  void worker_loop(std::size_t worker);
-  void drain(std::size_t worker) noexcept;
-  void run_block(IndexBlock block) noexcept;
+  using Job = std::function<void(std::size_t)>;
+
+  void worker_loop(std::size_t worker) DOSN_EXCLUDES(mutex_);
+  void drain(std::size_t worker, const Job& job) noexcept;
+  void run_block(IndexBlock block, const Job& job) noexcept
+      DOSN_EXCLUDES(mutex_);
   std::size_t effective_grain(std::size_t n) const;
 
   RuntimeOptions options_;
@@ -94,16 +106,17 @@ class PipelineRuntime {
   std::vector<std::thread> helpers_;
 
   // Serializes external callers: one job owns the workers at a time.
-  std::mutex client_mutex_;
+  // Always acquired before mutex_ (the rendezvous lock below).
+  Mutex client_mutex_ DOSN_ACQUIRED_BEFORE(mutex_);
 
-  std::mutex mutex_;
-  std::condition_variable start_cv_;
-  std::condition_variable done_cv_;
-  const std::function<void(std::size_t)>* job_ = nullptr;
-  std::uint64_t generation_ = 0;
-  std::size_t running_ = 0;
-  std::exception_ptr first_error_;
-  bool stop_ = false;
+  Mutex mutex_;
+  CondVar start_cv_;
+  CondVar done_cv_;
+  const Job* job_ DOSN_GUARDED_BY(mutex_) = nullptr;
+  std::uint64_t generation_ DOSN_GUARDED_BY(mutex_) = 0;
+  std::size_t running_ DOSN_GUARDED_BY(mutex_) = 0;
+  std::exception_ptr first_error_ DOSN_GUARDED_BY(mutex_);
+  bool stop_ DOSN_GUARDED_BY(mutex_) = false;
 
   alignas(64) std::atomic<std::size_t> blocks_left_{0};
   alignas(64) std::atomic<std::size_t> job_steals_{0};

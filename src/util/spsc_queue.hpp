@@ -41,13 +41,20 @@ class SpscQueue {
 
   /// Producer side. Returns false when the queue is full.
   bool try_push(T&& value) {
+    // protocol: relaxed — tail_ is producer-owned; only the producer
+    // writes it, so its own last value needs no ordering.
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
     const std::size_t next = (tail + 1) & mask_;
     if (next == head_cache_) {
+      // protocol: acquire — pairs with the consumer's release store of
+      // head_ in try_pop(); seeing the freed slot index means the
+      // consumer's move-out of that slot happened-before this push.
       head_cache_ = head_.load(std::memory_order_acquire);
       if (next == head_cache_) return false;
     }
     slots_[tail] = std::move(value);
+    // protocol: release — publishes the slot write above; pairs with the
+    // consumer's acquire load of tail_ in try_pop().
     tail_.store(next, std::memory_order_release);
     return true;
   }
@@ -60,12 +67,18 @@ class SpscQueue {
   /// Consumer side. Returns false when the queue is currently empty
   /// (which is not end-of-stream — see pop()).
   bool try_pop(T& out) {
+    // protocol: relaxed — head_ is consumer-owned (mirror of tail_ in
+    // try_push).
     const std::size_t head = head_.load(std::memory_order_relaxed);
     if (head == tail_cache_) {
+      // protocol: acquire — pairs with the producer's release store of
+      // tail_; seeing the new tail means the slot contents are visible.
       tail_cache_ = tail_.load(std::memory_order_acquire);
       if (head == tail_cache_) return false;
     }
     out = std::move(slots_[head]);
+    // protocol: release — publishes the moved-out (reusable) slot;
+    // pairs with the producer's acquire load of head_ in try_push().
     head_.store((head + 1) & mask_, std::memory_order_release);
     return true;
   }
@@ -76,6 +89,8 @@ class SpscQueue {
   bool pop(T& out) {
     for (;;) {
       if (try_pop(out)) return true;
+      // protocol: acquire — pairs with close()'s release store; seeing
+      // the flag means every pre-close push is visible to the re-check.
       if (closed_.load(std::memory_order_acquire)) {
         // Re-check: the producer may have pushed between the failed
         // try_pop and the close flag becoming visible.
@@ -87,17 +102,27 @@ class SpscQueue {
 
   /// Producer side: declares end-of-stream. Elements already queued stay
   /// poppable.
-  void close() { closed_.store(true, std::memory_order_release); }
+  void close() {
+    // protocol: release — orders every prior push before the flag;
+    // pairs with the acquire loads in pop()/closed().
+    closed_.store(true, std::memory_order_release);
+  }
 
-  bool closed() const { return closed_.load(std::memory_order_acquire); }
+  bool closed() const {
+    // protocol: acquire — see close().
+    return closed_.load(std::memory_order_acquire);
+  }
 
   std::size_t capacity() const { return slots_.size() - 1; }
 
   /// Instantaneous element count (either side; approximate under
   /// concurrency, exact when the other side is quiescent).
   std::size_t size() const {
+    // protocol: acquire — a monitoring snapshot of both indices; pairs
+    // with the release stores in try_push/try_pop. Approximate by
+    // nature (the two loads are not one atomic read).
     const std::size_t head = head_.load(std::memory_order_acquire);
-    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);  // protocol: acquire ^
     return (tail - head) & mask_;
   }
 

@@ -38,31 +38,47 @@ class StealDeque {
   /// Owner only, and only while the runtime is quiescent (no concurrent
   /// take/steal): appends a block at the bottom.
   void push(IndexBlock block) {
+    // protocol: relaxed — quiescent phase: no concurrent take/steal by
+    // contract, and the runtime's mutex-guarded generation bump is the
+    // release edge that publishes these writes to the workers.
     const std::int64_t b = bottom_.load(std::memory_order_relaxed);
-    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);  // protocol: relaxed ^
     if (static_cast<std::size_t>(b - t) >= buffer_.size()) grow();
     buffer_[static_cast<std::size_t>(b) & (buffer_.size() - 1)] = block;
+    // protocol: relaxed ^ (same quiescent-phase publication contract)
     bottom_.store(b + 1, std::memory_order_relaxed);
   }
 
   /// Owner only: pops the most recently pushed remaining block (LIFO —
   /// the owner works through its slab in the order it was seeded).
   bool take(IndexBlock& out) {
+    // protocol: relaxed — bottom_ is owner-written; the seq_cst fence
+    // below is what orders this reservation against thieves' top_ reads
+    // (Lê et al. PPoPP'13, fig. 1 'take').
     const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
-    bottom_.store(b, std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);  // protocol: relaxed ^
+    // protocol: seq_cst fence — pairs with the fence in steal(): either
+    // the thief sees the decremented bottom_ or the owner sees the
+    // thief's top_ CAS; both can never claim the same (last) block.
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // protocol: relaxed — ordered by the fence above, not by the load.
     std::int64_t t = top_.load(std::memory_order_relaxed);
     if (t <= b) {
       out = buffer_[static_cast<std::size_t>(b) & (buffer_.size() - 1)];
       if (t == b) {
         // Last element: race the thieves for it.
+        // protocol: seq_cst CAS — totally ordered with steal()'s CAS on
+        // the same slot, so exactly one side wins the last block;
+        // relaxed on failure (the loser only abandons).
         const bool won = top_.compare_exchange_strong(
             t, t + 1, std::memory_order_seq_cst, std::memory_order_relaxed);
+        // protocol: relaxed — owner-only restore of the empty state.
         bottom_.store(b + 1, std::memory_order_relaxed);
         return won;
       }
       return true;
     }
+    // protocol: relaxed — owner-only restore (deque was already empty).
     bottom_.store(b + 1, std::memory_order_relaxed);
     return false;
   }
@@ -71,19 +87,29 @@ class StealDeque {
   /// the far end of the victim's slab, minimizing contention with the
   /// owner's LIFO end).
   bool steal(IndexBlock& out) {
+    // protocol: acquire — observe other thieves' top_ advances before
+    // judging emptiness (never re-steal a claimed slot).
     std::int64_t t = top_.load(std::memory_order_acquire);
+    // protocol: seq_cst fence — pairs with the fence in take(); see the
+    // last-block race note there.
     std::atomic_thread_fence(std::memory_order_seq_cst);
+    // protocol: acquire — pairs with the owner's bottom_ publication;
+    // seeing b > t guarantees the slot content at t is initialized.
     const std::int64_t b = bottom_.load(std::memory_order_acquire);
     if (t >= b) return false;
     // Safe to read before the CAS: the buffer is immutable while any
     // take/steal runs (push happens only between jobs).
     out = buffer_[static_cast<std::size_t>(t) & (buffer_.size() - 1)];
+    // protocol: seq_cst CAS — totally ordered with take()'s CAS, exactly
+    // one claimant per slot; relaxed on failure (retry from scratch).
     return top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
                                         std::memory_order_relaxed);
   }
 
   /// Either side while quiescent: true when every block was claimed.
   bool empty() const {
+    // protocol: acquire — quiescent-phase check; acquire pairs with the
+    // last claimant's CAS so a true result means all claims are visible.
     return top_.load(std::memory_order_acquire) >=
            bottom_.load(std::memory_order_acquire);
   }
@@ -92,8 +118,10 @@ class StealDeque {
   // Quiescent-only (called from push): double the power-of-two buffer,
   // repacking live elements at the same logical positions.
   void grow() {
+    // protocol: relaxed — quiescent phase only (called from push), no
+    // concurrent access by contract.
     const std::int64_t t = top_.load(std::memory_order_relaxed);
-    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);  // protocol: relaxed ^
     std::vector<IndexBlock> bigger(buffer_.size() * 2);
     for (std::int64_t i = t; i < b; ++i)
       bigger[static_cast<std::size_t>(i) & (bigger.size() - 1)] =

@@ -1,0 +1,154 @@
+// Clang Thread Safety Analysis capabilities (DESIGN.md §13).
+//
+// The determinism wall (§7) and the work-stealing runtime (§12) put the
+// hot path on hand-ordered atomics and a small set of mutexes. TSan can
+// only validate the interleavings a given run happens to explore; this
+// header moves locking discipline to *compile time*: every mutex becomes
+// a named capability, every member it guards is declared `DOSN_GUARDED_BY`,
+// and every function that needs the lock says so with `DOSN_REQUIRES`.
+// Under Clang (`-Wthread-safety`, on by default for Clang builds and
+// enforced with -Werror by the `thread-safety` CI job) an unguarded
+// access or a missing-lock call is a compile error; under GCC the macros
+// expand to nothing and the annotated wrapper is exactly a std::mutex.
+//
+// Discipline rules:
+//   - Every `std::mutex`-like member in src/ is a `util::Mutex`, and every
+//     member it protects carries `DOSN_GUARDED_BY(that_mutex_)`.
+//   - Lock scopes use `util::MutexLock` (annotated RAII, behaviorally
+//     identical to std::lock_guard — asserted by tests/test_util.cpp).
+//   - Condition-variable waits use `util::CondVar`
+//     (std::condition_variable_any) over a `MutexLock`, with the
+//     wait predicate re-checked in a plain while loop in the *annotated*
+//     caller — predicate lambdas are analyzed as lock-free contexts and
+//     would defeat the analysis.
+//   - Lock-free state (std::atomic members) is not guarded by a
+//     capability; its protocol is documented per-site with `// protocol:`
+//     comments enforced by tools/lint_atomics.py.
+//
+// The negative-compile probes (tests/thread_annotations_probes/) assert
+// that violations of these annotations actually fail to compile.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__)
+#define DOSN_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define DOSN_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// A type that acts as a lock/capability (class-level attribute).
+#define DOSN_CAPABILITY(x) DOSN_THREAD_ANNOTATION_(capability(x))
+
+/// An RAII type that acquires a capability in its constructor and
+/// releases it in its destructor.
+#define DOSN_SCOPED_CAPABILITY DOSN_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Data member readable/writable only while holding the given capability.
+#define DOSN_GUARDED_BY(x) DOSN_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by the given capability.
+#define DOSN_PT_GUARDED_BY(x) DOSN_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Function requires the listed capabilities to be held on entry (and
+/// does not release them).
+#define DOSN_REQUIRES(...) \
+  DOSN_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Function acquires the listed capabilities and holds them on return.
+#define DOSN_ACQUIRE(...) \
+  DOSN_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Function releases the listed capabilities (which must be held).
+#define DOSN_RELEASE(...) \
+  DOSN_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Function acquires the capability iff it returns the given value.
+#define DOSN_TRY_ACQUIRE(...) \
+  DOSN_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Caller must NOT hold the listed capabilities (deadlock guard for
+/// functions that acquire them internally).
+#define DOSN_EXCLUDES(...) DOSN_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-ordering declarations (deadlock prevention between capabilities).
+#define DOSN_ACQUIRED_BEFORE(...) \
+  DOSN_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define DOSN_ACQUIRED_AFTER(...) \
+  DOSN_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Function returns a reference to the given capability.
+#define DOSN_RETURN_CAPABILITY(x) DOSN_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables the analysis for one function. Every use must
+/// explain why in an adjacent comment.
+#define DOSN_NO_THREAD_SAFETY_ANALYSIS \
+  DOSN_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace dosn::util {
+
+/// std::mutex as a named Clang capability. Drop-in: same operations,
+/// same cost (the wrapper is a plain member call), but members it guards
+/// can be declared DOSN_GUARDED_BY(mutex_) and misuse becomes a compile
+/// error under -Wthread-safety.
+class DOSN_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() DOSN_ACQUIRE() { m_.lock(); }
+  void unlock() DOSN_RELEASE() { m_.unlock(); }
+  bool try_lock() DOSN_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+ private:
+  std::mutex m_;
+};
+
+/// Annotated RAII lock scope over util::Mutex — std::lock_guard with a
+/// scoped-capability attribute, plus explicit unlock()/lock() so a
+/// util::CondVar (std::condition_variable_any) can wait on it. The
+/// common construct-to-destruct path performs exactly one lock() and one
+/// unlock(), identical to std::lock_guard (tests/test_util.cpp asserts
+/// the behavioral equivalence).
+class DOSN_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) DOSN_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  ~MutexLock() DOSN_RELEASE() {
+    if (held_) mutex_.unlock();
+  }
+
+  /// For CondVar::wait (which unlocks around the block) and early-release
+  /// scopes. Must be held.
+  void unlock() DOSN_RELEASE() {
+    held_ = false;
+    mutex_.unlock();
+  }
+
+  /// Re-acquire after unlock() (CondVar::wait relocks before returning).
+  void lock() DOSN_ACQUIRE() {
+    mutex_.lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mutex_;
+  bool held_ = true;  // single-owner bookkeeping; never shared
+};
+
+/// Condition variable usable with the annotated MutexLock.
+/// std::condition_variable_any calls MutexLock::unlock()/lock() around
+/// the block; TSA treats wait() as capability-neutral (held before, held
+/// after), which matches its actual contract. Re-check wait predicates
+/// in a plain `while` loop in the annotated caller — never a lambda
+/// passed into wait(), which the analysis would treat as lock-free code.
+using CondVar = std::condition_variable_any;
+
+}  // namespace dosn::util

@@ -62,6 +62,7 @@ void check_golden(const std::string& name, sim::Metric metric) {
   const std::string golden_path =
       std::string(DOSN_TEST_SOURCE_DIR) + "/golden/" + name + ".csv";
 
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — single-threaded test body.
   if (const char* update = std::getenv("DOSN_UPDATE_GOLDEN");
       update && *update) {
     util::write_series_csv(golden_path, sweep.x_label, sweep.series(metric));

@@ -196,7 +196,7 @@ TEST(ReplicaSimFailures, CrashedNodeStopsReceiving) {
   };
   ReplicaSimConfig cfg;
   cfg.horizon_days = 4;
-  cfg.failures = {{1, interval::kDaySeconds + 12 * kH}};
+  cfg.failures = {{1, interval::kDaySeconds + 12 * kH, {}}};
   const auto r = simulate_replica_group(nodes, updates, cfg);
   EXPECT_EQ(r.deliveries[0].arrival[1], 9 * kH);
   EXPECT_FALSE(r.deliveries[1].arrival[1].has_value());
@@ -210,7 +210,7 @@ TEST(ReplicaSimFailures, CrashCutsSessionShort) {
   std::vector<UpdateSpec> updates{{9 * kH + 1800, 0}};
   ReplicaSimConfig cfg;
   cfg.horizon_days = 3;
-  cfg.failures = {{1, 9 * kH}};
+  cfg.failures = {{1, 9 * kH, {}}};
   const auto r = simulate_replica_group(nodes, updates, cfg);
   EXPECT_FALSE(r.deliveries[0].arrival[1].has_value());
 }
@@ -221,7 +221,7 @@ TEST(ReplicaSimFailures, SurvivorsKeepSyncing) {
   std::vector<UpdateSpec> updates{{interval::kDaySeconds + 9 * kH, 0}};
   ReplicaSimConfig cfg;
   cfg.horizon_days = 3;
-  cfg.failures = {{2, 6 * kH}};  // node 2 dies before ever syncing
+  cfg.failures = {{2, 6 * kH, {}}};  // node 2 dies before ever syncing
   const auto r = simulate_replica_group(nodes, updates, cfg);
   EXPECT_TRUE(r.deliveries[0].arrival[1].has_value());
   EXPECT_FALSE(r.deliveries[0].arrival[2].has_value());
@@ -233,7 +233,7 @@ TEST(ReplicaSimFailures, AvailabilityAccountsForCrash) {
   std::vector<DaySchedule> nodes{window(0, 12)};
   ReplicaSimConfig cfg;
   cfg.horizon_days = 4;
-  cfg.failures = {{0, 2 * interval::kDaySeconds}};
+  cfg.failures = {{0, 2 * interval::kDaySeconds, {}}};
   const auto r = simulate_replica_group(nodes, {}, cfg);
   EXPECT_NEAR(r.empirical_availability, 0.25, 1e-9);
 }
@@ -242,7 +242,7 @@ TEST(ReplicaSimFailures, ValidatesFailureInput) {
   std::vector<DaySchedule> nodes{window(8, 10)};
   ReplicaSimConfig cfg;
   cfg.horizon_days = 1;
-  cfg.failures = {{5, 0}};
+  cfg.failures = {{5, 0, {}}};
   EXPECT_THROW(simulate_replica_group(nodes, {}, cfg), ConfigError);
   cfg.failures = {{0, 100, 50}};  // recovery before the failure
   EXPECT_THROW(simulate_replica_group(nodes, {}, cfg), ConfigError);
@@ -295,7 +295,7 @@ TEST(ReplicaSimFailures, CrashStopViaFaultPlanMatchesLegacyFailures) {
                                   {interval::kDaySeconds + 10 * kH, 1}};
   ReplicaSimConfig legacy;
   legacy.horizon_days = 4;
-  legacy.failures = {{1, interval::kDaySeconds + 10 * kH + 300}};
+  legacy.failures = {{1, interval::kDaySeconds + 10 * kH + 300, {}}};
 
   ReplicaSimConfig via_plan;
   via_plan.horizon_days = 4;

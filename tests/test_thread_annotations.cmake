@@ -1,0 +1,63 @@
+# Negative-compile harness for the thread-safety annotations
+# (src/util/thread_annotations.hpp). Run in CMake script mode:
+#
+#   cmake -DCXX=<clang++> -DPROBE_DIR=<tests/thread_annotations_probes>
+#         -DINCLUDE_DIR=<src> -P test_thread_annotations.cmake
+#
+# Registered from tests/CMakeLists.txt only when the configured compiler
+# is Clang (GCC parses the probes but ignores the annotations, so the
+# negative probes would "compile fine" and prove nothing).
+#
+# Three probes, three assertions:
+#   probe_ok.cpp               — MUST compile (flags/macros sanity check)
+#   probe_unguarded_access.cpp — MUST fail: guarded member touched lock-free
+#   probe_missing_requires.cpp — MUST fail: REQUIRES callee called lock-free
+#
+# Failures must carry a thread-safety diagnostic ("requires holding
+# mutex"): a probe that fails for any other reason (syntax error, missing
+# header) is a broken probe, not a passing test.
+
+cmake_minimum_required(VERSION 3.20)
+
+foreach(var CXX PROBE_DIR INCLUDE_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "test_thread_annotations.cmake: -D${var}=... is required")
+  endif()
+endforeach()
+
+set(probe_flags -std=c++20 -fsyntax-only -Wthread-safety -Werror
+                "-I${INCLUDE_DIR}")
+
+# compile(<source> <expect>) where <expect> is OK or THREAD_SAFETY_ERROR.
+function(compile source expect)
+  execute_process(
+    COMMAND "${CXX}" ${probe_flags} "${PROBE_DIR}/${source}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(expect STREQUAL "OK")
+    if(NOT rc EQUAL 0)
+      message(FATAL_ERROR
+        "${source}: expected clean compile, got exit ${rc}:\n${err}")
+    endif()
+    message(STATUS "${source}: compiles cleanly (as expected)")
+  else()
+    if(rc EQUAL 0)
+      message(FATAL_ERROR
+        "${source}: compiled cleanly, but -Wthread-safety -Werror was "
+        "expected to reject it — the annotations are not being enforced")
+    endif()
+    if(NOT err MATCHES "requires holding mutex")
+      message(FATAL_ERROR
+        "${source}: failed to compile, but not with a thread-safety "
+        "diagnostic — the probe itself is broken:\n${err}")
+    endif()
+    message(STATUS "${source}: rejected with a thread-safety error (as expected)")
+  endif()
+endfunction()
+
+compile(probe_ok.cpp OK)
+compile(probe_unguarded_access.cpp THREAD_SAFETY_ERROR)
+compile(probe_missing_requires.cpp THREAD_SAFETY_ERROR)
+
+message(STATUS "thread-annotation negative-compile probes: all assertions held")

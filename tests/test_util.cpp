@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "util/alias.hpp"
 #include "util/ascii_chart.hpp"
@@ -14,6 +15,7 @@
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace dosn::util {
 namespace {
@@ -397,6 +399,81 @@ TEST(Error, AssertMacroThrowsLogicError) {
 
 TEST(Error, RequireThrowsConfigError) {
   EXPECT_THROW(DOSN_REQUIRE(false, "bad config"), ConfigError);
+}
+
+// MutexLock must behave exactly like std::lock_guard over util::Mutex —
+// the annotation layer changes what Clang can prove, never the locking.
+
+TEST(MutexLock, MutualExclusionUnderContention) {
+  Mutex mutex;
+  long value = 0;
+  auto worker = [&] {
+    for (int i = 0; i < 20000; ++i) {
+      MutexLock lock(mutex);
+      ++value;
+    }
+  };
+  std::thread a(worker);
+  std::thread b(worker);
+  a.join();
+  b.join();
+  EXPECT_EQ(value, 40000);
+}
+
+TEST(MutexLock, EarlyUnlockReleasesAndRelockReacquires) {
+  Mutex mutex;
+  MutexLock lock(mutex);
+  lock.unlock();
+  {
+    // Another thread can now take the mutex (same thread would deadlock
+    // on std::mutex, so probe from a helper).
+    bool acquired = false;
+    std::thread probe([&] {
+      acquired = mutex.try_lock();
+      if (acquired) mutex.unlock();
+    });
+    probe.join();
+    EXPECT_TRUE(acquired);
+  }
+  lock.lock();  // re-acquire so the destructor's release is balanced
+  bool acquired_while_held = true;
+  std::thread probe([&] {
+    acquired_while_held = mutex.try_lock();
+    if (acquired_while_held) mutex.unlock();
+  });
+  probe.join();
+  EXPECT_FALSE(acquired_while_held);
+}
+
+TEST(MutexLock, DestructorReleases) {
+  Mutex mutex;
+  {
+    MutexLock lock(mutex);
+  }
+  bool acquired = false;
+  std::thread probe([&] {
+    acquired = mutex.try_lock();
+    if (acquired) mutex.unlock();
+  });
+  probe.join();
+  EXPECT_TRUE(acquired);
+}
+
+TEST(CondVar, WaitsDirectlyOnMutexLock) {
+  Mutex mutex;
+  CondVar cv;
+  bool ready = false;
+  std::thread signaller([&] {
+    MutexLock lock(mutex);
+    ready = true;
+    cv.notify_one();
+  });
+  {
+    MutexLock lock(mutex);
+    while (!ready) cv.wait(lock);
+  }
+  signaller.join();
+  EXPECT_TRUE(ready);
 }
 
 }  // namespace

@@ -1,0 +1,27 @@
+// Negative probe: calling a DOSN_REQUIRES function without holding the
+// named mutex must be rejected by -Wthread-safety -Werror. The driver
+// asserts this file FAILS to compile with a "requires holding mutex"
+// diagnostic.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void touch() DOSN_REQUIRES(mutex_) { ++value_; }
+
+  // BAD: calls touch() without acquiring mutex_ first.
+  void call_without_lock() { touch(); }
+
+ private:
+  dosn::util::Mutex mutex_;
+  int value_ DOSN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.call_without_lock();
+  return 0;
+}

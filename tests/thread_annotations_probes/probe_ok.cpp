@@ -1,0 +1,38 @@
+// Positive probe: correct capability usage must compile cleanly under
+// -Wthread-safety -Werror. If this file fails, the harness's flags (or
+// the annotation macros themselves) are broken, and the negative probes'
+// failures would be meaningless — so the driver checks this one first.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  void touch_locked() DOSN_EXCLUDES(mutex_) {
+    dosn::util::MutexLock lock(mutex_);
+    ++value_;
+  }
+
+  void touch() DOSN_REQUIRES(mutex_) { ++value_; }
+
+  int read() DOSN_EXCLUDES(mutex_) {
+    dosn::util::MutexLock lock(mutex_);
+    return value_;
+  }
+
+  dosn::util::Mutex mutex_;
+
+ private:
+  int value_ DOSN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.touch_locked();
+  g.mutex_.lock();
+  g.touch();
+  g.mutex_.unlock();
+  return g.read() == 2 ? 0 : 1;
+}

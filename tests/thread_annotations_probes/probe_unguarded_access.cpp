@@ -1,0 +1,23 @@
+// Negative probe: reading a DOSN_GUARDED_BY member without holding its
+// mutex must be rejected by -Wthread-safety -Werror. The driver asserts
+// this file FAILS to compile with a "requires holding mutex" diagnostic.
+#include "util/thread_annotations.hpp"
+
+namespace {
+
+class Guarded {
+ public:
+  // BAD: touches value_ with mutex_ not held.
+  int unguarded_read() { return value_; }
+
+ private:
+  dosn::util::Mutex mutex_;
+  int value_ DOSN_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  return g.unguarded_read();
+}

@@ -37,6 +37,15 @@ memory (warn-only)
     size and machine, so growth beyond 50% of the baseline prints a
     warning for a human to judge; it never fails the gate.
 
+hardware (warn-only)
+    Reports record the machine's ``hardware_threads`` at the top level.
+    When the current run's value differs from the baseline's, the gate
+    prints both — a reader judging a speedup or RSS warning needs to know
+    whether the two reports even ran on comparable hardware (a committed
+    single-core-container baseline vs. a multi-core CI runner explains
+    most drift on its own). Never a failure: hardware changes are
+    expected, silent hardware changes are not.
+
 speedup (warn-only)
     Parallel-scaling health for scenarios that time the same work in two
     configurations (``SPEEDUP_PAIRS``, e.g. ``sweep_parallel_ms`` vs
@@ -73,7 +82,9 @@ fail. CI runs it before trusting the real comparison.
 from __future__ import annotations
 
 import argparse
+import contextlib
 import copy
+import io
 import json
 import pathlib
 import sys
@@ -176,12 +187,28 @@ def warn_on_rss_growth(name: str, base: dict, cur: dict) -> None:
             )
 
 
+def warn_on_hardware_mismatch(baseline: dict, current: dict) -> None:
+    """Warn-only top-level hardware_threads comparison: ratio warnings
+    below are only as comparable as the machines that produced them."""
+    base_hw = baseline.get("hardware_threads")
+    cur_hw = current.get("hardware_threads")
+    if base_hw is None or cur_hw is None or base_hw == cur_hw:
+        return
+    print(
+        f"  WARNING: hardware_threads differ: baseline ran with {base_hw}, "
+        f"current with {cur_hw} — speedup and RSS comparisons span "
+        "different hardware, read their warnings accordingly"
+    )
+
+
 def compare(baseline: dict, current: dict, threshold: float,
             allow_missing: bool = False) -> list[str]:
     """Returns a list of failure messages (empty = gate passes)."""
     failures = []
     baseline_names = {s["name"] for s in baseline["scenarios"]}
     current_by_name = {s["name"]: s for s in current["scenarios"]}
+
+    warn_on_hardware_mismatch(baseline, current)
 
     for cur in current["scenarios"]:
         if not cur.get("outputs_identical", False):
@@ -387,10 +414,38 @@ def self_test() -> int:
         failures += 1
         print(f"self-test FAIL: unexpected speedup ratios {ratios}")
 
+    # hardware_threads drift is warn-only: a baseline from the single-core
+    # container vs. a multi-core runner prints both values but passes.
+    hw_baseline = copy.deepcopy(scale_baseline)
+    hw_baseline["hardware_threads"] = 1
+    hw_current = copy.deepcopy(scale_baseline)
+    hw_current["hardware_threads"] = 8
+    print("self-test: hardware_threads mismatch warns but passes")
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        problems = compare(hw_baseline, hw_current, DEFAULT_THRESHOLD)
+    sys.stdout.write(buf.getvalue())
+    if problems:
+        failures += 1
+        print("self-test FAIL: hardware_threads drift must be warn-only")
+    if "hardware_threads differ" not in buf.getvalue() or \
+            "1" not in buf.getvalue() or "8" not in buf.getvalue():
+        failures += 1
+        print("self-test FAIL: hardware mismatch must print both values")
+    print("self-test: matching hardware_threads stays silent")
+    hw_current["hardware_threads"] = 1
+    buf = io.StringIO()
+    with contextlib.redirect_stdout(buf):
+        problems = compare(hw_baseline, hw_current, DEFAULT_THRESHOLD)
+    sys.stdout.write(buf.getvalue())
+    if problems or "hardware_threads differ" in buf.getvalue():
+        failures += 1
+        print("self-test FAIL: matching hardware must pass silently")
+
     if failures:
         print(f"self-test: {failures} case(s) failed")
         return 1
-    print("self-test OK (15 cases)")
+    print("self-test OK (17 cases)")
     return 0
 
 

@@ -44,10 +44,13 @@ Usage
   tools/lint_determinism.py [--self-test] [path ...]
 
 With no paths, scans `src/` relative to the repository root (the directory
-containing this script's parent). Exits 1 when findings remain, 0 when
-clean. `--self-test` runs the linter against embedded positive/negative
-samples and exits accordingly — CI runs it so the lint wall is itself
-tested.
+containing this script's parent). CI and ctest scan wider — src/, bench/,
+examples/ and tests/ — because a nondeterministic *test* (an unordered
+container feeding an expectation, a wall-clock seed) silently weakens the
+bit-identity contract it is supposed to enforce. Exits 1 when findings
+remain, 0 when clean. `--self-test` runs the linter against embedded
+positive/negative samples and exits accordingly — CI runs it so the lint
+wall is itself tested.
 """
 
 from __future__ import annotations
