@@ -29,8 +29,11 @@
 // the work-stealing runtime is exercised (and its determinism contract
 // checked) even on a single-core runner, where the "parallel" timings
 // then measure oversubscription overhead, not speedup; hardware_threads
-// records what the machine actually had so readers can tell the cases
-// apart.
+// (top-level and per scenario) records what the machine actually had, and
+// per-scenario "oversubscribed" flags threads_parallel > hardware_threads
+// so the committed-baseline caveat travels with the numbers. The
+// top-level "threads" field is the configured maximum across the
+// serial/parallel/reshard configurations, not whichever ran last.
 //
 // Environment knobs: DOSN_SCALE_USERS (comma-separated population sizes,
 // default "100000,500000,1000000" — CI smoke runs just 100000),
@@ -175,6 +178,12 @@ int main() {
   const std::size_t parallel_threads =
       std::max<std::size_t>(2, hardware_threads);
 
+  // Every configuration runs with either 1 thread (serial reference) or
+  // parallel_threads; the report's top-level "threads" is their maximum,
+  // independent of which configuration happened to run last.
+  const std::size_t max_threads =
+      std::max<std::size_t>(1, parallel_threads);
+
   dosn::util::ThreadPool pool(
       dosn::util::RuntimeOptions{.threads = parallel_threads});
 
@@ -287,7 +296,7 @@ int main() {
   }
 
   dosn::bench::write_bench_json(
-      "BENCH_scale.json", "scale_study", seed, parallel_threads,
+      "BENCH_scale.json", "scale_study", seed, max_threads,
       [&](dosn::util::JsonWriter& w) {
         w.field("hardware_threads",
                 static_cast<std::uint64_t>(hardware_threads));
@@ -305,6 +314,9 @@ int main() {
           w.field("threads_serial", static_cast<std::uint64_t>(1));
           w.field("threads_parallel",
                   static_cast<std::uint64_t>(parallel_threads));
+          w.field("hardware_threads",
+                  static_cast<std::uint64_t>(hardware_threads));
+          w.field("oversubscribed", parallel_threads > hardware_threads);
           w.field("gen_ms", s.gen_ms);
           w.field("gen_pipelined_ms", s.gen_pipelined_ms);
           w.field("gen_identical", s.gen_identical);

@@ -281,6 +281,17 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
   return report;
 }
 
+std::optional<SimTime> first_non_origin_arrival(
+    const UpdateDelivery& delivery) {
+  std::optional<SimTime> earliest;
+  for (std::size_t node = 0; node < delivery.arrival.size(); ++node) {
+    if (node == delivery.origin) continue;
+    const auto& at = delivery.arrival[node];
+    if (at && (!earliest || *at < *earliest)) earliest = *at;
+  }
+  return earliest;
+}
+
 std::vector<UpdateSpec> updates_within_schedules(
     std::span<const DaySchedule> nodes, std::size_t count, int horizon_days,
     util::Rng& rng) {

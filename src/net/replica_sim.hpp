@@ -92,6 +92,12 @@ ReplicaSimReport simulate_replica_group(std::span<const DaySchedule> nodes,
                                         std::span<const UpdateSpec> updates,
                                         const ReplicaSimConfig& config);
 
+/// Earliest arrival of the update at any node other than its origin —
+/// the instant the write becomes durable beyond the writer's own copy.
+/// nullopt when no other node received it within the horizon (or the
+/// group has no other node).
+std::optional<SimTime> first_non_origin_arrival(const UpdateDelivery& delivery);
+
 /// Draws `count` update times uniformly inside `origin`'s online time over
 /// the horizon (what the analytic metric assumes can happen), with the
 /// origin cycling over the given candidates. Helper for validation runs.

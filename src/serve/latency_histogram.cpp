@@ -1,0 +1,74 @@
+#include "serve/latency_histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "interval/day_schedule.hpp"
+#include "util/check.hpp"
+
+namespace dosn::serve {
+
+const std::vector<Seconds>& LatencyHistogram::default_bounds() {
+  static const std::vector<Seconds> bounds = [] {
+    std::vector<Seconds> b;
+    b.push_back(0);
+    // ~x1.5 geometric ladder (integer math; strictly increasing by
+    // construction); the last bound is the first past the 14-day horizon,
+    // so every in-horizon wait lands below the overflow bucket.
+    const Seconds limit = 14 * interval::kDaySeconds;
+    for (Seconds v = 1;; v = std::max(v + 1, v + v / 2)) {
+      b.push_back(v);
+      if (v > limit) break;
+    }
+    return b;
+  }();
+  return bounds;
+}
+
+LatencyHistogram::LatencyHistogram() : LatencyHistogram(default_bounds()) {}
+
+LatencyHistogram::LatencyHistogram(std::vector<Seconds> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1, 0) {
+  DOSN_REQUIRE(!bounds_.empty(), "LatencyHistogram: bounds must be non-empty");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    DOSN_REQUIRE(bounds_[i - 1] < bounds_[i],
+                 "LatencyHistogram: bounds must be strictly increasing");
+}
+
+void LatencyHistogram::record(Seconds v) {
+  DOSN_CHECK(v >= 0, "LatencyHistogram: negative latency");
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), v);
+  ++buckets_[static_cast<std::size_t>(it - bounds_.begin())];
+  ++count_;
+  sum_ += v;
+  max_ = std::max(max_, v);
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  DOSN_CHECK(bounds_ == other.bounds_,
+             "LatencyHistogram: merging mismatched bounds");
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    buckets_[i] += other.buckets_[i];
+  count_ += other.count_;
+  sum_ += other.sum_;
+  max_ = std::max(max_, other.max_);
+}
+
+Seconds LatencyHistogram::quantile(double q) const {
+  DOSN_CHECK(q >= 0.0 && q <= 1.0, "LatencyHistogram: quantile out of range");
+  if (count_ == 0) return 0;
+  // Rank of the order statistic: ceil(q * count), clamped into [1, count].
+  const auto rank = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(
+             std::ceil(q * static_cast<double>(count_))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    cumulative += buckets_[i];
+    if (cumulative >= rank) return bounds_[i];
+  }
+  // The order statistic lies beyond the last bound: the exact maximum is
+  // the tightest deterministic answer available.
+  return max_;
+}
+
+}  // namespace dosn::serve

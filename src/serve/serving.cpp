@@ -1,0 +1,420 @@
+#include "serve/serving.hpp"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <optional>
+
+#include "interval/day_schedule.hpp"
+#include "interval/interval_set.hpp"
+#include "net/replica_sim.hpp"
+#include "obs/obs.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/thread_annotations.hpp"
+
+namespace dosn::serve {
+
+using interval::DaySchedule;
+using interval::Interval;
+using interval::IntervalSet;
+using net::SimTime;
+
+namespace {
+
+/// Stream tag of the per-user placement streams (distinct from the
+/// workload tag and every study-engine stream family).
+inline constexpr std::uint64_t kPlacementTag = 0x53455256'504c4143ULL;  // "SERVPLAC"
+
+inline constexpr std::uint64_t kFnvOffset = 14695981039346656037ULL;
+inline constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xff;
+    h *= kFnvPrime;
+  }
+}
+
+/// Per-run totals, flushed in batches so the request loop carries one
+/// shard-add per user, not per request. Latency histograms are recorded
+/// per request (a relaxed bucket add when observability is on).
+struct ServeMetrics {
+  obs::Counter& requests = obs::Registry::global().counter("serve.requests");
+  obs::Counter& unserved = obs::Registry::global().counter("serve.unserved");
+  obs::Counter& slo_misses =
+      obs::Registry::global().counter("serve.slo_misses");
+  obs::Histogram& read = obs::Registry::global().histogram(
+      "serve.latency.read", LatencyHistogram::default_bounds());
+  obs::Histogram& feed = obs::Registry::global().histogram(
+      "serve.latency.feed", LatencyHistogram::default_bounds());
+  obs::Histogram& write = obs::Registry::global().histogram(
+      "serve.latency.write", LatencyHistogram::default_bounds());
+};
+
+ServeMetrics& serve_metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+/// One profile's realized serving surface: the replica selection plus the
+/// canonical union of the group members' fault-degraded absolute online
+/// sessions over the horizon.
+struct GroupTimeline {
+  std::vector<graph::UserId> selection;
+  std::vector<Interval> online;
+};
+
+/// Wait from `t` until `pieces` (canonical absolute intervals) next
+/// covers an instant; nullopt when nothing remains within the horizon.
+std::optional<Seconds> wait_within(std::span<const Interval> pieces,
+                                   SimTime t) {
+  // First piece ending after t.
+  const auto it = std::upper_bound(
+      pieces.begin(), pieces.end(), t,
+      [](SimTime v, const Interval& p) { return v < p.end; });
+  if (it == pieces.end()) return std::nullopt;
+  return it->start <= t ? 0 : it->start - t;
+}
+
+/// Per-served-user accumulation, reduced serially in cohort order.
+struct UserLoad {
+  KindStats read;
+  KindStats feed;
+  KindStats write;
+  std::uint64_t digest = kFnvOffset;
+};
+
+/// The serving study's per-run immutable context, shared by all workers.
+struct RunContext {
+  const trace::Dataset& dataset;
+  std::span<const DaySchedule> schedules;
+  const ServingConfig& config;
+  const placement::ReplicaPolicy& policy;
+  std::uint64_t seed;
+  std::uint64_t placement_stream;
+  SimTime horizon;
+  /// Relay availability under UnconRep: canonical outage windows clipped
+  /// to the horizon (explicit plan windows — identical for every user).
+  std::vector<Interval> relay_outages;
+
+  bool relay_exists() const {
+    return config.connectivity == placement::Connectivity::kUnconRep;
+  }
+
+  /// Wait from `t` until the relay is reachable (0 when no outage covers
+  /// t). Only meaningful under UnconRep.
+  Seconds relay_wait(SimTime t) const {
+    const auto it = std::upper_bound(
+        relay_outages.begin(), relay_outages.end(), t,
+        [](SimTime v, const Interval& w) { return v < w.end; });
+    if (it == relay_outages.end() || !it->contains(t)) return 0;
+    return it->end - t;
+  }
+
+  net::FaultPlan plan_for(graph::UserId user) const {
+    net::FaultPlan plan = config.faults;
+    plan.seed = util::mix64(plan.seed, user);
+    return plan;
+  }
+
+  /// Selection plus realized group sessions for `user`'s profile. A pure
+  /// function of (seed, plan seed, user): identical whether the user is
+  /// being served or fanned into a friend's feed.
+  GroupTimeline realize_group(graph::UserId user) const {
+    GroupTimeline g;
+    util::Rng rng(util::mix64(placement_stream, user));
+    placement::PlacementContext ctx;
+    ctx.user = user;
+    ctx.candidates = dataset.graph.contacts(user);
+    ctx.schedules = schedules;
+    ctx.trace = &dataset.trace;
+    ctx.connectivity = config.connectivity;
+    ctx.max_replicas = config.replicas;
+    g.selection = policy.select(ctx, rng);
+
+    net::FaultInjector injector(plan_for(user));
+    IntervalSet online;
+    const auto add_sessions = [&](std::size_t node_index,
+                                  const DaySchedule& schedule) {
+      for (const auto& iv :
+           injector.sessions(node_index, schedule, config.workload.horizon_days))
+        online.add(iv.start, iv.end);
+    };
+    add_sessions(0, schedules[user]);
+    for (std::size_t i = 0; i < g.selection.size(); ++i)
+      add_sessions(i + 1, schedules[g.selection[i]]);
+    g.online.assign(online.pieces().begin(), online.pieces().end());
+    return g;
+  }
+};
+
+/// Sharded memo of realized group timelines. Feed fan-in touches every
+/// friend of every served user — including hubs whose greedy placement is
+/// expensive — and popular profiles recur across served users, so each
+/// referenced profile is realized exactly once per run. Caching cannot
+/// reach a result bit: realize_group is a pure function of (seed, user),
+/// and computing under the shard lock keeps the placement obs counters at
+/// one realization per unique profile (a thread-count-invariant total).
+/// Keyed access only — the maps are never iterated, so container order
+/// cannot leak into any result.
+class GroupCache {
+ public:
+  explicit GroupCache(const RunContext& run) : run_(run) {}
+
+  const GroupTimeline& get(graph::UserId user) {
+    Shard& shard = shards_[user % kShards];
+    util::MutexLock lock(shard.mutex);
+    const auto [it, inserted] = shard.groups.try_emplace(user);
+    if (inserted) it->second = run_.realize_group(user);
+    return it->second;
+  }
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct Shard {
+    util::Mutex mutex;
+    std::map<graph::UserId, GroupTimeline> groups DOSN_GUARDED_BY(mutex);
+  };
+
+  const RunContext& run_;
+  std::array<Shard, kShards> shards_;
+};
+
+/// Read latency of one profile fetch at time t against `group` (nullopt:
+/// unreachable within the horizon). Crypto cost is added by the caller.
+std::optional<Seconds> fetch_wait(const RunContext& run,
+                                  const GroupTimeline& group, SimTime t) {
+  const auto group_wait = wait_within(group.online, t);
+  if (!run.relay_exists()) return group_wait;
+  const Seconds relay = run.relay_wait(t);
+  if (!group_wait) return relay;
+  return std::min(*group_wait, relay);
+}
+
+void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
+                UserLoad& load) {
+  const auto contacts = run.dataset.graph.contacts(user);
+  const auto requests = user_requests(run.config.workload, run.seed, user,
+                                      contacts.size());
+
+  const GroupTimeline& own = cache.get(user);
+  const auto friend_group = [&](std::size_t i) -> const GroupTimeline& {
+    return cache.get(contacts[i]);
+  };
+
+  // Post writes run through the event-driven replica simulator: the write
+  // requests become UpdateSpecs (origin 0 = the owner) and ConRep
+  // durability is the realized anti-entropy arrival at the first
+  // non-origin replica, under the same per-user fault plan the read path
+  // realizes its sessions from.
+  std::vector<net::UpdateSpec> writes;
+  for (const auto& r : requests)
+    if (r.kind == RequestKind::kPostWrite)
+      writes.push_back({r.time, 0});
+  net::ReplicaSimReport write_report;
+  const bool simulate_writes =
+      !writes.empty() && !own.selection.empty() &&
+      run.config.connectivity == placement::Connectivity::kConRep;
+  if (simulate_writes) {
+    std::vector<DaySchedule> nodes;
+    nodes.reserve(own.selection.size() + 1);
+    nodes.push_back(run.schedules[user]);
+    for (const auto holder : own.selection)
+      nodes.push_back(run.schedules[holder]);
+    net::ReplicaSimConfig sim_config;
+    sim_config.connectivity = run.config.connectivity;
+    sim_config.horizon_days = run.config.workload.horizon_days;
+    sim_config.faults = run.plan_for(user);
+    write_report = net::simulate_replica_group(nodes, writes, sim_config);
+  }
+  // Upload surface for UnconRep writes: owner online while the relay is
+  // up (own.online includes the replicas; re-derive the owner's sessions
+  // alone only when needed).
+  std::vector<Interval> upload;
+  if (run.relay_exists() && !writes.empty()) {
+    net::FaultInjector injector(run.plan_for(user));
+    IntervalSet owner_online;
+    for (const auto& iv : injector.sessions(0, run.schedules[user],
+                                            run.config.workload.horizon_days))
+      owner_online.add(iv.start, iv.end);
+    IntervalSet outages{std::vector<Interval>(run.relay_outages.begin(),
+                                              run.relay_outages.end())};
+    const auto up = owner_online.subtract(outages);
+    upload.assign(up.pieces().begin(), up.pieces().end());
+  }
+
+  ServeMetrics& metrics = serve_metrics();
+  const Seconds crypto = run.config.crypto_op_cost;
+  std::size_t write_index = 0;
+  for (const auto& r : requests) {
+    std::optional<Seconds> latency;
+    switch (r.kind) {
+      case RequestKind::kProfileRead: {
+        if (contacts.empty()) {
+          latency = 0;
+        } else {
+          const std::size_t target = r.target_index % contacts.size();
+          latency = fetch_wait(run, friend_group(target), r.time);
+        }
+        if (latency) *latency += crypto;
+        break;
+      }
+      case RequestKind::kFeedAssembly: {
+        // Fan-in: the feed completes with the slowest friend fetch; one
+        // unreachable friend leaves the feed unassembled (unserved).
+        Seconds slowest = 0;
+        bool complete = true;
+        for (std::size_t i = 0; i < contacts.size(); ++i) {
+          const auto wait = fetch_wait(run, friend_group(i), r.time);
+          if (!wait) {
+            complete = false;
+            break;
+          }
+          slowest = std::max(slowest, *wait);
+        }
+        if (complete)
+          latency = slowest +
+                    crypto * static_cast<Seconds>(contacts.size());
+        break;
+      }
+      case RequestKind::kPostWrite: {
+        const std::size_t index = write_index++;
+        if (run.relay_exists()) {
+          latency = wait_within(upload, r.time);
+        } else if (!simulate_writes) {
+          latency = 0;  // single-node group: local durability
+        } else {
+          const auto arrival =
+              net::first_non_origin_arrival(write_report.deliveries[index]);
+          if (arrival) latency = *arrival - r.time;
+        }
+        if (latency)
+          *latency += crypto * static_cast<Seconds>(1 + own.selection.size());
+        break;
+      }
+    }
+
+    KindStats& stats = r.kind == RequestKind::kProfileRead ? load.read
+                       : r.kind == RequestKind::kFeedAssembly ? load.feed
+                                                              : load.write;
+    ++stats.requests;
+    if (latency) {
+      stats.latency.record(*latency);
+      if (*latency > run.config.slo) ++stats.slo_misses;
+      obs::Histogram& h = r.kind == RequestKind::kProfileRead ? metrics.read
+                          : r.kind == RequestKind::kFeedAssembly
+                              ? metrics.feed
+                              : metrics.write;
+      h.record(*latency);
+    } else {
+      ++stats.unserved;
+      ++stats.slo_misses;
+    }
+
+    fnv_mix(load.digest, static_cast<std::uint64_t>(r.kind));
+    fnv_mix(load.digest, static_cast<std::uint64_t>(r.time));
+    fnv_mix(load.digest,
+            latency ? static_cast<std::uint64_t>(*latency) + 1 : 0);
+  }
+
+  metrics.requests.add(requests.size());
+  metrics.unserved.add(load.read.unserved + load.feed.unserved +
+                       load.write.unserved);
+  metrics.slo_misses.add(load.read.slo_misses + load.feed.slo_misses +
+                         load.write.slo_misses);
+}
+
+void merge_kind(KindStats& into, const KindStats& from) {
+  into.latency.merge(from.latency);
+  into.requests += from.requests;
+  into.unserved += from.unserved;
+  into.slo_misses += from.slo_misses;
+}
+
+}  // namespace
+
+void validate(const ServingConfig& config) {
+  validate(config.workload);
+  net::validate(config.faults);
+  if (config.crypto_op_cost < 0)
+    throw ConfigError("serving: crypto_op_cost must be >= 0");
+  if (config.slo < 0)
+    throw ConfigError("serving: slo must be >= 0");
+}
+
+ServingReport run_serving_study(const trace::Dataset& dataset,
+                                std::span<const DaySchedule> schedules,
+                                std::span<const graph::UserId> cohort,
+                                std::uint64_t seed,
+                                const ServingConfig& config,
+                                util::ThreadPool* pool) {
+  validate(config);
+  DOSN_REQUIRE(schedules.size() == dataset.num_users(),
+               "serving: schedules must span every user");
+
+  const std::size_t served =
+      config.served_users == 0
+          ? cohort.size()
+          : std::min(config.served_users, cohort.size());
+
+  const auto policy =
+      placement::make_policy(config.policy, config.policy_params);
+  RunContext run{
+      .dataset = dataset,
+      .schedules = schedules,
+      .config = config,
+      .policy = *policy,
+      .seed = seed,
+      .placement_stream = util::mix64(seed, kPlacementTag),
+      .horizon = static_cast<SimTime>(config.workload.horizon_days) *
+                 interval::kDaySeconds,
+      .relay_outages = {},
+  };
+
+  if (run.relay_exists()) {
+    IntervalSet outages;
+    for (const auto& w : config.faults.relay_outages) {
+      const SimTime start = std::min<SimTime>(w.start, run.horizon);
+      const SimTime end = std::min<SimTime>(w.end, run.horizon);
+      if (start < end) outages.add(start, end);
+    }
+    run.relay_outages.assign(outages.pieces().begin(),
+                             outages.pieces().end());
+  }
+
+  // Fan out into per-index slots; stealing reorders execution only.
+  GroupCache cache(run);
+  std::vector<UserLoad> loads(served);
+  util::parallel_for_each(pool, served, [&](std::size_t i) {
+    serve_user(run, cache, cohort[i], loads[i]);
+  });
+
+  // Serial reduction in cohort order: the one floating-point-free fold
+  // that makes every aggregate (and the checksum) thread-count invariant.
+  ServingReport report;
+  report.served_users = served;
+  report.horizon = run.horizon;
+  report.request_log_checksum = kFnvOffset;
+  for (std::size_t i = 0; i < served; ++i) {
+    merge_kind(report.read, loads[i].read);
+    merge_kind(report.feed, loads[i].feed);
+    merge_kind(report.write, loads[i].write);
+    fnv_mix(report.request_log_checksum,
+            static_cast<std::uint64_t>(cohort[i]));
+    fnv_mix(report.request_log_checksum, loads[i].digest);
+  }
+  report.latency.merge(report.read.latency);
+  report.latency.merge(report.feed.latency);
+  report.latency.merge(report.write.latency);
+  report.requests =
+      report.read.requests + report.feed.requests + report.write.requests;
+  report.unserved =
+      report.read.unserved + report.feed.unserved + report.write.unserved;
+  report.slo_misses = report.read.slo_misses + report.feed.slo_misses +
+                      report.write.slo_misses;
+  report.served = report.requests - report.unserved;
+  return report;
+}
+
+}  // namespace dosn::serve

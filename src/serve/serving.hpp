@@ -1,0 +1,131 @@
+// Request-level serving study: what a user actually waits for.
+//
+// Every prior metric in this repository is analytic or sim-aggregate
+// (schedule-level availability, worst-case propagation delay). This layer
+// issues *requests* — profile reads, feed assemblies, post writes — from a
+// deterministic per-user workload (serve/workload.hpp) against the replica
+// placements a policy chose, and measures the latency each request
+// realizes under churn and injected faults (DESIGN.md §14):
+//
+//   * profile read of friend f — wait from the request instant until any
+//     member of f's replica group (f plus f's selected replicas) is
+//     online under the *realized* (fault-degraded) sessions; under
+//     UnconRep the persistent store serves immediately whenever the relay
+//     is up, so the wait is min(relay wait, group wait).
+//   * feed assembly — fan-in: the max of the per-friend profile-read
+//     waits over all contacts (the feed completes with the slowest
+//     fetch); unreachable within the horizon => the request is unserved.
+//   * post write — durability latency. Under ConRep the write is injected
+//     into net::simulate_replica_group as an UpdateSpec and the latency
+//     is the earliest arrival at a non-origin replica (anti-entropy
+//     durability, realized by the event-driven simulator under the same
+//     fault realization as the read path). Under UnconRep it is the wait
+//     until the owner is next online while the relay is up (upload to the
+//     persistent store). A single-node group writes locally (latency 0)
+//     under ConRep.
+//
+// A DECENT-style crypto-cost knob taxes every object operation: reads add
+// one op, feeds one per friend profile, writes 1 + |selection| ops
+// (encrypt plus per-replica key distribution), modeling per-op
+// cryptography on the serving path (Jahid et al.).
+//
+// Determinism discipline (same as the study engine): placements are
+// selected on the *ideal* schedules from per-user streams
+// mix64(mix64(seed, kPlacementTag), user); fault realizations come from
+// per-user plans whose seed is mix64(plan.seed, user), so a user's group
+// realization is identical whether it is being served or fanned into a
+// friend's feed, and scaled() plans stay nested across intensities.
+// Users fan out over a util::ThreadPool into per-index slots and reduce
+// serially in cohort order: the request-log checksum is bit-identical
+// over every thread count and DOSN_OBS setting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "net/fault.hpp"
+#include "placement/policy.hpp"
+#include "serve/latency_histogram.hpp"
+#include "serve/workload.hpp"
+#include "trace/dataset.hpp"
+#include "util/thread_pool.hpp"
+
+namespace dosn::serve {
+
+struct ServingConfig {
+  WorkloadConfig workload;
+  placement::PolicyKind policy = placement::PolicyKind::kMaxAv;
+  placement::PolicyParams policy_params;
+  placement::Connectivity connectivity = placement::Connectivity::kConRep;
+  /// Replica budget per profile (the sweep's k).
+  std::size_t replicas = 5;
+  /// Fault scenario; the zero plan serves ideal schedules. Realizations
+  /// are per-user-seeded (mix64(faults.seed, user)) and nested across
+  /// scaled() intensities.
+  net::FaultPlan faults;
+  /// DECENT-style per-crypto-op latency tax in seconds (0 = off).
+  Seconds crypto_op_cost = 0;
+  /// A served request slower than this misses its SLO; unserved requests
+  /// always miss.
+  Seconds slo = 600;
+  /// Serve only the first `served_users` cohort members (0 = all).
+  std::size_t served_users = 0;
+};
+
+/// Throws ConfigError on out-of-range knobs.
+void validate(const ServingConfig& config);
+
+/// Aggregate over one request kind.
+struct KindStats {
+  LatencyHistogram latency;  ///< served requests only
+  std::uint64_t requests = 0;
+  std::uint64_t unserved = 0;    ///< not serveable within the horizon
+  std::uint64_t slo_misses = 0;  ///< served-too-slow plus unserved
+
+  friend bool operator==(const KindStats&, const KindStats&) = default;
+};
+
+struct ServingReport {
+  KindStats read;
+  KindStats feed;
+  KindStats write;
+  LatencyHistogram latency;  ///< all served requests
+  std::uint64_t requests = 0;
+  std::uint64_t served = 0;
+  std::uint64_t unserved = 0;
+  std::uint64_t slo_misses = 0;
+  std::size_t served_users = 0;
+  Seconds horizon = 0;
+  /// Order-sensitive FNV-1a digest over (user, kind, time, latency) of
+  /// every request in cohort-then-time order; unserved requests
+  /// contribute a distinct sentinel. Bit-identical across thread counts —
+  /// the bench's parallel-correctness probe.
+  std::uint64_t request_log_checksum = 0;
+
+  double slo_miss_fraction() const {
+    return requests == 0
+               ? 0.0
+               : static_cast<double>(slo_misses) / static_cast<double>(requests);
+  }
+  /// Requests served within the SLO per simulated second.
+  double goodput_rps() const {
+    return horizon <= 0 ? 0.0
+                        : static_cast<double>(requests - slo_misses) /
+                              static_cast<double>(horizon);
+  }
+
+  friend bool operator==(const ServingReport&, const ServingReport&) = default;
+};
+
+/// Runs the serving study over `cohort` (truncated to
+/// config.served_users). `schedules` spans every user of the dataset —
+/// the ideal advertised schedules placements are chosen on. Fans out over
+/// `pool` (null or single-threaded = serial reference order).
+ServingReport run_serving_study(const trace::Dataset& dataset,
+                                std::span<const interval::DaySchedule> schedules,
+                                std::span<const graph::UserId> cohort,
+                                std::uint64_t seed,
+                                const ServingConfig& config,
+                                util::ThreadPool* pool = nullptr);
+
+}  // namespace dosn::serve

@@ -1,0 +1,69 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+
+#include "interval/day_schedule.hpp"
+#include "util/check.hpp"
+#include "util/error.hpp"
+
+namespace dosn::serve {
+
+namespace {
+/// Stream tag separating the workload stream family from every other
+/// mix64-derived stream in the system (placement, models, faults).
+inline constexpr std::uint64_t kWorkloadTag = 0x53455256'574b4c44ULL;  // "SERVWKLD"
+}  // namespace
+
+std::string_view to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kProfileRead: return "profile_read";
+    case RequestKind::kFeedAssembly: return "feed_assembly";
+    case RequestKind::kPostWrite: return "post_write";
+  }
+  DOSN_UNREACHABLE("unknown RequestKind");
+}
+
+void validate(const WorkloadConfig& config) {
+  if (config.requests_per_user_per_day <= 0.0)
+    throw ConfigError("workload: requests_per_user_per_day must be > 0");
+  if (config.read_fraction < 0.0 || config.feed_fraction < 0.0 ||
+      config.read_fraction + config.feed_fraction > 1.0)
+    throw ConfigError("workload: request mix fractions out of range");
+  if (config.horizon_days <= 0)
+    throw ConfigError("workload: horizon_days must be > 0");
+}
+
+std::vector<Request> user_requests(const WorkloadConfig& config,
+                                   std::uint64_t seed, graph::UserId user,
+                                   std::size_t degree) {
+  validate(config);
+  util::Rng rng(util::mix64(util::mix64(seed, kWorkloadTag), user));
+
+  const double horizon_s = static_cast<double>(config.horizon_days) *
+                           static_cast<double>(interval::kDaySeconds);
+  const double rate_per_s = config.requests_per_user_per_day /
+                            static_cast<double>(interval::kDaySeconds);
+  const std::uint64_t target_support =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(degree));
+
+  std::vector<Request> out;
+  // Poisson arrivals: accumulate exponential inter-arrival gaps until the
+  // horizon is exceeded. Double accumulation is deterministic (same draws,
+  // same order, portable Rng::exponential).
+  double t = rng.exponential(rate_per_s);
+  while (t < horizon_s) {
+    Request r;
+    r.time = static_cast<net::SimTime>(t);
+    const double mix = rng.uniform();
+    r.kind = mix < config.read_fraction ? RequestKind::kProfileRead
+             : mix < config.read_fraction + config.feed_fraction
+                 ? RequestKind::kFeedAssembly
+                 : RequestKind::kPostWrite;
+    r.target_index = static_cast<std::uint32_t>(rng.below(target_support));
+    out.push_back(r);
+    t += rng.exponential(rate_per_s);
+  }
+  return out;
+}
+
+}  // namespace dosn::serve

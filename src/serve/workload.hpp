@@ -1,0 +1,75 @@
+// Deterministic request-level traffic generation.
+//
+// The serving study issues three request kinds against a user's social
+// neighborhood (DESIGN.md §14):
+//
+//   * kProfileRead  — fetch one friend's profile (the target friend is
+//     part of the request: contacts(u)[target_index % degree]);
+//   * kFeedAssembly — assemble the user's feed: fan-in over the profiles
+//     of *all* friends, completing when the slowest fetch completes;
+//   * kPostWrite    — publish a post to the user's own replica group.
+//
+// Each user's request stream is a Poisson process (exponential
+// inter-arrival times) at `requests_per_user_per_day`, with kinds drawn
+// from the configured mix. The stream is a pure function of
+// (seed, user): it is drawn from Rng(mix64(mix64(seed, kWorkloadTag),
+// user)) — the same per-entity stream discipline as the study engine —
+// and every request consumes exactly three draws (inter-arrival, kind,
+// target) regardless of its kind, so the stream is bit-identical across
+// thread counts, policies, connectivity regimes, fault intensities and
+// DOSN_OBS settings. Request times deliberately do NOT depend on the
+// user's online schedule: a request models the user reaching for their
+// data (from any device), and fixing the times across fault intensities
+// is what makes the SLO-miss monotonicity property exact rather than
+// statistical.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+#include "net/event_queue.hpp"
+#include "util/rng.hpp"
+
+namespace dosn::serve {
+
+enum class RequestKind : std::uint8_t {
+  kProfileRead = 0,
+  kFeedAssembly = 1,
+  kPostWrite = 2,
+};
+
+std::string_view to_string(RequestKind kind);
+
+struct WorkloadConfig {
+  /// Poisson arrival rate per user (requests per simulated day).
+  double requests_per_user_per_day = 4.0;
+  /// Request mix: P(profile read) and P(feed assembly); the remainder is
+  /// the write fraction. read + feed must be <= 1.
+  double read_fraction = 0.60;
+  double feed_fraction = 0.25;
+  /// Serving horizon in days (schedules repeat daily).
+  int horizon_days = 14;
+};
+
+/// Throws ConfigError when rates/fractions are out of range.
+void validate(const WorkloadConfig& config);
+
+struct Request {
+  net::SimTime time = 0;
+  RequestKind kind = RequestKind::kProfileRead;
+  /// For kProfileRead: the target friend is contacts(u)[target_index].
+  /// Drawn (and stored) for every request so the draw pattern does not
+  /// depend on the kind mix; other kinds ignore it.
+  std::uint32_t target_index = 0;
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// `user`'s requests over the horizon in time order. `degree` is the
+/// user's contact count (target indices are drawn below max(degree, 1)).
+std::vector<Request> user_requests(const WorkloadConfig& config,
+                                   std::uint64_t seed, graph::UserId user,
+                                   std::size_t degree);
+
+}  // namespace dosn::serve

@@ -61,6 +61,26 @@ speedup (warn-only)
     count: the committed baseline may come from a single-core container,
     where "parallel" measures oversubscription overhead, not speedup.
 
+latency SLOs
+    The serving bench (BENCH_serving.json) reports request-latency
+    percentiles in *simulated seconds* — deterministic, seed-fixed values
+    with no hardware dependence — so ``p50_s`` and ``p99_s`` are gated
+    directly: the gate fails when the current value exceeds the baseline
+    by more than ``--threshold`` (an improvement passes; refresh the
+    baseline to lock it in). A baseline of 0 s fails on any nonzero
+    current value — from an exact 0, any growth is a behavior change.
+    ``p999_s`` (a single-request tail, the most sensitive percentile to
+    an intended workload change) and ``goodput_rps`` (a derived quotient)
+    are warn-only: drift prints a warning for a human to judge.
+
+hardware, per scenario (warn-only)
+    Newer reports also record ``hardware_threads`` per scenario. When a
+    scenario-level value (falling back to the report's top level) differs
+    between baseline and current — and at least one report carries the
+    field on the scenario itself — the gate names the scenario, so a
+    mixed-provenance baseline (scenarios committed from different
+    machines) is visible at the granularity where it matters.
+
 ``--allow-missing`` downgrades "present in baseline but missing from the
 current report" from failure to warning. It exists for baselines committed
 from a full run whose CI job reruns only a subset — e.g. BENCH_scale.json
@@ -112,6 +132,19 @@ SPEEDUP_PAIRS = [
 ]
 
 SPEEDUP_WARN_FRACTION = 0.25
+
+# Deterministic simulated-latency percentiles (serving bench), gated
+# directly — simulated seconds are hardware-independent, so no anchor is
+# needed. Fails when current > baseline * (1 + threshold).
+LATENCY_GATE_FIELDS = ["p50_s", "p99_s"]
+
+# Warn-only latency tail: p999 is a single-request order statistic, the
+# first number to move under an intended workload change.
+LATENCY_WARN_FIELDS = ["p999_s"]
+
+# Warn-only throughput floor: warns when current < baseline * (1 - f).
+GOODPUT_WARN_FIELDS = ["goodput_rps"]
+GOODPUT_WARN_FRACTION = 0.25
 
 
 def load_report(path: pathlib.Path) -> dict:
@@ -187,6 +220,75 @@ def warn_on_rss_growth(name: str, base: dict, cur: dict) -> None:
             )
 
 
+def check_latency_gates(name: str, base: dict, cur: dict,
+                        threshold: float) -> list[str]:
+    """Direct (un-anchored) gates over the deterministic simulated-latency
+    percentiles; see the module docstring. Returns failure messages."""
+    failures = []
+    for field in LATENCY_GATE_FIELDS:
+        if field not in base or field not in cur:
+            continue
+        b, c = float(base[field]), float(cur[field])
+        limit = b * (1.0 + threshold)
+        status = "FAIL" if c > limit else "ok"
+        print(f"  {name}.{field}: {c:.0f}s vs baseline {b:.0f}s "
+              f"(limit {limit:.0f}s) [{status}]")
+        if c > limit:
+            failures.append(
+                f"{name}: {field} regressed from {b:.0f}s to {c:.0f}s "
+                f"(threshold {threshold * 100.0:.0f}%"
+                f"{'; exact-zero baseline' if b == 0 else ''})"
+            )
+    return failures
+
+
+def warn_on_serving_drift(name: str, base: dict, cur: dict,
+                          threshold: float) -> None:
+    """Warn-only serving-quality drift: the p999 tail and the goodput
+    quotient move first under intended workload changes, so a human
+    judges them instead of the gate."""
+    for field in LATENCY_WARN_FIELDS:
+        if field not in base or field not in cur:
+            continue
+        b, c = float(base[field]), float(cur[field])
+        if c > b * (1.0 + threshold):
+            print(
+                f"  WARNING: {name}.{field}: tail latency grew "
+                f"{b:.0f}s -> {c:.0f}s — check whether the workload "
+                "change was intended before refreshing the baseline"
+            )
+    for field in GOODPUT_WARN_FIELDS:
+        if field not in base or field not in cur:
+            continue
+        b, c = float(base[field]), float(cur[field])
+        if b > 0 and c < b * (1.0 - GOODPUT_WARN_FRACTION):
+            print(
+                f"  WARNING: {name}.{field}: goodput dropped "
+                f"{b:.3f} -> {c:.3f} requests/s — serving quality drift, "
+                "check before refreshing the baseline"
+            )
+
+
+def warn_on_scenario_hardware_mismatch(name: str, base: dict, cur: dict,
+                                       baseline: dict,
+                                       current: dict) -> None:
+    """Per-scenario hardware_threads comparison (scenario field, top-level
+    fallback). Only emitted when a scenario itself carries the field, so
+    reports without per-scenario hardware don't repeat the top-level
+    warning once per scenario."""
+    if "hardware_threads" not in base and "hardware_threads" not in cur:
+        return
+    base_hw = base.get("hardware_threads", baseline.get("hardware_threads"))
+    cur_hw = cur.get("hardware_threads", current.get("hardware_threads"))
+    if base_hw is None or cur_hw is None or base_hw == cur_hw:
+        return
+    print(
+        f"  WARNING: {name}: hardware_threads differ: baseline ran with "
+        f"{base_hw}, current with {cur_hw} — this scenario's timings span "
+        "different hardware"
+    )
+
+
 def warn_on_hardware_mismatch(baseline: dict, current: dict) -> None:
     """Warn-only top-level hardware_threads comparison: ratio warnings
     below are only as comparable as the machines that produced them."""
@@ -239,6 +341,9 @@ def compare(baseline: dict, current: dict, threshold: float,
             continue
         warn_on_rss_growth(name, base, cur)
         warn_on_speedup_regression(name, base, cur)
+        warn_on_serving_drift(name, base, cur, threshold)
+        warn_on_scenario_hardware_mismatch(name, base, cur, baseline, current)
+        failures.extend(check_latency_gates(name, base, cur, threshold))
         base_ratios = scenario_ratios(base)
         cur_ratios = scenario_ratios(cur)
         for field in base_ratios:
@@ -442,10 +547,67 @@ def self_test() -> int:
         failures += 1
         print("self-test FAIL: matching hardware must pass silently")
 
+    # Serving latency gates: p50/p99 are deterministic simulated seconds,
+    # gated directly.
+    serving_baseline = {
+        "benchmark": "serving_load",
+        "hardware_threads": 1,
+        "scenarios": [
+            {"name": "serve_100000_maxav_conrep", "outputs_identical": True,
+             "p50_s": 200.0, "p99_s": 90000.0, "p999_s": 90000.0,
+             "goodput_rps": 0.050, "hardware_threads": 1},
+        ],
+    }
+
+    def expect_serving(label: str, mutate, should_pass: bool,
+                       want_warning: str | None = None) -> None:
+        nonlocal failures
+        current = copy.deepcopy(serving_baseline)
+        mutate(current["scenarios"][0])
+        print(f"self-test: {label}")
+        buf = io.StringIO()
+        with contextlib.redirect_stdout(buf):
+            problems = compare(serving_baseline, current, DEFAULT_THRESHOLD)
+        sys.stdout.write(buf.getvalue())
+        passed = not problems
+        if passed != should_pass:
+            failures += 1
+            print(f"self-test FAIL: {label}: expected "
+                  f"{'pass' if should_pass else 'fail'}, got "
+                  f"{'pass' if passed else problems}")
+        if want_warning and want_warning not in buf.getvalue():
+            failures += 1
+            print(f"self-test FAIL: {label}: expected a warning mentioning "
+                  f"{want_warning!r}")
+
+    expect_serving("30% p99 latency regression fails",
+                   lambda s: s.update(p99_s=90000.0 * 1.30), False)
+    expect_serving("10% p50 latency wobble passes",
+                   lambda s: s.update(p50_s=220.0), True)
+    expect_serving("improved latency passes",
+                   lambda s: s.update(p50_s=100.0, p99_s=40000.0), True)
+    # Exact-zero baseline (e.g. UnconRep p50): any growth is a behavior
+    # change and must fail; staying at zero passes.
+    serving_baseline["scenarios"][0]["p50_s"] = 0.0
+    expect_serving("any growth from an exact-zero baseline fails",
+                   lambda s: s.update(p50_s=5.0), False)
+    expect_serving("zero-baseline p50 with zero current passes",
+                   lambda s: s.update(p50_s=0.0), True)
+    serving_baseline["scenarios"][0]["p50_s"] = 200.0
+    expect_serving("doubled p999 tail warns but passes",
+                   lambda s: s.update(p999_s=180000.0), True,
+                   want_warning="tail latency grew")
+    expect_serving("halved goodput warns but passes",
+                   lambda s: s.update(goodput_rps=0.020), True,
+                   want_warning="goodput dropped")
+    expect_serving("per-scenario hardware_threads mismatch warns but passes",
+                   lambda s: s.update(hardware_threads=8), True,
+                   want_warning="serve_100000_maxav_conrep: hardware_threads")
+
     if failures:
         print(f"self-test: {failures} case(s) failed")
         return 1
-    print("self-test OK (17 cases)")
+    print("self-test OK (25 cases)")
     return 0
 
 
