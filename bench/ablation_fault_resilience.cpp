@@ -227,7 +227,52 @@ int main() {
   const bool retrans_beats =
       hardened_tally.rate() >= plain_tally.rate() &&
       hardened_tally.mean_delay_h() < plain_tally.mean_delay_h();
-  const bool gossip_ok = gossip_zero_identity && retrans_beats;
+
+  // Per-intensity effort accounting: the hardened protocol re-run with
+  // the wire-loss plan scaled at each intensity, recording the
+  // retransmit / wire-drop totals and their increments between adjacent
+  // intensities (the marginal cost of each loss step). The zero column
+  // must be all-quiet and the full column must reproduce the totals of
+  // the headline run above (same plan, f = 1).
+  const std::vector<double> drop_intensities{0.0, 0.25, 0.5, 0.75, 1.0};
+  std::vector<std::uint64_t> retrans_by_intensity, drops_by_intensity;
+  for (const double f : drop_intensities) {
+    std::uint64_t rt = 0, dr = 0;
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      const auto& group = groups[g];
+      util::Rng wrng(util::mix64(seed, 0xa7d, g));
+      const auto specs =
+          net::updates_within_schedules({group.data(), 1}, 16, 12, wrng);
+      std::vector<net::GossipWrite> writes;
+      for (const auto& s : specs)
+        writes.push_back({s.time, 0, static_cast<graph::UserId>(g)});
+
+      net::GossipConfig hardened;
+      hardened.sync_period = 300;
+      hardened.link_latency = 1;
+      hardened.horizon_days = 14;
+      hardened.max_retransmits = 6;
+      hardened.retransmit_timeout = 30;
+      hardened.retransmit_backoff_cap = 240;
+      net::FaultPlan lossy_plan;
+      lossy_plan.seed = util::mix64(0xfa17, g);
+      lossy_plan.message_drop = 0.4;
+      hardened.faults = net::scaled(lossy_plan, f);
+
+      util::Rng rng(util::mix64(seed, 0xa7c, g));
+      const auto report = net::simulate_gossip(group, writes, hardened, rng);
+      rt += report.retransmits;
+      dr += report.messages_dropped;
+    }
+    retrans_by_intensity.push_back(rt);
+    drops_by_intensity.push_back(dr);
+  }
+  const bool per_intensity_consistent =
+      retrans_by_intensity.front() == 0 && drops_by_intensity.front() == 0 &&
+      retrans_by_intensity.back() == retransmits &&
+      drops_by_intensity.back() == wire_drops;
+  const bool gossip_ok =
+      gossip_zero_identity && retrans_beats && per_intensity_consistent;
 
   std::printf("gossip under 40%% wire loss (%zu replica groups):\n",
               groups.size());
@@ -238,9 +283,16 @@ int main() {
               hardened_tally.rate(), hardened_tally.mean_delay_h(),
               static_cast<unsigned long long>(retransmits),
               static_cast<unsigned long long>(wire_drops));
-  std::printf("  zero-plan identity: %s, beats fire-and-forget: %s\n\n",
+  std::printf("  per-intensity retransmits:");
+  for (std::size_t i = 0; i < drop_intensities.size(); ++i)
+    std::printf(" %.2f:%llu/%llu", drop_intensities[i],
+                static_cast<unsigned long long>(retrans_by_intensity[i]),
+                static_cast<unsigned long long>(drops_by_intensity[i]));
+  std::printf("\n  zero-plan identity: %s, beats fire-and-forget: %s, "
+              "per-intensity consistent: %s\n\n",
               gossip_zero_identity ? "yes" : "NO",
-              retrans_beats ? "yes" : "NO");
+              retrans_beats ? "yes" : "NO",
+              per_intensity_consistent ? "yes" : "NO");
 
   // --- Scenario 3: DHT crash failover --------------------------------------
   const std::size_t ring_nodes = 64, keys = 200;
@@ -348,6 +400,31 @@ int main() {
         w.field("mean_delay_hardened_h", hardened_tally.mean_delay_h());
         w.field("retransmits", retransmits);
         w.field("wire_drops", wire_drops);
+        w.key("drop_intensities");
+        w.begin_array();
+        for (const double f : drop_intensities) w.value(f);
+        w.end_array();
+        w.key("retransmits_by_intensity");
+        w.begin_array();
+        for (const auto v : retrans_by_intensity) w.value(v);
+        w.end_array();
+        w.key("wire_drops_by_intensity");
+        w.begin_array();
+        for (const auto v : drops_by_intensity) w.value(v);
+        w.end_array();
+        w.key("retransmit_deltas");
+        w.begin_array();
+        for (std::size_t i = 1; i < retrans_by_intensity.size(); ++i)
+          w.value(static_cast<std::int64_t>(retrans_by_intensity[i]) -
+                  static_cast<std::int64_t>(retrans_by_intensity[i - 1]));
+        w.end_array();
+        w.key("wire_drop_deltas");
+        w.begin_array();
+        for (std::size_t i = 1; i < drops_by_intensity.size(); ++i)
+          w.value(static_cast<std::int64_t>(drops_by_intensity[i]) -
+                  static_cast<std::int64_t>(drops_by_intensity[i - 1]));
+        w.end_array();
+        w.field("per_intensity_consistent", per_intensity_consistent);
         w.field("zero_plan_identity", gossip_zero_identity);
         w.field("beats_fire_and_forget", retrans_beats);
         w.field("outputs_identical", gossip_ok);

@@ -1,0 +1,385 @@
+// Resilient-serving benchmark: composite fault scenarios vs. the
+// resilience policy, written to BENCH_serving_resilience.json.
+//
+// On one population (synth scale preset, default 100000 users) the
+// harness sweeps the serving study over
+//
+//   scenario classes — regional_outage, flash_crowd, churn_burst and
+//     composite (all three), each parsed from its text spec
+//     (net/scenario.hpp) and layered on a mild churn base plan;
+//   intensities      — net::scaled at {0, 1/3, 2/3, 1}: realizations
+//     nest, so degradation curves are exactly monotone;
+//   policies         — naive (zero ResiliencePolicy) vs. resilient
+//     (hedged reads + stale failover + feed degradation + retries).
+//
+// Reported per (class, policy, intensity): p50/p99/p999, SLO-miss
+// fraction, feed coverage mean, and the retry/hedge/stale/degraded
+// effort counters. The harness *asserts* the two headline properties and
+// exits nonzero when either fails:
+//
+//   * slo_misses is monotone nondecreasing in intensity per
+//     (class, policy) — the nesting guarantee made observable;
+//   * resilient slo_misses < naive slo_misses at every intensity > 0 —
+//     the policy strictly helps under every composite scenario.
+//
+// A zero-plan identity probe then re-runs the BENCH_serving.json
+// maxav_conrep and maxav_unconrep configurations with the full
+// resilience policy enabled over threads {1, 2, 4, 8}: every mechanism
+// is formulated as an alternative arrival no earlier than the primary
+// under the zero plan, so the request-log checksums must reproduce the
+// committed naive ones bit for bit (checked in-process against the
+// serial naive run; outputs_identical covers the thread sweep).
+//
+// Environment knobs: DOSN_SERVE_USERS (population, first entry used,
+// default 100000), DOSN_BENCH_SEED, DOSN_OBS.
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "obs/export.hpp"
+#include "serve/serving.hpp"
+#include "synth/scale.hpp"
+#include "util/strings.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using dosn::interval::Seconds;
+using dosn::interval::kDaySeconds;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::size_t serve_users() {
+  std::size_t users = 100000;
+  // NOLINTNEXTLINE(concurrency-mt-unsafe) — read once at startup.
+  if (const char* s = std::getenv("DOSN_SERVE_USERS"); s && *s) {
+    const std::string spec(s);
+    const std::string tok = spec.substr(0, spec.find(','));
+    if (!tok.empty())
+      users = static_cast<std::size_t>(dosn::util::parse_i64(tok));
+  }
+  return users;
+}
+
+/// The composite scenario classes, as the text specs the parser accepts
+/// (member index space: owner 0 plus 5 replicas, so regions=3 partitions
+/// the group {0,3},{1,4},{2,5} and region 0 takes the owner down too).
+struct ScenarioClass {
+  std::string name;
+  std::string spec;
+};
+
+std::vector<ScenarioClass> scenario_classes() {
+  const std::string regional =
+      "regional_outage regions=3 region=0 start=259200 end=432000 "
+      "participation=1\n";
+  const std::string flash =
+      "flash_crowd start=345600 end=432000 load_multiplier=4\n";
+  const std::string churn =
+      "churn_burst start=518400 end=691200 no_show=0.8 participation=0.9\n";
+  return {
+      {"regional_outage", regional},
+      {"flash_crowd", flash},
+      {"churn_burst", churn},
+      {"composite", regional + flash + churn},
+  };
+}
+
+/// Mild background churn every class rides on; the scenario windows are
+/// the composite events layered on top.
+dosn::net::FaultPlan base_plan(std::uint64_t seed, const std::string& spec) {
+  dosn::net::FaultPlan plan;
+  plan.seed = seed ^ 0x5ce9a410ULL;
+  plan.session_no_show = 0.15;
+  plan.session_truncate = 0.15;
+  plan.truncate_max_fraction = 0.5;
+  plan.scenario = dosn::net::parse_scenario(spec);
+  return plan;
+}
+
+/// The full resilience policy under test (every mechanism on).
+dosn::serve::ResiliencePolicy resilient_policy() {
+  dosn::serve::ResiliencePolicy p;
+  p.hedged_reads = true;
+  p.stale_failover = true;
+  p.degrade_feeds = true;
+  p.deadline = 3600;
+  return p;
+}
+
+struct Cell {
+  std::string name;
+  std::string scenario;
+  std::string policy;
+  double intensity = 0.0;
+  std::uint64_t requests = 0;
+  std::uint64_t unserved = 0;
+  std::uint64_t slo_misses = 0;
+  double slo_miss_fraction = 0.0;
+  Seconds p50_s = 0, p99_s = 0, p999_s = 0;
+  double feed_coverage_mean = 1.0;
+  std::uint64_t retries = 0;
+  std::uint64_t hedges = 0;
+  std::uint64_t hedge_wins = 0;
+  std::uint64_t stale_served = 0;
+  std::uint64_t degraded_feeds = 0;
+  double run_ms = 0.0;
+  std::uint64_t checksum = 0;
+};
+
+struct Probe {
+  std::string name;
+  std::uint64_t naive_checksum = 0;
+  std::uint64_t resilient_checksum = 0;
+  bool identical_across_threads = false;
+  bool matches_naive = false;
+};
+
+// Correctness verdicts in the shape tools/check_bench_regression.py
+// consumes: one entry per (scenario class x policy) whose
+// outputs_identical folds the monotone-degradation and
+// resilient-below-naive assertions, plus one per zero-plan probe. No
+// seed_engine_ms anchor, so the gate enforces only the booleans and
+// treats every timing in cells[] as informational.
+struct GateScenario {
+  std::string name;
+  bool ok = false;
+};
+
+}  // namespace
+
+int main() {
+  const std::uint64_t seed = dosn::bench::bench_seed();
+  const std::size_t hardware_threads = dosn::util::default_thread_count();
+  const std::size_t users = serve_users();
+  constexpr std::array<double, 4> kIntensities{0.0, 1.0 / 3, 2.0 / 3, 1.0};
+  constexpr std::size_t kSweepCap = 1000;
+  constexpr std::size_t kProbeCap = 2000;
+  constexpr std::array<std::size_t, 4> kThreadCounts{1, 2, 4, 8};
+
+  dosn::synth::ScaleInputConfig input_config;
+  dosn::synth::ScaleOptions opts;
+  opts.users = users;
+  input_config.preset = dosn::synth::scale_preset(opts);
+  const auto gen_start = Clock::now();
+  const auto input = dosn::synth::build_scale_study_input(input_config, seed);
+  std::printf("resilience N=%-8zu input built in %.0fms (cohort %zu)\n",
+              users, ms_since(gen_start), input.cohort.size());
+
+  const auto run_cell = [&](const dosn::serve::ServingConfig& config) {
+    return dosn::serve::run_serving_study(input.dataset, input.schedules,
+                                          input.cohort, seed, config);
+  };
+
+  bool ok = true;
+  std::vector<Cell> cells;
+  std::vector<GateScenario> gate_scenarios;
+  for (const auto& sc : scenario_classes()) {
+    const auto plan = base_plan(seed, sc.spec);
+    // Per (policy) the misses at the previous intensity — the
+    // monotonicity check rides the sweep.
+    std::uint64_t prev_naive = 0, prev_resilient = 0;
+    bool naive_curve_ok = true, resilient_curve_ok = true;
+    for (std::size_t ii = 0; ii < kIntensities.size(); ++ii) {
+      const double intensity = kIntensities[ii];
+      std::uint64_t naive_misses = 0;
+      for (const bool resilient : {false, true}) {
+        dosn::serve::ServingConfig config;
+        config.policy = dosn::placement::PolicyKind::kMaxAv;
+        config.connectivity = dosn::placement::Connectivity::kConRep;
+        config.replicas = 5;
+        config.served_users = kSweepCap;
+        config.faults = dosn::net::scaled(plan, intensity);
+        if (resilient) config.resilience = resilient_policy();
+
+        const auto start = Clock::now();
+        const auto report = run_cell(config);
+
+        Cell c;
+        c.scenario = sc.name;
+        c.policy = resilient ? "resilient" : "naive";
+        c.name = sc.name + "_" + c.policy + "_i" + std::to_string(ii);
+        c.intensity = intensity;
+        c.requests = report.requests;
+        c.unserved = report.unserved;
+        c.slo_misses = report.slo_misses;
+        c.slo_miss_fraction = report.slo_miss_fraction();
+        c.p50_s = report.latency.quantile(0.50);
+        c.p99_s = report.latency.quantile(0.99);
+        c.p999_s = report.latency.quantile(0.999);
+        c.feed_coverage_mean = report.resilience.feed_coverage_mean();
+        c.retries = report.resilience.retries;
+        c.hedges = report.resilience.hedges;
+        c.hedge_wins = report.resilience.hedge_wins;
+        c.stale_served = report.resilience.stale_served;
+        c.degraded_feeds = report.resilience.degraded_feeds;
+        c.run_ms = ms_since(start);
+        c.checksum = report.request_log_checksum;
+
+        std::uint64_t& prev = resilient ? prev_resilient : prev_naive;
+        bool& curve_ok = resilient ? resilient_curve_ok : naive_curve_ok;
+        if (ii > 0 && c.slo_misses < prev) {
+          std::printf("FAIL %s: slo_misses %llu < previous intensity %llu\n",
+                      c.name.c_str(),
+                      static_cast<unsigned long long>(c.slo_misses),
+                      static_cast<unsigned long long>(prev));
+          ok = false;
+          curve_ok = false;
+        }
+        prev = c.slo_misses;
+        if (resilient) {
+          if (intensity > 0.0 && c.slo_misses >= naive_misses) {
+            std::printf(
+                "FAIL %s: resilient slo_misses %llu not strictly below "
+                "naive %llu\n",
+                c.name.c_str(),
+                static_cast<unsigned long long>(c.slo_misses),
+                static_cast<unsigned long long>(naive_misses));
+            ok = false;
+            curve_ok = false;
+          }
+        } else {
+          naive_misses = c.slo_misses;
+        }
+
+        std::printf(
+            "  %-28s miss=%.3f p99=%llds cov=%.3f retries=%llu hedges=%llu "
+            "stale=%llu degraded=%llu  t=%.0fms\n",
+            c.name.c_str(), c.slo_miss_fraction,
+            static_cast<long long>(c.p99_s), c.feed_coverage_mean,
+            static_cast<unsigned long long>(c.retries),
+            static_cast<unsigned long long>(c.hedges),
+            static_cast<unsigned long long>(c.stale_served),
+            static_cast<unsigned long long>(c.degraded_feeds), c.run_ms);
+        cells.push_back(c);
+      }
+    }
+    gate_scenarios.push_back({sc.name + "_naive", naive_curve_ok});
+    gate_scenarios.push_back({sc.name + "_resilient", resilient_curve_ok});
+  }
+
+  // Zero-plan identity probes: the BENCH_serving.json maxav_conrep /
+  // maxav_unconrep configurations, resilience fully enabled. The
+  // request-log checksum must reproduce the naive one at every thread
+  // count.
+  std::vector<Probe> probes;
+  for (const bool unconrep : {false, true}) {
+    dosn::serve::ServingConfig config;
+    config.policy = dosn::placement::PolicyKind::kMaxAv;
+    config.connectivity = unconrep ? dosn::placement::Connectivity::kUnconRep
+                                   : dosn::placement::Connectivity::kConRep;
+    config.replicas = 5;
+    config.served_users = kProbeCap;
+    if (unconrep)
+      config.faults.relay_outages.push_back(
+          {kDaySeconds, 2 * kDaySeconds});
+
+    Probe p;
+    p.name = unconrep ? "maxav_unconrep" : "maxav_conrep";
+    p.naive_checksum = run_cell(config).request_log_checksum;
+
+    config.resilience = resilient_policy();
+    p.identical_across_threads = true;
+    for (const std::size_t threads : kThreadCounts) {
+      dosn::serve::ServingReport report;
+      if (threads == 1) {
+        report = run_cell(config);
+        p.resilient_checksum = report.request_log_checksum;
+      } else {
+        dosn::util::ThreadPool pool(
+            dosn::util::RuntimeOptions{.threads = threads});
+        report = dosn::serve::run_serving_study(input.dataset, input.schedules,
+                                                input.cohort, seed, config,
+                                                &pool);
+      }
+      p.identical_across_threads &=
+          report.request_log_checksum == p.resilient_checksum;
+    }
+    p.matches_naive = p.resilient_checksum == p.naive_checksum;
+    if (!p.matches_naive || !p.identical_across_threads) ok = false;
+    gate_scenarios.push_back(
+        {"zero_plan_" + p.name, p.matches_naive && p.identical_across_threads});
+    std::printf(
+        "  probe %-16s naive=%llu resilient=%llu match=%s threads=%s\n",
+        p.name.c_str(), static_cast<unsigned long long>(p.naive_checksum),
+        static_cast<unsigned long long>(p.resilient_checksum),
+        p.matches_naive ? "yes" : "NO",
+        p.identical_across_threads ? "yes" : "NO");
+    probes.push_back(p);
+  }
+
+  if (dosn::obs::enabled()) {
+    std::printf("\nobservability snapshot:\n%s\n",
+                dosn::obs::to_table(dosn::obs::Registry::global().snapshot())
+                    .c_str());
+  }
+
+  dosn::bench::write_bench_json(
+      "BENCH_serving_resilience.json", "serving_resilience", seed,
+      kThreadCounts.back(), [&](dosn::util::JsonWriter& w) {
+        w.field("users", static_cast<std::uint64_t>(users));
+        w.field("served_users", static_cast<std::uint64_t>(kSweepCap));
+        w.field("hardware_threads",
+                static_cast<std::uint64_t>(hardware_threads));
+        w.field("oversubscribed", kThreadCounts.back() > hardware_threads);
+        w.key("scenarios");
+        w.begin_array();
+        for (const auto& g : gate_scenarios) {
+          w.begin_object();
+          w.field("name", g.name);
+          w.field("outputs_identical", g.ok);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("cells");
+        w.begin_array();
+        for (const auto& c : cells) {
+          w.begin_object();
+          w.field("name", c.name);
+          w.field("scenario", c.scenario);
+          w.field("policy", c.policy);
+          w.field("intensity", c.intensity);
+          w.field("requests", c.requests);
+          w.field("unserved", c.unserved);
+          w.field("slo_misses", c.slo_misses);
+          w.field("slo_miss_fraction", c.slo_miss_fraction);
+          w.field("p50_s", static_cast<std::uint64_t>(c.p50_s));
+          w.field("p99_s", static_cast<std::uint64_t>(c.p99_s));
+          w.field("p999_s", static_cast<std::uint64_t>(c.p999_s));
+          w.field("feed_coverage_mean", c.feed_coverage_mean);
+          w.field("retries", c.retries);
+          w.field("hedges", c.hedges);
+          w.field("hedge_wins", c.hedge_wins);
+          w.field("stale_served", c.stale_served);
+          w.field("degraded_feeds", c.degraded_feeds);
+          w.field("run_ms", c.run_ms);
+          w.field("checksum", c.checksum);
+          w.end_object();
+        }
+        w.end_array();
+        w.key("zero_plan_probes");
+        w.begin_array();
+        for (const auto& p : probes) {
+          w.begin_object();
+          w.field("name", p.name);
+          w.field("naive_checksum", p.naive_checksum);
+          w.field("resilient_checksum", p.resilient_checksum);
+          w.field("matches_naive", p.matches_naive);
+          w.field("identical_across_threads", p.identical_across_threads);
+          w.end_object();
+        }
+        w.end_array();
+      });
+  std::printf("wrote BENCH_serving_resilience.json (%s)\n",
+              ok ? "all assertions held" : "ASSERTION FAILURES");
+
+  return ok ? 0 : 1;
+}

@@ -19,6 +19,8 @@ namespace {
 inline constexpr std::uint64_t kMsgTag = 0xfa0c1;
 inline constexpr std::uint64_t kChurnTag = 0xfa0c2;
 inline constexpr std::uint64_t kDhtTag = 0xfa0c3;
+inline constexpr std::uint64_t kRegionTag = 0xfa0c4;
+inline constexpr std::uint64_t kBurstTag = 0xfa0c5;
 
 struct FaultObs {
   obs::Counter& messages_dropped =
@@ -33,6 +35,8 @@ struct FaultObs {
       obs::Registry::global().counter("net.fault.outage_cuts");
   obs::Counter& relay_blocked =
       obs::Registry::global().counter("net.fault.relay_blocked");
+  obs::Counter& scenario_windows =
+      obs::Registry::global().counter("net.fault.scenario_windows");
 };
 
 FaultObs& fault_obs() {
@@ -51,7 +55,8 @@ bool FaultPlan::zero() const {
   return message_drop <= 0.0 && latency_jitter_max <= 0 &&
          session_no_show <= 0.0 &&
          (session_truncate <= 0.0 || truncate_max_fraction <= 0.0) &&
-         node_outages.empty() && relay_outages.empty() && dht_crash <= 0.0;
+         node_outages.empty() && relay_outages.empty() && dht_crash <= 0.0 &&
+         scenario.zero();
 }
 
 void validate(const FaultPlan& plan) {
@@ -70,6 +75,7 @@ void validate(const FaultPlan& plan) {
   for (const auto& w : plan.relay_outages)
     DOSN_REQUIRE(w.start >= 0 && w.start <= w.end,
                  "fault plan: malformed relay outage window");
+  validate(plan.scenario);
 }
 
 FaultPlan scaled(const FaultPlan& base, double f) {
@@ -77,6 +83,10 @@ FaultPlan scaled(const FaultPlan& base, double f) {
   DOSN_REQUIRE(f >= 0.0 && f <= 1.0, "fault plan: intensity outside [0, 1]");
   FaultPlan out;
   out.seed = base.seed;
+  // Scenario entries are preserved (inactive at f == 0) so entry indices —
+  // and with them the per-(entry, node) streams — stay aligned across
+  // intensities.
+  out.scenario = scaled(base.scenario, f);
   if (f <= 0.0) return out;  // the zero plan, seed preserved
 
   out.message_drop = base.message_drop * f;
@@ -115,6 +125,7 @@ void flush_fault_stats(const FaultStats& stats) {
   o.sessions_truncated.add(stats.sessions_truncated);
   o.outage_cuts.add(stats.outage_cuts);
   o.relay_blocked.add(stats.relay_blocked);
+  o.scenario_windows.add(stats.scenario_windows);
 }
 
 FaultInjector::FaultInjector(const FaultPlan& plan) : plan_(plan) {
@@ -175,6 +186,49 @@ std::optional<Interval> FaultInjector::churn_piece(util::Rng& stream,
   return piece;
 }
 
+void FaultInjector::append_scenario_windows(std::size_t node, SimTime horizon,
+                                            std::vector<Interval>& windows) {
+  const ScenarioSpec& sc = plan_.scenario;
+  for (std::size_t e = 0; e < sc.regional_outages.size(); ++e) {
+    const auto& r = sc.regional_outages[e];
+    if (!r.active() || node % r.regions != r.region) continue;
+    // One participation draw per (entry, node); scaled specs compare the
+    // same draw against a scaled threshold, so realizations nest.
+    util::Rng stream(util::mix64(util::mix64(plan_.seed, kRegionTag, e),
+                                 node));
+    if (stream.uniform() >= r.participation) continue;
+    const SimTime end = std::min<SimTime>(r.end, horizon);
+    if (r.start < end) {
+      windows.push_back({r.start, end});
+      ++stats_.scenario_windows;
+    }
+  }
+  for (std::size_t e = 0; e < sc.churn_bursts.size(); ++e) {
+    const auto& b = sc.churn_bursts[e];
+    if (!b.active()) continue;
+    util::Rng stream(util::mix64(util::mix64(plan_.seed, kBurstTag, e),
+                                 node));
+    if (stream.uniform() >= b.participation) continue;
+    // One draw per day of the window, positioned by the day's ordinal
+    // from the (scale-invariant) window start: the scaled window's days
+    // are a prefix of the base window's days comparing identical draws.
+    const SimTime first_day = b.start / kDaySeconds;
+    const SimTime last_day = (b.end - 1) / kDaySeconds;
+    for (SimTime day = first_day; day <= last_day; ++day) {
+      const double u = stream.uniform();
+      if (u >= b.no_show) continue;
+      const SimTime start =
+          std::max<SimTime>(b.start, day * kDaySeconds);
+      const SimTime end =
+          std::min<SimTime>({b.end, (day + 1) * kDaySeconds, horizon});
+      if (start < end) {
+        windows.push_back({start, end});
+        ++stats_.scenario_windows;
+      }
+    }
+  }
+}
+
 std::vector<Interval> FaultInjector::sessions(std::size_t node,
                                               const DaySchedule& schedule,
                                               int horizon_days) {
@@ -190,6 +244,7 @@ std::vector<Interval> FaultInjector::sessions(std::size_t node,
                                      : horizon;
     if (o.at < end) windows.push_back({o.at, end});
   }
+  append_scenario_windows(node, horizon, windows);
   const IntervalSet down = windows.empty() ? IntervalSet{}
                                            : IntervalSet(std::move(windows));
 
@@ -245,6 +300,18 @@ DaySchedule FaultInjector::degrade_day(std::size_t node,
     // A crash-stop blankets the whole daily cycle.
     const SimTime end = o.recover_at ? *o.recover_at : o.at + kDaySeconds;
     if (o.at < end) windows.push_back({o.at, end});
+  }
+  // Scenario windows projected onto the daily cycle — the same per-node
+  // realization the event horizon sees (multi-day windows blanket the
+  // cycle, matching the crash-stop approximation above).
+  {
+    SimTime scenario_horizon = 0;
+    for (const auto& r : plan_.scenario.regional_outages)
+      scenario_horizon = std::max<SimTime>(scenario_horizon, r.end);
+    for (const auto& b : plan_.scenario.churn_bursts)
+      scenario_horizon = std::max<SimTime>(scenario_horizon, b.end);
+    if (scenario_horizon > 0)
+      append_scenario_windows(node, scenario_horizon, windows);
   }
   if (!windows.empty()) {
     ++stats_.outage_cuts;

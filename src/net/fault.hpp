@@ -36,6 +36,7 @@
 
 #include "interval/day_schedule.hpp"
 #include "net/event_queue.hpp"
+#include "net/scenario.hpp"
 #include "util/rng.hpp"
 
 namespace dosn::net {
@@ -89,6 +90,15 @@ struct FaultPlan {
   /// Probability a DHT node is crashed (decided per node id).
   double dht_crash = 0.0;
 
+  // --- composite scenarios (net/scenario.hpp) ---
+  /// Macro-events layered on top of the per-node fault classes: regional
+  /// outages and churn bursts materialize as extra per-node outage
+  /// windows inside sessions()/degrade_day(); flash crowds are consumed
+  /// by the serving workload (serve/workload.hpp). Realizations come from
+  /// per-(entry, node) streams of this plan's seed, so the zero scenario
+  /// stays bit-identical and scaled() realizations nest.
+  ScenarioSpec scenario;
+
   /// True when no fault can ever fire.
   bool zero() const;
 };
@@ -112,6 +122,7 @@ struct FaultStats {
   std::uint64_t sessions_truncated = 0;
   std::uint64_t outage_cuts = 0;      ///< session pieces cut by an outage
   std::uint64_t relay_blocked = 0;    ///< operations refused: relay down
+  std::uint64_t scenario_windows = 0; ///< realized scenario outage windows
 };
 
 /// Publishes per-run totals to the obs registry (one add per field).
@@ -171,6 +182,14 @@ class FaultInjector {
   /// kept part (empty when skipped). Draws exactly three uniforms.
   std::optional<interval::Interval> churn_piece(util::Rng& stream,
                                                 interval::Interval piece);
+
+  /// Appends `node`'s realized scenario outage windows (regional outages
+  /// the node participates in, churn-burst days it drops) clipped to
+  /// [0, horizon). Each scenario entry draws from its own
+  /// per-(entry, node) stream, so realizations are independent of entry
+  /// activity and nested across scaled() intensities.
+  void append_scenario_windows(std::size_t node, SimTime horizon,
+                               std::vector<interval::Interval>& windows);
 
   FaultPlan plan_;
   bool zero_ = false;

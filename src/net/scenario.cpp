@@ -1,0 +1,228 @@
+#include "net/scenario.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::net {
+
+namespace {
+
+using interval::Seconds;
+
+void require_probability(double p, const char* what) {
+  DOSN_REQUIRE(p >= 0.0 && p <= 1.0,
+               std::string("scenario: ") + what +
+                   " must be a probability in [0, 1]");
+}
+
+void require_window(Seconds start, Seconds end, const char* what) {
+  DOSN_REQUIRE(start >= 0, std::string("scenario: ") + what +
+                               " window starts before time 0");
+  DOSN_REQUIRE(start <= end,
+               std::string("scenario: ") + what + " window is inverted");
+}
+
+/// Do two time-overlapping regional outages cover a common node? Nodes
+/// n ≡ r1 (mod m1) and n ≡ r2 (mod m2) have a common solution iff
+/// r1 ≡ r2 (mod gcd(m1, m2)) (CRT solvability).
+bool partitions_intersect(const RegionalOutage& a, const RegionalOutage& b) {
+  const std::size_t g = std::gcd(a.regions, b.regions);
+  return a.region % g == b.region % g;
+}
+
+Seconds scaled_end(Seconds start, Seconds end, double f) {
+  const auto len =
+      static_cast<Seconds>(static_cast<double>(end - start) * f);
+  return start + len;
+}
+
+}  // namespace
+
+bool ScenarioSpec::zero() const {
+  const auto inactive = [](const auto& entries) {
+    return std::none_of(entries.begin(), entries.end(),
+                        [](const auto& e) { return e.active(); });
+  };
+  return inactive(regional_outages) && inactive(flash_crowds) &&
+         inactive(churn_bursts);
+}
+
+void validate(const ScenarioSpec& spec) {
+  for (const auto& r : spec.regional_outages) {
+    require_window(r.start, r.end, "regional outage");
+    require_probability(r.participation, "regional outage participation");
+    DOSN_REQUIRE(r.regions == 0 || r.region < r.regions,
+                 "scenario: regional outage region must be < regions");
+  }
+  for (std::size_t i = 0; i < spec.regional_outages.size(); ++i) {
+    const auto& a = spec.regional_outages[i];
+    if (!a.active()) continue;
+    for (std::size_t j = i + 1; j < spec.regional_outages.size(); ++j) {
+      const auto& b = spec.regional_outages[j];
+      if (!b.active()) continue;
+      const bool windows_overlap = a.start < b.end && b.start < a.end;
+      DOSN_REQUIRE(!windows_overlap || !partitions_intersect(a, b),
+                   "scenario: concurrent regional outages must cover "
+                   "non-overlapping node partitions");
+    }
+  }
+  for (const auto& c : spec.flash_crowds) {
+    require_window(c.start, c.end, "flash crowd");
+    DOSN_REQUIRE(c.load_multiplier >= 1.0 && c.load_multiplier <= 64.0,
+                 "scenario: flash crowd load_multiplier must be in [1, 64]");
+  }
+  for (const auto& b : spec.churn_bursts) {
+    require_window(b.start, b.end, "churn burst");
+    require_probability(b.no_show, "churn burst no_show");
+    require_probability(b.participation, "churn burst participation");
+  }
+}
+
+ScenarioSpec scaled(const ScenarioSpec& base, double f) {
+  validate(base);
+  DOSN_REQUIRE(f >= 0.0 && f <= 1.0, "scenario: intensity outside [0, 1]");
+  ScenarioSpec out;
+  out.regional_outages.reserve(base.regional_outages.size());
+  for (const auto& r : base.regional_outages)
+    out.regional_outages.push_back({r.regions, r.region, r.start,
+                                    scaled_end(r.start, r.end, f),
+                                    r.participation * f});
+  out.flash_crowds.reserve(base.flash_crowds.size());
+  for (const auto& c : base.flash_crowds)
+    out.flash_crowds.push_back(
+        {c.start, scaled_end(c.start, c.end, f), c.load_multiplier});
+  out.churn_bursts.reserve(base.churn_bursts.size());
+  for (const auto& b : base.churn_bursts)
+    out.churn_bursts.push_back({b.start, scaled_end(b.start, b.end, f),
+                                b.no_show * f, b.participation * f});
+  return out;
+}
+
+namespace {
+
+struct Fields {
+  std::string_view line;
+  std::size_t line_no;
+  std::vector<std::pair<std::string_view, std::string_view>> kv;
+  std::vector<bool> used;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("scenario line " + std::to_string(line_no) + ": " + why);
+  }
+
+  std::string_view get(std::string_view key) {
+    for (std::size_t i = 0; i < kv.size(); ++i)
+      if (kv[i].first == key) {
+        used[i] = true;
+        return kv[i].second;
+      }
+    fail("missing field '" + std::string(key) + "'");
+  }
+
+  std::string_view get(std::string_view key, std::string_view fallback) {
+    for (std::size_t i = 0; i < kv.size(); ++i)
+      if (kv[i].first == key) {
+        used[i] = true;
+        return kv[i].second;
+      }
+    return fallback;
+  }
+
+  void finish() const {
+    for (std::size_t i = 0; i < kv.size(); ++i)
+      if (!used[i]) fail("unknown field '" + std::string(kv[i].first) + "'");
+  }
+};
+
+Seconds parse_seconds(Fields& f, std::string_view key) {
+  const std::int64_t v = util::parse_i64(f.get(key));
+  return static_cast<Seconds>(v);
+}
+
+double parse_fraction(Fields& f, std::string_view key,
+                      std::string_view fallback) {
+  return util::parse_f64(f.get(key, fallback));
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(std::string_view text) {
+  ScenarioSpec spec;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = util::trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto tokens = util::split_ws(line);
+    Fields f{line, line_no, {}, {}};
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string_view::npos || eq == 0)
+        f.fail("expected key=value, got '" + std::string(tokens[i]) + "'");
+      f.kv.emplace_back(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+    }
+    f.used.assign(f.kv.size(), false);
+
+    const std::string_view kind = tokens[0];
+    if (kind == "regional_outage") {
+      RegionalOutage r;
+      r.regions =
+          static_cast<std::size_t>(util::parse_i64(f.get("regions")));
+      r.region = static_cast<std::size_t>(util::parse_i64(f.get("region")));
+      r.start = parse_seconds(f, "start");
+      r.end = parse_seconds(f, "end");
+      r.participation = parse_fraction(f, "participation", "1");
+      spec.regional_outages.push_back(r);
+    } else if (kind == "flash_crowd") {
+      FlashCrowd c;
+      c.start = parse_seconds(f, "start");
+      c.end = parse_seconds(f, "end");
+      c.load_multiplier = util::parse_f64(f.get("load_multiplier"));
+      spec.flash_crowds.push_back(c);
+    } else if (kind == "churn_burst") {
+      ChurnBurst b;
+      b.start = parse_seconds(f, "start");
+      b.end = parse_seconds(f, "end");
+      b.no_show = util::parse_f64(f.get("no_show"));
+      b.participation = parse_fraction(f, "participation", "1");
+      spec.churn_bursts.push_back(b);
+    } else {
+      f.fail("unknown scenario class '" + std::string(kind) + "'");
+    }
+    f.finish();
+  }
+  validate(spec);
+  return spec;
+}
+
+std::string to_text(const ScenarioSpec& spec) {
+  std::string out;
+  for (const auto& r : spec.regional_outages)
+    out += util::format(
+        "regional_outage regions=%zu region=%zu start=%lld end=%lld "
+        "participation=%s\n",
+        r.regions, r.region, static_cast<long long>(r.start),
+        static_cast<long long>(r.end),
+        util::format_double(r.participation).c_str());
+  for (const auto& c : spec.flash_crowds)
+    out += util::format("flash_crowd start=%lld end=%lld load_multiplier=%s\n",
+                        static_cast<long long>(c.start),
+                        static_cast<long long>(c.end),
+                        util::format_double(c.load_multiplier).c_str());
+  for (const auto& b : spec.churn_bursts)
+    out += util::format(
+        "churn_burst start=%lld end=%lld no_show=%s participation=%s\n",
+        static_cast<long long>(b.start), static_cast<long long>(b.end),
+        util::format_double(b.no_show).c_str(),
+        util::format_double(b.participation).c_str());
+  return out;
+}
+
+}  // namespace dosn::net

@@ -1,0 +1,144 @@
+// Composite fault scenarios: deterministic macro-events layered onto a
+// FaultPlan.
+//
+// The base FaultPlan describes *uncorrelated* faults — every node draws
+// its churn and message faults independently at a fixed rate. Measured
+// DOSN outages are not like that (Schiöberg et al.): failures arrive as
+// macro-events that hit many nodes inside one time window. A ScenarioSpec
+// composes three such event classes onto a plan:
+//
+//   * regional outages — a correlated NodeOutage window over one class of
+//     a modulo partition of the node indices (nodes with
+//     node % regions == region), each partition member joining the outage
+//     with probability `participation`;
+//   * flash crowds    — time-windowed load multipliers on the request
+//     streams: inside [start, end) the serving workload superposes an
+//     extra Poisson request process at (load_multiplier - 1) times the
+//     base rate (serve/workload.hpp consumes these entries);
+//   * churn bursts    — correlated no-show storms: each participating
+//     node independently drops whole days of sessions inside the window
+//     with probability `no_show` per day.
+//
+// Determinism contract (the same discipline as the rest of the fault
+// layer):
+//
+//   * every draw comes from a stream seeded
+//     mix64(mix64(plan.seed, <class tag>, entry index), entity) — one
+//     stream per (scenario entry, entity), never shared, never taken from
+//     a protocol Rng. Entry draws are therefore independent of how many
+//     other entries exist or fire;
+//   * the zero spec (no active entries) injects nothing and consumes
+//     nothing: every hardened path reproduces its unfaulted outputs bit
+//     for bit;
+//   * scaled(spec, f) preserves the entry list and its indices (inactive
+//     entries are kept, not dropped) and shrinks each entry: windows keep
+//     their start and lose length proportionally, participation and
+//     per-day probabilities multiply by f, flash-crowd multipliers keep
+//     their height (the crowd gets shorter, not flatter). Scaled specs
+//     therefore compare the *same* per-entity draws against scaled
+//     thresholds over prefix-nested windows, so the realized fault sets —
+//     and the superposed flash requests — are exactly nested across
+//     intensities, which keeps degradation curves monotone rather than
+//     monotone in expectation.
+//
+// Scenario text format (parse_scenario): one entry per line,
+// `<class> key=value ...`, `#` comments and blank lines ignored:
+//
+//   regional_outage regions=2 region=0 start=172800 end=432000 participation=0.9
+//   flash_crowd start=86400 end=259200 load_multiplier=3
+//   churn_burst start=345600 end=604800 no_show=0.5 participation=0.8
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "interval/interval_set.hpp"
+
+namespace dosn::net {
+
+/// Correlated outage of one class of a modulo partition of the node
+/// indices: every node with node % regions == region joins the outage
+/// window [start, end) with probability `participation` (decided from the
+/// node's own scenario stream). regions == 0 disables the entry.
+struct RegionalOutage {
+  std::size_t regions = 0;
+  std::size_t region = 0;
+  interval::Seconds start = 0;
+  interval::Seconds end = 0;
+  double participation = 1.0;
+
+  /// Can this entry ever fire?
+  bool active() const {
+    return regions > 0 && start < end && participation > 0.0;
+  }
+  friend bool operator==(const RegionalOutage&, const RegionalOutage&) =
+      default;
+};
+
+/// Time-windowed load multiplier on the serving request streams: inside
+/// [start, end) every user's workload superposes an extra Poisson request
+/// process at (load_multiplier - 1) times the base rate. A multiplier of
+/// 1 disables the entry.
+struct FlashCrowd {
+  interval::Seconds start = 0;
+  interval::Seconds end = 0;
+  double load_multiplier = 1.0;
+
+  bool active() const { return start < end && load_multiplier > 1.0; }
+  friend bool operator==(const FlashCrowd&, const FlashCrowd&) = default;
+};
+
+/// Correlated no-show storm: each node joins the burst with probability
+/// `participation`; a participating node drops each whole day overlapping
+/// [start, end) with probability `no_show` (one draw per day, clipped to
+/// the window).
+struct ChurnBurst {
+  interval::Seconds start = 0;
+  interval::Seconds end = 0;
+  double no_show = 0.0;
+  double participation = 1.0;
+
+  bool active() const {
+    return start < end && no_show > 0.0 && participation > 0.0;
+  }
+  friend bool operator==(const ChurnBurst&, const ChurnBurst&) = default;
+};
+
+/// A composite scenario: lists of macro-events, one realization stream
+/// per (entry, entity). The default-constructed spec is the zero spec.
+struct ScenarioSpec {
+  std::vector<RegionalOutage> regional_outages;
+  std::vector<FlashCrowd> flash_crowds;
+  std::vector<ChurnBurst> churn_bursts;
+
+  /// True when no entry can ever fire.
+  bool zero() const;
+  friend bool operator==(const ScenarioSpec&, const ScenarioSpec&) = default;
+};
+
+/// Throws ConfigError when probabilities/windows/partitions are out of
+/// range, or when two time-overlapping regional outages cover a common
+/// node (their residue classes intersect — the partitions must be
+/// non-overlapping so a node never sits in two concurrent regional
+/// outages).
+void validate(const ScenarioSpec& spec);
+
+/// Scales every entry's intensity by f in [0, 1]: windows keep their
+/// start and shrink to f of their length, probabilities multiply by f,
+/// flash-crowd multipliers are preserved (the crowd shortens). The entry
+/// list and its indices are preserved — inactive entries are kept — so
+/// per-(entry, entity) streams stay aligned and realizations nest.
+ScenarioSpec scaled(const ScenarioSpec& base, double f);
+
+/// Parses the line-based scenario text format described above. Throws
+/// ParseError on malformed input and ConfigError when the parsed spec
+/// fails validate().
+ScenarioSpec parse_scenario(std::string_view text);
+
+/// Renders a spec in the parse_scenario text format (active and inactive
+/// entries alike); parse_scenario(to_text(s)) == s for validated specs.
+std::string to_text(const ScenarioSpec& spec);
+
+}  // namespace dosn::net

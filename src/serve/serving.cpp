@@ -50,6 +50,16 @@ struct ServeMetrics {
       "serve.latency.feed", LatencyHistogram::default_bounds());
   obs::Histogram& write = obs::Registry::global().histogram(
       "serve.latency.write", LatencyHistogram::default_bounds());
+  obs::Counter& retries =
+      obs::Registry::global().counter("serve.resilience.retries");
+  obs::Counter& hedges =
+      obs::Registry::global().counter("serve.resilience.hedges");
+  obs::Counter& hedge_wins =
+      obs::Registry::global().counter("serve.resilience.hedge_wins");
+  obs::Counter& stale_served =
+      obs::Registry::global().counter("serve.resilience.stale_served");
+  obs::Counter& degraded_feeds =
+      obs::Registry::global().counter("serve.resilience.degraded_feeds");
 };
 
 ServeMetrics& serve_metrics() {
@@ -59,10 +69,18 @@ ServeMetrics& serve_metrics() {
 
 /// One profile's realized serving surface: the replica selection plus the
 /// canonical union of the group members' fault-degraded absolute online
-/// sessions over the horizon.
+/// sessions over the horizon. Under a resilience policy the *advertised*
+/// surfaces are materialized too: `ideal` is the unfaulted group union
+/// (the stale-failover surface and the feed budget's reference), `hedge`
+/// the unfaulted union of the top-2 availability-ranked members (the
+/// hedged-read surface). Under the zero plan ideal == online bit for bit
+/// (both are produced by FaultInjector::sessions, preserving the same
+/// per-(day, piece) event structure).
 struct GroupTimeline {
   std::vector<graph::UserId> selection;
   std::vector<Interval> online;
+  std::vector<Interval> ideal;
+  std::vector<Interval> hedge;
 };
 
 /// Wait from `t` until `pieces` (canonical absolute intervals) next
@@ -77,11 +95,21 @@ std::optional<Seconds> wait_within(std::span<const Interval> pieces,
   return it->start <= t ? 0 : it->start - t;
 }
 
+/// Absolute instant `pieces` next covers at or after `t`; nullopt when
+/// nothing remains within the horizon.
+std::optional<SimTime> arrival_within(std::span<const Interval> pieces,
+                                      SimTime t) {
+  const auto wait = wait_within(pieces, t);
+  if (!wait) return std::nullopt;
+  return t + *wait;
+}
+
 /// Per-served-user accumulation, reduced serially in cohort order.
 struct UserLoad {
   KindStats read;
   KindStats feed;
   KindStats write;
+  ResilienceStats res;
   std::uint64_t digest = kFnvOffset;
 };
 
@@ -94,6 +122,10 @@ struct RunContext {
   std::uint64_t seed;
   std::uint64_t placement_stream;
   SimTime horizon;
+  /// Resilience policy enabled (config.resilience is non-zero)?
+  bool resilient;
+  /// Any active flash-crowd entries in the scenario?
+  bool flash;
   /// Relay availability under UnconRep: canonical outage windows clipped
   /// to the horizon (explicit plan windows — identical for every user).
   std::vector<Interval> relay_outages;
@@ -145,6 +177,51 @@ struct RunContext {
     for (std::size_t i = 0; i < g.selection.size(); ++i)
       add_sessions(i + 1, schedules[g.selection[i]]);
     g.online.assign(online.pieces().begin(), online.pieces().end());
+
+    if (resilient) {
+      // Advertised (unfaulted) surfaces for the resilience paths, built
+      // through a zero-plan injector so they share the realized surface's
+      // event structure exactly — under the zero plan ideal == online.
+      const auto member_schedule =
+          [&](std::size_t m) -> const DaySchedule& {
+        return m == 0 ? schedules[user] : schedules[g.selection[m - 1]];
+      };
+      const std::size_t members = g.selection.size() + 1;
+      net::FaultInjector unfaulted{net::FaultPlan{}};
+      IntervalSet ideal;
+      for (std::size_t m = 0; m < members; ++m)
+        for (const auto& iv :
+             unfaulted.sessions(m, member_schedule(m),
+                                config.workload.horizon_days))
+          ideal.add(iv.start, iv.end);
+      g.ideal.assign(ideal.pieces().begin(), ideal.pieces().end());
+
+      if (config.resilience.hedged_reads) {
+        // Top-2 members by advertised daily online time (ties to the
+        // lower member index — owner first, then selection order).
+        std::size_t first = 0, second = members;
+        for (std::size_t m = 1; m < members; ++m) {
+          const Seconds secs = member_schedule(m).online_seconds();
+          if (secs > member_schedule(first).online_seconds()) {
+            second = first;
+            first = m;
+          } else if (second == members ||
+                     secs > member_schedule(second).online_seconds()) {
+            second = m;
+          }
+        }
+        IntervalSet hedge;
+        const auto add_hedge = [&](std::size_t m) {
+          for (const auto& iv :
+               unfaulted.sessions(m, member_schedule(m),
+                                  config.workload.horizon_days))
+            hedge.add(iv.start, iv.end);
+        };
+        add_hedge(first);
+        if (second < members) add_hedge(second);
+        g.hedge.assign(hedge.pieces().begin(), hedge.pieces().end());
+      }
+    }
     return g;
   }
 };
@@ -192,11 +269,93 @@ std::optional<Seconds> fetch_wait(const RunContext& run,
   return std::min(*group_wait, relay);
 }
 
+/// Instant the client gives up on fresh data: the capped-backoff retry
+/// schedule summed from `t`, clipped to the deadline budget. With no
+/// retries the deadline alone (or `t` itself) times the give-up.
+SimTime give_up_instant(const ResiliencePolicy& p, SimTime t) {
+  SimTime give_up = t;
+  Seconds backoff = p.retry_backoff;
+  for (int i = 0; i < p.max_retries; ++i) {
+    give_up += backoff;
+    backoff = std::min(p.retry_backoff_cap, backoff * 2);
+  }
+  if (p.deadline > 0) give_up = std::min(give_up, t + p.deadline);
+  return give_up;
+}
+
+/// One resilient profile fetch: the primary (realized) wait raced against
+/// the hedged and stale alternatives (serving.hpp). Every alternative is
+/// no earlier than the primary under the zero plan, so the winning
+/// arrival — and the request log — is bit-identical to the naive path
+/// when no fault fires. Ties go to the freshest path (primary, then
+/// hedge, then stale).
+struct FetchOutcome {
+  std::optional<SimTime> arrival;
+  std::uint32_t retries = 0;
+  bool hedged = false;
+  bool hedge_win = false;
+  bool stale_win = false;
+};
+
+FetchOutcome resilient_fetch(const RunContext& run,
+                             const GroupTimeline& group, SimTime t) {
+  const ResiliencePolicy& p = run.config.resilience;
+  FetchOutcome out;
+  const auto primary_wait = fetch_wait(run, group, t);
+  std::optional<SimTime> best;
+  if (primary_wait) best = t + *primary_wait;
+
+  if (p.hedged_reads && (!best || *best > t + p.hedge_delay)) {
+    // Primary not done by the hedge delay: launch the hedge against the
+    // top-2 members' advertised surface.
+    out.hedged = true;
+    const auto hedge = arrival_within(group.hedge, t + p.hedge_delay);
+    if (hedge && (!best || *hedge < *best)) {
+      best = hedge;
+      out.hedge_win = true;
+    }
+  }
+  if (p.stale_failover) {
+    // The freshest gossip-cached copy: retrievable from the give-up
+    // instant onward whenever a group member would be online per its
+    // advertised schedule, at the staleness tax.
+    const auto cached = arrival_within(group.ideal, t);
+    if (cached) {
+      const SimTime stale =
+          std::max(give_up_instant(p, t), *cached) + p.stale_read_tax;
+      if (!best || stale < *best) {
+        best = stale;
+        out.hedge_win = false;
+        out.stale_win = true;
+      }
+    }
+  }
+  if (p.max_retries > 0) {
+    // Retries that actually fired: schedule instants before completion
+    // (all scheduled instants when the request is never served).
+    SimTime at = t;
+    Seconds backoff = p.retry_backoff;
+    for (int i = 0; i < p.max_retries; ++i) {
+      at += backoff;
+      backoff = std::min(p.retry_backoff_cap, backoff * 2);
+      if (p.deadline > 0 && at > t + p.deadline) break;
+      if (!best || at < *best) ++out.retries;
+    }
+  }
+  out.arrival = best;
+  return out;
+}
+
 void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
                 UserLoad& load) {
   const auto contacts = run.dataset.graph.contacts(user);
-  const auto requests = user_requests(run.config.workload, run.seed, user,
-                                      contacts.size());
+  auto requests = user_requests(run.config.workload, run.seed, user,
+                                contacts.size());
+  if (run.flash)
+    requests = merge_requests(
+        std::move(requests),
+        flash_requests(run.config.workload, run.config.faults.scenario,
+                       run.config.faults.seed, user, contacts.size()));
 
   const GroupTimeline& own = cache.get(user);
   const auto friend_group = [&](std::size_t i) -> const GroupTimeline& {
@@ -246,6 +405,13 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
 
   ServeMetrics& metrics = serve_metrics();
   const Seconds crypto = run.config.crypto_op_cost;
+  const auto note_fetch = [&load](const FetchOutcome& o) {
+    load.res.retries += o.retries;
+    if (o.hedged) ++load.res.hedges;
+    if (o.hedge_win) ++load.res.hedge_wins;
+    if (o.stale_win) ++load.res.stale_served;
+  };
+  std::vector<SimTime> arrivals;  // feed scratch, reused across requests
   std::size_t write_index = 0;
   for (const auto& r : requests) {
     std::optional<Seconds> latency;
@@ -255,27 +421,101 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
           latency = 0;
         } else {
           const std::size_t target = r.target_index % contacts.size();
-          latency = fetch_wait(run, friend_group(target), r.time);
+          if (!run.resilient) {
+            latency = fetch_wait(run, friend_group(target), r.time);
+          } else {
+            const auto o = resilient_fetch(run, friend_group(target), r.time);
+            note_fetch(o);
+            if (o.arrival) latency = *o.arrival - r.time;
+          }
         }
         if (latency) *latency += crypto;
         break;
       }
       case RequestKind::kFeedAssembly: {
-        // Fan-in: the feed completes with the slowest friend fetch; one
-        // unreachable friend leaves the feed unassembled (unserved).
-        Seconds slowest = 0;
-        bool complete = true;
-        for (std::size_t i = 0; i < contacts.size(); ++i) {
-          const auto wait = fetch_wait(run, friend_group(i), r.time);
-          if (!wait) {
-            complete = false;
-            break;
+        const Seconds fan_crypto =
+            crypto * static_cast<Seconds>(contacts.size());
+        if (!run.resilient) {
+          // Fan-in: the feed completes with the slowest friend fetch; one
+          // unreachable friend leaves the feed unassembled (unserved).
+          Seconds slowest = 0;
+          bool complete = true;
+          for (std::size_t i = 0; i < contacts.size(); ++i) {
+            const auto wait = fetch_wait(run, friend_group(i), r.time);
+            if (!wait) {
+              complete = false;
+              break;
+            }
+            slowest = std::max(slowest, *wait);
           }
-          slowest = std::max(slowest, *wait);
+          if (complete) {
+            latency = slowest + fan_crypto;
+            load.res.feed_coverage_sum += 1.0;
+            ++load.res.feed_coverage_count;
+          }
+          break;
         }
-        if (complete)
-          latency = slowest +
-                    crypto * static_cast<Seconds>(contacts.size());
+        // Resilient fan-in: every friend fetched through the resilient
+        // path; a feed whose slowest fetches blow the feed budget is
+        // served partial at the budget instant when coverage allows
+        // (serving.hpp). The budget is never below the ideal feed
+        // completion, so under the zero plan the full-serve branch is
+        // always taken and the outcome matches the naive path bit for
+        // bit.
+        const ResiliencePolicy& p = run.config.resilience;
+        arrivals.clear();
+        bool reachable = true;
+        SimTime done = r.time;
+        bool budgetable = p.degrade_feeds;
+        SimTime ideal_done = r.time;
+        for (std::size_t i = 0; i < contacts.size(); ++i) {
+          const GroupTimeline& fg = friend_group(i);
+          const auto o = resilient_fetch(run, fg, r.time);
+          note_fetch(o);
+          if (o.arrival) {
+            arrivals.push_back(*o.arrival);
+            done = std::max(done, *o.arrival);
+          } else {
+            reachable = false;
+          }
+          if (budgetable) {
+            const auto ideal = arrival_within(fg.ideal, r.time);
+            if (ideal)
+              ideal_done = std::max(ideal_done, *ideal);
+            else
+              budgetable = false;
+          }
+        }
+        const SimTime budget = std::max(
+            ideal_done, r.time + std::max(p.deadline, run.config.slo));
+        double coverage = -1.0;
+        if (reachable && done <= budget) {
+          latency = done - r.time + fan_crypto;
+          coverage = 1.0;
+        } else if (budgetable) {
+          std::size_t kept = 0;
+          for (const SimTime a : arrivals)
+            if (a <= budget) ++kept;
+          const double cov =
+              contacts.empty() ? 1.0
+                               : static_cast<double>(kept) /
+                                     static_cast<double>(contacts.size());
+          if (cov >= p.feed_min_coverage) {
+            latency = budget - r.time + fan_crypto;
+            coverage = cov;
+            ++load.res.degraded_feeds;
+          } else if (reachable) {
+            latency = done - r.time + fan_crypto;
+            coverage = 1.0;
+          }
+        } else if (reachable) {
+          latency = done - r.time + fan_crypto;
+          coverage = 1.0;
+        }
+        if (coverage >= 0.0) {
+          load.res.feed_coverage_sum += coverage;
+          ++load.res.feed_coverage_count;
+        }
         break;
       }
       case RequestKind::kPostWrite: {
@@ -323,6 +563,13 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
                        load.write.unserved);
   metrics.slo_misses.add(load.read.slo_misses + load.feed.slo_misses +
                          load.write.slo_misses);
+  if (run.resilient) {
+    metrics.retries.add(load.res.retries);
+    metrics.hedges.add(load.res.hedges);
+    metrics.hedge_wins.add(load.res.hedge_wins);
+    metrics.stale_served.add(load.res.stale_served);
+    metrics.degraded_feeds.add(load.res.degraded_feeds);
+  }
 }
 
 void merge_kind(KindStats& into, const KindStats& from) {
@@ -332,11 +579,41 @@ void merge_kind(KindStats& into, const KindStats& from) {
   into.slo_misses += from.slo_misses;
 }
 
+void merge_res(ResilienceStats& into, const ResilienceStats& from) {
+  into.retries += from.retries;
+  into.hedges += from.hedges;
+  into.hedge_wins += from.hedge_wins;
+  into.stale_served += from.stale_served;
+  into.degraded_feeds += from.degraded_feeds;
+  into.feed_coverage_sum += from.feed_coverage_sum;
+  into.feed_coverage_count += from.feed_coverage_count;
+}
+
 }  // namespace
+
+void validate(const ResiliencePolicy& policy) {
+  if (policy.hedge_delay < 0)
+    throw ConfigError("resilience: hedge_delay must be >= 0");
+  if (policy.stale_read_tax < 0)
+    throw ConfigError("resilience: stale_read_tax must be >= 0");
+  if (policy.max_retries < 0 || policy.max_retries > 32)
+    throw ConfigError("resilience: max_retries must be in [0, 32]");
+  if (policy.max_retries > 0) {
+    if (policy.retry_backoff <= 0)
+      throw ConfigError("resilience: retry_backoff must be > 0");
+    if (policy.retry_backoff_cap < policy.retry_backoff)
+      throw ConfigError("resilience: retry_backoff_cap must be >= retry_backoff");
+  }
+  if (policy.deadline < 0)
+    throw ConfigError("resilience: deadline must be >= 0");
+  if (policy.feed_min_coverage < 0.0 || policy.feed_min_coverage > 1.0)
+    throw ConfigError("resilience: feed_min_coverage must be in [0, 1]");
+}
 
 void validate(const ServingConfig& config) {
   validate(config.workload);
   net::validate(config.faults);
+  validate(config.resilience);
   if (config.crypto_op_cost < 0)
     throw ConfigError("serving: crypto_op_cost must be >= 0");
   if (config.slo < 0)
@@ -369,6 +646,10 @@ ServingReport run_serving_study(const trace::Dataset& dataset,
       .placement_stream = util::mix64(seed, kPlacementTag),
       .horizon = static_cast<SimTime>(config.workload.horizon_days) *
                  interval::kDaySeconds,
+      .resilient = !config.resilience.zero(),
+      .flash = std::any_of(config.faults.scenario.flash_crowds.begin(),
+                           config.faults.scenario.flash_crowds.end(),
+                           [](const net::FlashCrowd& c) { return c.active(); }),
       .relay_outages = {},
   };
 
@@ -400,6 +681,7 @@ ServingReport run_serving_study(const trace::Dataset& dataset,
     merge_kind(report.read, loads[i].read);
     merge_kind(report.feed, loads[i].feed);
     merge_kind(report.write, loads[i].write);
+    merge_res(report.resilience, loads[i].res);
     fnv_mix(report.request_log_checksum,
             static_cast<std::uint64_t>(cohort[i]));
     fnv_mix(report.request_log_checksum, loads[i].digest);

@@ -52,6 +52,62 @@
 
 namespace dosn::serve {
 
+/// Client-side resilience on the serving path (DESIGN.md §15). Every
+/// mechanism is formulated as an *alternative arrival* the client races
+/// against the primary wait, each alternative provably no earlier than
+/// the primary under the zero FaultPlan — so an enabled policy under the
+/// zero plan reproduces the naive request log bit for bit, and under
+/// faults a resilient request is never served later than its naive
+/// counterpart:
+///
+///   * hedged reads   — after `hedge_delay` without primary completion
+///     the client re-issues the read to the top-2 availability-ranked
+///     replica-group members over the hardened gossip path, which serves
+///     on their *advertised* (ideal) schedules: the retransmission
+///     machinery masks the transient faults the primary wait is exposed
+///     to, at the cost of the hedge delay and the duplicated work the
+///     hedge counters record.
+///   * stale failover — once the retry budget is exhausted (the capped-
+///     backoff schedule below, clipped to `deadline`), the client
+///     falls back to the freshest gossip-cached copy, retrievable from
+///     the give-up instant onward whenever any group member would be
+///     online per its advertised schedule, at a `stale_read_tax`.
+///   * retries        — capped exponential backoff (retry_backoff,
+///     doubling, capped at retry_backoff_cap, at most max_retries). A
+///     retry against the realized group timeline can never complete
+///     earlier, so the schedule's role is to *time the give-up* that
+///     unlocks stale failover; the retry counters measure wasted work.
+///   * feed degradation — a feed whose slowest friends blow the feed
+///     budget (max of the ideal feed completion, the deadline and the
+///     SLO — degrading below the SLO would trade a hit for a miss) is
+///     served partial at the budget instant when the covered fraction of
+///     friends reaches `feed_min_coverage`, instead of an unserved miss.
+struct ResiliencePolicy {
+  bool hedged_reads = false;
+  Seconds hedge_delay = 300;
+  bool stale_failover = false;
+  Seconds stale_read_tax = 120;
+  int max_retries = 3;
+  Seconds retry_backoff = 60;
+  Seconds retry_backoff_cap = 960;
+  /// Per-request deadline budget in seconds; clips the retry schedule.
+  /// 0 = the backoff sum alone times the give-up.
+  Seconds deadline = 0;
+  bool degrade_feeds = false;
+  /// Minimum served fraction of friends for a degraded (partial) feed.
+  double feed_min_coverage = 0.5;
+
+  /// True when no mechanism is enabled (the naive serving path).
+  bool zero() const {
+    return !hedged_reads && !stale_failover && !degrade_feeds;
+  }
+  friend bool operator==(const ResiliencePolicy&, const ResiliencePolicy&) =
+      default;
+};
+
+/// Throws ConfigError on out-of-range knobs.
+void validate(const ResiliencePolicy& policy);
+
 struct ServingConfig {
   WorkloadConfig workload;
   placement::PolicyKind policy = placement::PolicyKind::kMaxAv;
@@ -63,6 +119,10 @@ struct ServingConfig {
   /// are per-user-seeded (mix64(faults.seed, user)) and nested across
   /// scaled() intensities.
   net::FaultPlan faults;
+  /// Client-side resilience mechanisms; the default policy is the naive
+  /// serving path (zero()). An enabled policy under the zero fault plan
+  /// reproduces the naive request log bit for bit.
+  ResiliencePolicy resilience;
   /// DECENT-style per-crypto-op latency tax in seconds (0 = off).
   Seconds crypto_op_cost = 0;
   /// A served request slower than this misses its SLO; unserved requests
@@ -85,10 +145,35 @@ struct KindStats {
   friend bool operator==(const KindStats&, const KindStats&) = default;
 };
 
+/// Resilience-path effort and outcome totals (all zero on the naive
+/// path except feed coverage, which records 1.0 per served full feed).
+/// Every field is a pure function of the run's timelines, so the totals
+/// are bit-identical across thread counts and DOSN_OBS settings.
+struct ResilienceStats {
+  std::uint64_t retries = 0;        ///< retry attempts actually fired
+  std::uint64_t hedges = 0;         ///< hedged reads launched
+  std::uint64_t hedge_wins = 0;     ///< requests the hedge served first
+  std::uint64_t stale_served = 0;   ///< requests served from a stale copy
+  std::uint64_t degraded_feeds = 0; ///< feeds served partial
+  /// Sum / count of per-served-feed coverage fractions (full feed = 1.0).
+  double feed_coverage_sum = 0.0;
+  std::uint64_t feed_coverage_count = 0;
+
+  double feed_coverage_mean() const {
+    return feed_coverage_count == 0
+               ? 1.0
+               : feed_coverage_sum /
+                     static_cast<double>(feed_coverage_count);
+  }
+  friend bool operator==(const ResilienceStats&, const ResilienceStats&) =
+      default;
+};
+
 struct ServingReport {
   KindStats read;
   KindStats feed;
   KindStats write;
+  ResilienceStats resilience;
   LatencyHistogram latency;  ///< all served requests
   std::uint64_t requests = 0;
   std::uint64_t served = 0;

@@ -1,6 +1,7 @@
 #include "serve/workload.hpp"
 
 #include <algorithm>
+#include <iterator>
 
 #include "interval/day_schedule.hpp"
 #include "util/check.hpp"
@@ -12,6 +13,23 @@ namespace {
 /// Stream tag separating the workload stream family from every other
 /// mix64-derived stream in the system (placement, models, faults).
 inline constexpr std::uint64_t kWorkloadTag = 0x53455256'574b4c44ULL;  // "SERVWKLD"
+/// Stream tag of the flash-crowd extra-request streams (keyed by the
+/// *fault plan* seed: the crowd is part of the scenario, not the base
+/// workload, so two plans differing only in seed superpose different
+/// crowd realizations on the same base streams).
+inline constexpr std::uint64_t kFlashTag = 0x53455256'464c5348ULL;  // "SERVFLSH"
+
+/// Draws one request's (kind, target) pair from `rng` — the shared draw
+/// discipline of the base and flash streams (two draws, kind-independent).
+void draw_kind_and_target(const WorkloadConfig& config, util::Rng& rng,
+                          std::uint64_t target_support, Request& r) {
+  const double mix = rng.uniform();
+  r.kind = mix < config.read_fraction ? RequestKind::kProfileRead
+           : mix < config.read_fraction + config.feed_fraction
+               ? RequestKind::kFeedAssembly
+               : RequestKind::kPostWrite;
+  r.target_index = static_cast<std::uint32_t>(rng.below(target_support));
+}
 }  // namespace
 
 std::string_view to_string(RequestKind kind) {
@@ -54,15 +72,65 @@ std::vector<Request> user_requests(const WorkloadConfig& config,
   while (t < horizon_s) {
     Request r;
     r.time = static_cast<net::SimTime>(t);
-    const double mix = rng.uniform();
-    r.kind = mix < config.read_fraction ? RequestKind::kProfileRead
-             : mix < config.read_fraction + config.feed_fraction
-                 ? RequestKind::kFeedAssembly
-                 : RequestKind::kPostWrite;
-    r.target_index = static_cast<std::uint32_t>(rng.below(target_support));
+    draw_kind_and_target(config, rng, target_support, r);
     out.push_back(r);
     t += rng.exponential(rate_per_s);
   }
+  return out;
+}
+
+std::vector<Request> flash_requests(const WorkloadConfig& config,
+                                    const net::ScenarioSpec& scenario,
+                                    std::uint64_t plan_seed,
+                                    graph::UserId user, std::size_t degree) {
+  validate(config);
+  validate(scenario);
+  const double horizon_s = static_cast<double>(config.horizon_days) *
+                           static_cast<double>(interval::kDaySeconds);
+  const double base_rate = config.requests_per_user_per_day /
+                           static_cast<double>(interval::kDaySeconds);
+  const std::uint64_t target_support =
+      std::max<std::uint64_t>(1, static_cast<std::uint64_t>(degree));
+
+  std::vector<Request> out;
+  for (std::size_t e = 0; e < scenario.flash_crowds.size(); ++e) {
+    const auto& crowd = scenario.flash_crowds[e];
+    if (!crowd.active()) continue;
+    const double rate = base_rate * (crowd.load_multiplier - 1.0);
+    const double end =
+        std::min(static_cast<double>(crowd.end), horizon_s);
+    util::Rng rng(
+        util::mix64(util::mix64(plan_seed, kFlashTag, e), user));
+    // Gaps accumulate from the (scale-invariant) window start, so a
+    // scaled (shorter) window keeps exactly the prefix of this stream's
+    // arrivals — the nesting guarantee.
+    double t = static_cast<double>(crowd.start) + rng.exponential(rate);
+    while (t < end) {
+      Request r;
+      r.time = static_cast<net::SimTime>(t);
+      draw_kind_and_target(config, rng, target_support, r);
+      out.push_back(r);
+      t += rng.exponential(rate);
+    }
+  }
+  if (scenario.flash_crowds.size() > 1)
+    std::stable_sort(out.begin(), out.end(),
+                     [](const Request& a, const Request& b) {
+                       return a.time < b.time;
+                     });
+  return out;
+}
+
+std::vector<Request> merge_requests(std::vector<Request> base,
+                                    std::vector<Request> extra) {
+  if (extra.empty()) return base;
+  std::vector<Request> out;
+  out.reserve(base.size() + extra.size());
+  std::merge(base.begin(), base.end(), extra.begin(), extra.end(),
+             std::back_inserter(out),
+             [](const Request& a, const Request& b) {
+               return a.time < b.time;
+             });
   return out;
 }
 

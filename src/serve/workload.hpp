@@ -29,6 +29,7 @@
 
 #include "graph/social_graph.hpp"
 #include "net/event_queue.hpp"
+#include "net/scenario.hpp"
 #include "util/rng.hpp"
 
 namespace dosn::serve {
@@ -71,5 +72,26 @@ struct Request {
 std::vector<Request> user_requests(const WorkloadConfig& config,
                                    std::uint64_t seed, graph::UserId user,
                                    std::size_t degree);
+
+/// The extra requests a scenario's flash crowds superpose on `user`'s
+/// base stream: per active crowd entry an independent Poisson process at
+/// (load_multiplier - 1) times the base rate inside [start, end), with
+/// the base kind mix and draw discipline (three draws per request). Each
+/// entry draws from its own stream, mix64(mix64(plan_seed, kFlashTag,
+/// entry), user) — the base stream is never touched, so the zero
+/// scenario adds nothing and the base requests stay bit-identical.
+/// Because scaled() shrinks crowd windows start-anchored at a preserved
+/// multiplier, a scaled scenario's extra requests are exactly a prefix
+/// subset per entry: request sets nest across intensities. Returned in
+/// time order (stable across entries).
+std::vector<Request> flash_requests(const WorkloadConfig& config,
+                                    const net::ScenarioSpec& scenario,
+                                    std::uint64_t plan_seed,
+                                    graph::UserId user, std::size_t degree);
+
+/// Time-ordered merge of the base stream and flash extras (stable: base
+/// requests precede extras at equal times).
+std::vector<Request> merge_requests(std::vector<Request> base,
+                                    std::vector<Request> extra);
 
 }  // namespace dosn::serve

@@ -12,8 +12,10 @@
 #include "interval/day_schedule.hpp"
 #include "interval/interval_set.hpp"
 #include "net/event_queue.hpp"
+#include "net/scenario.hpp"
 #include "onlinetime/model.hpp"
 #include "placement/policy.hpp"
+#include "serve/serving.hpp"
 #include "sim/evaluate.hpp"
 #include "trace/dataset.hpp"
 #include "util/alias.hpp"
@@ -328,6 +330,114 @@ TEST(SimContracts, EvaluateUserRejectsHolderWithoutSchedule) {
   EXPECT_THROW(sim::evaluate_user(dataset, schedules, 1, bogus,
                                   Connectivity::kUnconRep),
                ContractError);
+}
+
+// -------------------------------------------------------------- scenario
+
+TEST(ScenarioContracts, ValidCompositeSpecPasses) {
+  net::ScenarioSpec spec;
+  spec.regional_outages.push_back({2, 0, 0, 1000, 0.9});
+  spec.regional_outages.push_back({2, 1, 0, 1000, 0.9});  // disjoint class
+  spec.flash_crowds.push_back({500, 2000, 4.0});
+  spec.churn_bursts.push_back({0, 3000, 0.5, 0.8});
+  EXPECT_NO_THROW(net::validate(spec));
+}
+
+TEST(ScenarioContracts, ProbabilityOutOfRangeFires) {
+  net::ScenarioSpec spec;
+  spec.regional_outages.push_back({2, 0, 0, 1000, 1.5});
+  EXPECT_THROW(net::validate(spec), ConfigError);
+  spec = {};
+  spec.churn_bursts.push_back({0, 1000, -0.1, 1.0});
+  EXPECT_THROW(net::validate(spec), ConfigError);
+  spec = {};
+  spec.churn_bursts.push_back({0, 1000, 0.5, 2.0});
+  EXPECT_THROW(net::validate(spec), ConfigError);
+}
+
+TEST(ScenarioContracts, InvertedOrNegativeWindowFires) {
+  net::ScenarioSpec spec;
+  spec.flash_crowds.push_back({2000, 1000, 2.0});  // inverted
+  EXPECT_THROW(net::validate(spec), ConfigError);
+  spec = {};
+  spec.regional_outages.push_back({2, 0, -5, 1000, 1.0});  // before t=0
+  EXPECT_THROW(net::validate(spec), ConfigError);
+}
+
+TEST(ScenarioContracts, RegionOutsidePartitionFires) {
+  net::ScenarioSpec spec;
+  spec.regional_outages.push_back({2, 2, 0, 1000, 1.0});
+  EXPECT_THROW(net::validate(spec), ConfigError);
+}
+
+TEST(ScenarioContracts, OverlappingPartitionsFire) {
+  // regions=2/region=0 and regions=4/region=2 share nodes ≡ 2 (mod 4)
+  // over overlapping windows — rejected by the CRT intersection check.
+  net::ScenarioSpec spec;
+  spec.regional_outages.push_back({2, 0, 0, 1000, 1.0});
+  spec.regional_outages.push_back({4, 2, 500, 1500, 1.0});
+  EXPECT_THROW(net::validate(spec), ConfigError);
+
+  // Same classes but disjoint windows: fine.
+  spec.regional_outages[1].start = 1000;
+  spec.regional_outages[1].end = 2000;
+  EXPECT_NO_THROW(net::validate(spec));
+
+  // Overlapping windows but disjoint residue classes: fine.
+  spec.regional_outages[1] = {4, 1, 500, 1500, 1.0};
+  EXPECT_NO_THROW(net::validate(spec));
+}
+
+TEST(ScenarioContracts, FlashMultiplierOutOfRangeFires) {
+  net::ScenarioSpec spec;
+  spec.flash_crowds.push_back({0, 1000, 0.5});
+  EXPECT_THROW(net::validate(spec), ConfigError);
+  spec.flash_crowds[0].load_multiplier = 65.0;
+  EXPECT_THROW(net::validate(spec), ConfigError);
+}
+
+TEST(ScenarioContracts, FaultPlanValidateCoversItsScenario) {
+  net::FaultPlan plan;
+  plan.scenario.flash_crowds.push_back({2000, 1000, 2.0});
+  EXPECT_THROW(net::validate(plan), ConfigError);
+}
+
+// ------------------------------------------------------------ resilience
+
+TEST(ResilienceContracts, DefaultPolicyIsZeroAndValid) {
+  serve::ResiliencePolicy policy;
+  EXPECT_TRUE(policy.zero());
+  EXPECT_NO_THROW(serve::validate(policy));
+}
+
+TEST(ResilienceContracts, OutOfRangeKnobsFire) {
+  serve::ResiliencePolicy policy;
+  policy.hedge_delay = -1;
+  EXPECT_THROW(serve::validate(policy), ConfigError);
+  policy = {};
+  policy.stale_read_tax = -1;
+  EXPECT_THROW(serve::validate(policy), ConfigError);
+  policy = {};
+  policy.max_retries = 33;
+  EXPECT_THROW(serve::validate(policy), ConfigError);
+  policy = {};
+  policy.retry_backoff = 0;
+  EXPECT_THROW(serve::validate(policy), ConfigError);
+  policy = {};
+  policy.retry_backoff_cap = policy.retry_backoff - 1;
+  EXPECT_THROW(serve::validate(policy), ConfigError);
+  policy = {};
+  policy.deadline = -5;
+  EXPECT_THROW(serve::validate(policy), ConfigError);
+  policy = {};
+  policy.feed_min_coverage = 1.5;
+  EXPECT_THROW(serve::validate(policy), ConfigError);
+}
+
+TEST(ResilienceContracts, ServingConfigValidateCoversThePolicy) {
+  serve::ServingConfig config;
+  config.resilience.feed_min_coverage = -0.5;
+  EXPECT_THROW(serve::validate(config), ConfigError);
 }
 
 }  // namespace

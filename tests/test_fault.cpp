@@ -327,6 +327,134 @@ TEST(FaultInjector, RelayDownWindows) {
   EXPECT_FALSE(injector.relay_down(700));
 }
 
+// ---------------------------------------------------- composite scenarios
+
+TEST(Scenario, ZeroSpecInjectsNothing) {
+  FaultPlan plain = churn_plan(13);
+  FaultPlan with_spec = plain;
+  // Inactive entries only: zero regions, empty window, multiplier 1.
+  with_spec.scenario.regional_outages.push_back({0, 0, 100, 200, 1.0});
+  with_spec.scenario.flash_crowds.push_back({100, 200, 1.0});
+  with_spec.scenario.churn_bursts.push_back({100, 100, 0.5, 1.0});
+  EXPECT_TRUE(with_spec.scenario.zero());
+
+  FaultInjector a(plain), b(with_spec);
+  for (std::size_t node = 0; node < 4; ++node) {
+    const auto sa = a.sessions(node, two_windows(), 10);
+    const auto sb = b.sessions(node, two_windows(), 10);
+    EXPECT_EQ(std::vector<Interval>(sa.begin(), sa.end()),
+              std::vector<Interval>(sb.begin(), sb.end()))
+        << "node " << node;
+  }
+  EXPECT_EQ(b.stats().scenario_windows, 0u);
+}
+
+TEST(Scenario, NonZeroSpecMakesThePlanNonZero) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.zero());
+  plan.scenario.churn_bursts.push_back({0, kDaySeconds, 0.5, 1.0});
+  EXPECT_FALSE(plan.zero());
+}
+
+TEST(Scenario, RegionalOutageHitsOnlyItsRegion) {
+  FaultPlan plan;
+  plan.seed = 31;
+  plan.scenario.regional_outages.push_back(
+      {2, 0, 1 * kDaySeconds, 3 * kDaySeconds, 1.0});
+
+  FaultInjector injector(plan);
+  FaultInjector clean{FaultPlan{}};
+  for (std::size_t node = 0; node < 4; ++node) {
+    const auto faulted = as_set(injector.sessions(node, two_windows(), 5));
+    const auto ideal = as_set(clean.sessions(node, two_windows(), 5));
+    if (node % 2 == 0) {
+      // Participation 1: the outage window is carved out exactly.
+      const auto expected = ideal.subtract(
+          IntervalSet::single(1 * kDaySeconds, 3 * kDaySeconds));
+      EXPECT_EQ(faulted, expected) << "node " << node;
+    } else {
+      EXPECT_EQ(faulted, ideal) << "node " << node;
+    }
+  }
+  EXPECT_EQ(injector.stats().scenario_windows, 2u);
+}
+
+TEST(Scenario, ChurnBurstDropsWholeDaysDeterministically) {
+  FaultPlan plan;
+  plan.seed = 77;
+  plan.scenario.churn_bursts.push_back(
+      {1 * kDaySeconds, 3 * kDaySeconds, 1.0, 1.0});
+
+  FaultInjector injector(plan);
+  FaultInjector clean{FaultPlan{}};
+  const auto faulted = as_set(injector.sessions(0, two_windows(), 5));
+  const auto ideal = as_set(clean.sessions(0, two_windows(), 5));
+  // no_show 1, participation 1: days 1 and 2 vanish, the rest survive.
+  const auto expected = ideal.subtract(
+      IntervalSet::single(1 * kDaySeconds, 3 * kDaySeconds));
+  EXPECT_EQ(faulted, expected);
+
+  // Same plan, same node: bit-identical on re-realization.
+  FaultInjector again(plan);
+  EXPECT_EQ(as_set(again.sessions(0, two_windows(), 5)), faulted);
+}
+
+TEST(Scenario, ScaledRealizationsNestExactly) {
+  FaultPlan plan;
+  plan.seed = 91;
+  plan.scenario.regional_outages.push_back(
+      {2, 1, 0, 4 * kDaySeconds, 0.8});
+  plan.scenario.churn_bursts.push_back(
+      {2 * kDaySeconds, 6 * kDaySeconds, 0.7, 0.9});
+
+  IntervalSet prev;  // sessions at the previous (higher) intensity
+  bool first = true;
+  for (const double f : {1.0, 0.6, 0.3, 0.0}) {
+    const FaultPlan cut = scaled(plan, f);
+    EXPECT_EQ(cut.scenario.regional_outages.size(), 1u);
+    EXPECT_EQ(cut.scenario.churn_bursts.size(), 1u);
+    FaultInjector injector(cut);
+    const auto online = as_set(injector.sessions(1, two_windows(), 8));
+    if (!first) {
+      // Lower intensity must be a superset: prev minus online is empty.
+      EXPECT_TRUE(prev.subtract(online).pieces().empty()) << "f " << f;
+    }
+    prev = online;
+    first = false;
+  }
+  // f = 0 equals the unfaulted sessions.
+  FaultInjector clean{FaultPlan{}};
+  EXPECT_EQ(prev, as_set(clean.sessions(1, two_windows(), 8)));
+}
+
+TEST(Scenario, ParserRoundTripsAndRejectsGarbage) {
+  const ScenarioSpec spec = parse_scenario(
+      "# composite scenario\n"
+      "regional_outage regions=3 region=1 start=86400 end=259200 "
+      "participation=0.75\n"
+      "\n"
+      "flash_crowd start=172800 end=345600 load_multiplier=4\n"
+      "churn_burst start=345600 end=604800 no_show=0.5\n");
+  ASSERT_EQ(spec.regional_outages.size(), 1u);
+  EXPECT_EQ(spec.regional_outages[0].regions, 3u);
+  EXPECT_EQ(spec.regional_outages[0].region, 1u);
+  EXPECT_DOUBLE_EQ(spec.regional_outages[0].participation, 0.75);
+  ASSERT_EQ(spec.flash_crowds.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.flash_crowds[0].load_multiplier, 4.0);
+  ASSERT_EQ(spec.churn_bursts.size(), 1u);
+  EXPECT_DOUBLE_EQ(spec.churn_bursts[0].participation, 1.0);  // default
+
+  EXPECT_EQ(parse_scenario(to_text(spec)), spec);
+
+  EXPECT_THROW(parse_scenario("meteor_strike start=0 end=1"), ParseError);
+  EXPECT_THROW(parse_scenario("flash_crowd start=0 end=1"), ParseError);
+  EXPECT_THROW(
+      parse_scenario("flash_crowd start=0 end=1 load_multiplier=2 x=3"),
+      ParseError);
+  EXPECT_THROW(parse_scenario("churn_burst start=0 end=1 no_show"),
+               ParseError);
+}
+
 TEST(FaultInjector, FlushStatsPublishesToObsAndResets) {
   const bool was_enabled = obs::enabled();
   obs::set_enabled(true);

@@ -14,6 +14,7 @@
 #include "interval/day_schedule.hpp"
 #include "interval/interval_set.hpp"
 #include "net/event_queue.hpp"
+#include "net/scenario.hpp"
 #include "trace/parsers.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -275,6 +276,66 @@ TEST_P(ParserFuzz, GarbageNeverCrashesEitherLoader) {
     } catch (const Error&) {
     }
   }
+}
+
+// Scenario config parsing: same contract as the dataset loaders —
+// arbitrary bytes either parse into a validated spec or throw a
+// line-numbered dosn::Error, never crash; whatever parses round-trips
+// through to_text.
+TEST_P(ParserFuzz, ScenarioGarbageParsesOrThrows) {
+  util::Rng rng(GetParam());
+  static constexpr char kScenarioAlphabet[] =
+      "0123456789. =_\t\n#regional_outage flash_crowd churn_burst "
+      "regions region start end participation load_multiplier no_show"
+      "\x01\x00\x7f\xff-";
+  for (int round = 0; round < 60; ++round) {
+    std::string body;
+    const auto len = rng.below(400);
+    for (std::uint64_t i = 0; i < len; ++i)
+      body.push_back(
+          kScenarioAlphabet[rng.below(sizeof(kScenarioAlphabet) - 1)]);
+    try {
+      const auto spec = net::parse_scenario(body);
+      EXPECT_EQ(net::parse_scenario(net::to_text(spec)), spec);
+    } catch (const Error&) {
+      // Rejection is fine; anything else (crash, UB) is the bug.
+    }
+  }
+}
+
+TEST_P(ParserFuzz, ScenarioTruncationsParseOrThrow) {
+  static constexpr char kScenario[] =
+      "# composite scenario\n"
+      "regional_outage regions=2 region=0 start=172800 end=432000 "
+      "participation=0.9\n"
+      "flash_crowd start=86400 end=259200 load_multiplier=3\n"
+      "churn_burst start=345600 end=604800 no_show=0.5 participation=0.8\n";
+  const std::string_view full(kScenario);
+  const auto reference = net::parse_scenario(full);
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    try {
+      const auto spec = net::parse_scenario(full.substr(0, cut));
+      // Whatever parses must be a per-class prefix of the full spec.
+      EXPECT_LE(spec.regional_outages.size(),
+                reference.regional_outages.size());
+      EXPECT_LE(spec.flash_crowds.size(), reference.flash_crowds.size());
+      EXPECT_LE(spec.churn_bursts.size(), reference.churn_bursts.size());
+    } catch (const Error&) {
+      // Truncations land in one of three typed rejections: a ParseError
+      // from the line parser or a numeric field, or a ConfigError from
+      // validate() — never a crash.
+    }
+  }
+  // An unknown class still names its line.
+  try {
+    net::parse_scenario("meteor_strike start=0 end=1");
+    FAIL() << "unknown class accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("scenario line 1"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(net::parse_scenario(net::to_text(reference)), reference);
 }
 
 TEST_P(ParserFuzz, TruncatedNewOrleansActivitiesParseOrThrow) {

@@ -393,6 +393,156 @@ TEST(ServingTest, SloMissesMonotoneUnderScaledFaults) {
   EXPECT_GT(prev_misses, 0u);
 }
 
+// ------------------------------------------------------------ resilience
+
+ResiliencePolicy full_resilience() {
+  ResiliencePolicy p;
+  p.hedged_reads = true;
+  p.stale_failover = true;
+  p.degrade_feeds = true;
+  return p;
+}
+
+/// The per-request outcomes two reports share when the resilience policy
+/// never fires: the request log plus every latency/SLO aggregate (the
+/// effort counters legitimately differ — hedges are launched and retries
+/// scheduled even when they never win).
+void expect_same_outcomes(const ServingReport& a, const ServingReport& b) {
+  EXPECT_EQ(a.request_log_checksum, b.request_log_checksum);
+  EXPECT_EQ(a.read, b.read);
+  EXPECT_EQ(a.feed, b.feed);
+  EXPECT_EQ(a.write, b.write);
+  EXPECT_EQ(a.latency, b.latency);
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.served, b.served);
+  EXPECT_EQ(a.unserved, b.unserved);
+  EXPECT_EQ(a.slo_misses, b.slo_misses);
+}
+
+TEST(ResilienceTest, ZeroPlanBitIdentityAcrossThreadCounts) {
+  const auto input = small_input();
+  // Zero fault plan under ConRep, and a relay outage under UnconRep: in
+  // both regimes every resilience mechanism must be a no-op on the
+  // request log (each alternative arrival is provably no earlier than
+  // the primary when sessions are unfaulted).
+  for (const bool unconrep : {false, true}) {
+    ServingConfig config;
+    config.replicas = 3;
+    config.served_users = 24;
+    config.workload.horizon_days = 7;
+    if (unconrep) {
+      config.connectivity = placement::Connectivity::kUnconRep;
+      config.faults.relay_outages.push_back({kDaySeconds, 3 * kDaySeconds});
+    }
+    const auto naive = run_serving_study(input.dataset, input.schedules,
+                                         input.cohort, 11, config);
+
+    config.resilience = full_resilience();
+    const auto resilient = run_serving_study(input.dataset, input.schedules,
+                                             input.cohort, 11, config);
+    expect_same_outcomes(resilient, naive);
+    EXPECT_EQ(resilient.resilience.hedge_wins, 0u);
+    EXPECT_EQ(resilient.resilience.stale_served, 0u);
+    EXPECT_EQ(resilient.resilience.degraded_feeds, 0u);
+    EXPECT_DOUBLE_EQ(resilient.resilience.feed_coverage_mean(), 1.0);
+
+    for (const std::size_t threads : {2u, 4u, 8u}) {
+      util::ThreadPool pool(threads);
+      const auto parallel = run_serving_study(
+          input.dataset, input.schedules, input.cohort, 11, config, &pool);
+      EXPECT_EQ(parallel, resilient) << threads << " threads";
+    }
+  }
+}
+
+/// The composite scenario the metamorphic tests sweep: all three macro
+/// event classes layered on the small_config churn base.
+ServingConfig composite_config() {
+  auto config = small_config();
+  config.faults.scenario = net::parse_scenario(
+      "regional_outage regions=2 region=0 start=86400 end=259200 "
+      "participation=1\n"
+      "flash_crowd start=172800 end=345600 load_multiplier=3\n"
+      "churn_burst start=259200 end=432000 no_show=0.8 participation=0.9\n");
+  return config;
+}
+
+TEST(ResilienceTest, SloMissesMonotoneInCompositeIntensity) {
+  const auto input = small_input();
+  const auto base = composite_config();
+
+  for (const std::uint64_t seed : {5u, 11u, 23u}) {
+    for (const bool resilient : {false, true}) {
+      auto config = base;
+      if (resilient) config.resilience = full_resilience();
+      std::uint64_t prev_misses = 0, prev_requests = 0;
+      bool first = true;
+      for (const double f : {0.0, 0.4, 0.7, 1.0}) {
+        config.faults = net::scaled(base.faults, f);
+        if (resilient) config.resilience = full_resilience();
+        const auto report = run_serving_study(input.dataset, input.schedules,
+                                              input.cohort, seed, config);
+        if (!first) {
+          // Flash extras nest (prefix subsets), so the request count is
+          // monotone; nested realizations make the misses monotone.
+          EXPECT_GE(report.requests, prev_requests)
+              << "seed " << seed << " f " << f;
+          EXPECT_GE(report.slo_misses, prev_misses)
+              << "seed " << seed << " f " << f << " resilient " << resilient;
+        }
+        prev_misses = report.slo_misses;
+        prev_requests = report.requests;
+        first = false;
+      }
+      EXPECT_GT(prev_misses, 0u);
+    }
+  }
+}
+
+TEST(ResilienceTest, ResilientNeverWorseThanNaiveAtAnyIntensity) {
+  const auto input = small_input();
+  const auto base = composite_config();
+
+  for (const std::uint64_t seed : {5u, 11u, 23u}) {
+    bool helped = false;
+    for (const double f : {0.0, 0.5, 1.0}) {
+      auto config = base;
+      config.faults = net::scaled(base.faults, f);
+      const auto naive = run_serving_study(input.dataset, input.schedules,
+                                           input.cohort, seed, config);
+      config.resilience = full_resilience();
+      const auto resilient = run_serving_study(input.dataset, input.schedules,
+                                               input.cohort, seed, config);
+      // Same workload (the flash extras depend on the plan, not the
+      // policy)...
+      EXPECT_EQ(resilient.requests, naive.requests) << "seed " << seed;
+      // ...and every mechanism only ever races *earlier* alternatives.
+      EXPECT_LE(resilient.slo_misses, naive.slo_misses)
+          << "seed " << seed << " f " << f;
+      EXPECT_LE(resilient.unserved, naive.unserved)
+          << "seed " << seed << " f " << f;
+      if (f == 0.0) expect_same_outcomes(resilient, naive);
+      if (resilient.slo_misses < naive.slo_misses) helped = true;
+    }
+    EXPECT_TRUE(helped) << "seed " << seed;
+  }
+}
+
+TEST(ResilienceTest, DegradedFeedsReportPartialCoverage) {
+  const auto input = small_input();
+  auto config = composite_config();
+  config.faults = net::scaled(config.faults, 1.0);
+  config.resilience = full_resilience();
+  const auto report = run_serving_study(input.dataset, input.schedules,
+                                        input.cohort, 11, config);
+  // Under the full composite scenario the policy actually fires.
+  EXPECT_GT(report.resilience.hedges, 0u);
+  EXPECT_GT(report.resilience.retries, 0u);
+  EXPECT_GT(report.resilience.feed_coverage_count, 0u);
+  EXPECT_LE(report.resilience.feed_coverage_mean(), 1.0);
+  EXPECT_GT(report.resilience.feed_coverage_mean(), 0.0);
+}
+
 TEST(ServingTest, ServedUsersTruncatesTheCohort) {
   const auto input = small_input();
   ServingConfig config;
