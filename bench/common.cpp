@@ -8,6 +8,7 @@
 #include "graph/degree_stats.hpp"
 #include "obs/export.hpp"
 #include "util/csv.hpp"
+#include "util/pipeline_runtime.hpp"
 #include "util/strings.hpp"
 
 namespace dosn::bench {
@@ -32,6 +33,17 @@ double peak_rss_mb() {
   if (getrusage(RUSAGE_SELF, &usage) != 0) return 0.0;
   // ru_maxrss is KiB on Linux.
   return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+std::size_t hardware_threads() { return util::default_thread_count(); }
+
+void write_hardware_fields(util::JsonWriter& w) {
+  w.field("hardware_threads", static_cast<std::uint64_t>(hardware_threads()));
+}
+
+void write_hardware_fields(util::JsonWriter& w, std::size_t max_threads) {
+  write_hardware_fields(w);
+  w.field("oversubscribed", max_threads > hardware_threads());
 }
 
 void write_bench_json(const std::string& path, const std::string& benchmark,

@@ -29,6 +29,20 @@ std::uint64_t bench_seed();
 /// lifetime — sample it right after the phase being measured.
 double peak_rss_mb();
 
+/// Worker threads the hardware actually offers
+/// (util::default_thread_count()). The thread-sweep benches run fixed
+/// counts {1, 2, 4, 8} regardless — on a small machine the larger counts
+/// measure oversubscription overhead, not speedup — so every timing
+/// section records this next to its wall times.
+std::size_t hardware_threads();
+
+/// Emits the standard hardware-provenance fields into the current JSON
+/// object: "hardware_threads" alone, or — when the sweep's largest thread
+/// count is supplied — plus "oversubscribed"
+/// (max_threads > hardware_threads()).
+void write_hardware_fields(util::JsonWriter& w);
+void write_hardware_fields(util::JsonWriter& w, std::size_t max_threads);
+
 /// DOSN_BENCH_SCALE, or `fallback` when unset.
 double bench_scale(double fallback = 1.0);
 

@@ -171,12 +171,11 @@ void write_pool_counters(dosn::util::JsonWriter& w, const std::string& prefix,
 
 int main() {
   const std::uint64_t seed = dosn::bench::bench_seed();
-  const std::size_t hardware_threads = dosn::util::default_thread_count();
   // Floor at 2: on a single-core runner the parallel configurations then
   // exercise (and cross-check) the work-stealing runtime under
   // oversubscription instead of silently degenerating to the serial path.
   const std::size_t parallel_threads =
-      std::max<std::size_t>(2, hardware_threads);
+      std::max<std::size_t>(2, dosn::bench::hardware_threads());
 
   // Every configuration runs with either 1 thread (serial reference) or
   // parallel_threads; the report's top-level "threads" is their maximum,
@@ -298,8 +297,7 @@ int main() {
   dosn::bench::write_bench_json(
       "BENCH_scale.json", "scale_study", seed, max_threads,
       [&](dosn::util::JsonWriter& w) {
-        w.field("hardware_threads",
-                static_cast<std::uint64_t>(hardware_threads));
+        dosn::bench::write_hardware_fields(w);
         w.key("scenarios");
         w.begin_array();
         for (const auto& s : scenarios) {
@@ -314,9 +312,7 @@ int main() {
           w.field("threads_serial", static_cast<std::uint64_t>(1));
           w.field("threads_parallel",
                   static_cast<std::uint64_t>(parallel_threads));
-          w.field("hardware_threads",
-                  static_cast<std::uint64_t>(hardware_threads));
-          w.field("oversubscribed", parallel_threads > hardware_threads);
+          dosn::bench::write_hardware_fields(w, parallel_threads);
           w.field("gen_ms", s.gen_ms);
           w.field("gen_pipelined_ms", s.gen_pipelined_ms);
           w.field("gen_identical", s.gen_identical);

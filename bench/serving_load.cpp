@@ -129,7 +129,6 @@ struct Scenario {
 
 int main() {
   const std::uint64_t seed = dosn::bench::bench_seed();
-  const std::size_t hardware_threads = dosn::util::default_thread_count();
   constexpr std::array<std::size_t, 4> kThreadCounts{1, 2, 4, 8};
   constexpr std::size_t kServedCap = 2000;
 
@@ -235,8 +234,7 @@ int main() {
   dosn::bench::write_bench_json(
       "BENCH_serving.json", "serving_load", seed, kThreadCounts.back(),
       [&](dosn::util::JsonWriter& w) {
-        w.field("hardware_threads",
-                static_cast<std::uint64_t>(hardware_threads));
+        dosn::bench::write_hardware_fields(w);
         w.key("scenarios");
         w.begin_array();
         for (const auto& s : scenarios) {
@@ -269,9 +267,7 @@ int main() {
           w.field("run_t2_ms", s.run_ms[1]);
           w.field("run_t4_ms", s.run_ms[2]);
           w.field("run_t8_ms", s.run_ms[3]);
-          w.field("hardware_threads",
-                  static_cast<std::uint64_t>(hardware_threads));
-          w.field("oversubscribed", kThreadCounts.back() > hardware_threads);
+          dosn::bench::write_hardware_fields(w, kThreadCounts.back());
           w.field("checksum", s.checksum);
           w.field("outputs_identical", s.identical);
           w.field("peak_rss_mb", s.peak_rss_mb);

@@ -158,7 +158,6 @@ struct GateScenario {
 
 int main() {
   const std::uint64_t seed = dosn::bench::bench_seed();
-  const std::size_t hardware_threads = dosn::util::default_thread_count();
   const std::size_t users = serve_users();
   constexpr std::array<double, 4> kIntensities{0.0, 1.0 / 3, 2.0 / 3, 1.0};
   constexpr std::size_t kSweepCap = 1000;
@@ -327,9 +326,7 @@ int main() {
       kThreadCounts.back(), [&](dosn::util::JsonWriter& w) {
         w.field("users", static_cast<std::uint64_t>(users));
         w.field("served_users", static_cast<std::uint64_t>(kSweepCap));
-        w.field("hardware_threads",
-                static_cast<std::uint64_t>(hardware_threads));
-        w.field("oversubscribed", kThreadCounts.back() > hardware_threads);
+        dosn::bench::write_hardware_fields(w, kThreadCounts.back());
         w.key("scenarios");
         w.begin_array();
         for (const auto& g : gate_scenarios) {

@@ -31,15 +31,15 @@ bool in_open(RingId x, RingId a, RingId b) {
   return x > a || x < b;
 }
 
-RingId node_position(std::uint64_t node_id) {
-  std::uint64_t s = node_id ^ 0x9e3779b97f4a7c15ULL;
-  return util::splitmix64(s);
-}
-
 }  // namespace
 
 RingId ring_hash(std::string_view key) {
   std::uint64_t s = fnv1a(key);
+  return util::splitmix64(s);
+}
+
+RingId node_ring_position(std::uint64_t node_id) {
+  std::uint64_t s = node_id ^ 0x9e3779b97f4a7c15ULL;
   return util::splitmix64(s);
 }
 
@@ -48,7 +48,7 @@ DhtRing::DhtRing(std::size_t replication) : replication_(replication) {
 }
 
 RingId DhtRing::join(std::uint64_t node_id) {
-  const RingId position = node_position(node_id);
+  const RingId position = node_ring_position(node_id);
   DOSN_REQUIRE(!nodes_.count(position),
                "DhtRing: node already present (or position collision)");
   Node node;
@@ -60,7 +60,7 @@ RingId DhtRing::join(std::uint64_t node_id) {
 }
 
 void DhtRing::leave(std::uint64_t node_id) {
-  const RingId position = node_position(node_id);
+  const RingId position = node_ring_position(node_id);
   auto it = nodes_.find(position);
   if (it == nodes_.end()) return;
   // Carry the departing node's entries along for re-assignment.
@@ -74,7 +74,7 @@ void DhtRing::leave(std::uint64_t node_id) {
 }
 
 bool DhtRing::crash(std::uint64_t node_id) {
-  auto it = nodes_.find(node_position(node_id));
+  auto it = nodes_.find(node_ring_position(node_id));
   if (it == nodes_.end() || !it->second.alive) return false;
   it->second.alive = false;
   it->second.store.clear();  // a crash loses the node's replicas
@@ -90,11 +90,11 @@ void DhtRing::stabilize() {
 }
 
 bool DhtRing::contains_node(std::uint64_t node_id) const {
-  return nodes_.count(node_position(node_id)) > 0;
+  return nodes_.count(node_ring_position(node_id)) > 0;
 }
 
 bool DhtRing::node_alive(std::uint64_t node_id) const {
-  auto it = nodes_.find(node_position(node_id));
+  auto it = nodes_.find(node_ring_position(node_id));
   return it != nodes_.end() && it->second.alive;
 }
 
@@ -266,7 +266,7 @@ std::size_t DhtRing::stored_entries() const {
 }
 
 std::size_t DhtRing::entries_at(std::uint64_t node_id) const {
-  auto it = nodes_.find(node_position(node_id));
+  auto it = nodes_.find(node_ring_position(node_id));
   return it == nodes_.end() ? 0 : it->second.store.size();
 }
 

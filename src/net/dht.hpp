@@ -30,6 +30,13 @@ using RingId = std::uint64_t;
 /// Hashes an application key (e.g. "profile:42:update:7") onto the ring.
 RingId ring_hash(std::string_view key);
 
+/// Ring position of a node id — the hash DhtRing assigns joining nodes.
+/// Exposed so the scaled ring of net/social_dht.hpp places its nodes at
+/// exactly the positions a DhtRing would, letting small rings anchor the
+/// two implementations against each other bit for bit. A bijection of
+/// the id: distinct nodes can never collide.
+RingId node_ring_position(std::uint64_t node_id);
+
 /// Chord-style ring with finger tables, successor lists, and a replicated
 /// key-value store. Nodes can *crash* (fail without a graceful leave):
 /// a crashed node stays in the routing structure as a dead entry until

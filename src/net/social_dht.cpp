@@ -1,0 +1,265 @@
+#include "net/social_dht.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <numeric>
+
+#include "util/check.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace dosn::net {
+namespace {
+
+/// x in (a, b] on the circular ring — DhtRing's predicate verbatim.
+bool in_half_open(RingId x, RingId a, RingId b) {
+  if (a == b) return true;  // full circle: single-node ring owns everything
+  if (a < b) return x > a && x <= b;
+  return x > a || x <= b;  // wrapped
+}
+
+/// x in (a, b) on the circular ring — DhtRing's predicate verbatim.
+bool in_open(RingId x, RingId a, RingId b) {
+  if (a == b) return x != a;  // full circle minus the point
+  if (a < b) return x > a && x < b;
+  return x > a || x < b;
+}
+
+constexpr graph::UserId kUnassigned =
+    std::numeric_limits<graph::UserId>::max();
+
+}  // namespace
+
+RingId SocialDht::plain_key_position(graph::UserId user) {
+  return ring_hash("profile:" + std::to_string(user));
+}
+
+void validate(const SocialDhtConfig& config) {
+  if (config.replication < 1 || config.replication > 64)
+    throw ConfigError("social_dht: replication must be in [1, 64]");
+  if (config.cluster_cap < 1 || config.cluster_cap > 4096)
+    throw ConfigError("social_dht: cluster_cap must be in [1, 4096]");
+  if (config.hop_cost < 0)
+    throw ConfigError("social_dht: hop_cost must be >= 0");
+}
+
+SocialDht::SocialDht(const graph::SocialGraph& graph,
+                     const SocialDhtConfig& config)
+    : config_(config) {
+  validate(config);
+  const std::size_t n = graph.num_users();
+  DOSN_REQUIRE(n >= 1, "social_dht: graph must have at least one user");
+
+  // Friend clustering: users scanned in id order; an unassigned user
+  // anchors a cluster and absorbs its not-yet-assigned contacts in
+  // adjacency order (contacts() is sorted and duplicate-free), up to
+  // cluster_cap members. With the remap off — or a cap of 1 — every
+  // user is its own singleton anchor and keys degrade to the plain map.
+  anchor_.assign(n, kUnassigned);
+  rank_.assign(n, 0);
+  const bool cluster = config_.socially_aware && config_.cluster_cap > 1;
+  num_clusters_ = 0;
+  for (graph::UserId u = 0; u < n; ++u) {
+    if (anchor_[u] != kUnassigned) continue;
+    anchor_[u] = u;
+    rank_[u] = 0;
+    ++num_clusters_;
+    if (!cluster) continue;
+    std::uint32_t size = 1;
+    for (const graph::UserId v : graph.contacts(u)) {
+      if (size >= config_.cluster_cap) break;
+      if (anchor_[v] != kUnassigned) continue;
+      anchor_[v] = u;
+      rank_[v] = size++;
+    }
+  }
+
+  // Key positions: cluster members occupy consecutive positions after
+  // their anchor's plain key (wrapping arithmetic on the ring), so
+  // cluster-mates share an owner arc. Rank 0 (every singleton) is the
+  // plain key itself — the exact degeneracy the differential test pins.
+  key_pos_.resize(n);
+  for (graph::UserId u = 0; u < n; ++u)
+    key_pos_[u] = plain_key_position(anchor_[u]) + rank_[u];
+
+  // The node ring: every user at DhtRing's node position hash. The hash
+  // is a bijection of the id, so positions cannot collide.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [](std::size_t a, std::size_t b) {
+    return node_ring_position(a) < node_ring_position(b);
+  });
+  positions_.resize(n);
+  position_node_.resize(n);
+  node_index_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto user = static_cast<graph::UserId>(order[i]);
+    positions_[i] = node_ring_position(user);
+    position_node_[i] = user;
+    node_index_[user] = i;
+    DOSN_CHECK(i == 0 || positions_[i - 1] < positions_[i],
+               "social_dht: node position collision");
+  }
+}
+
+graph::UserId SocialDht::cluster_anchor(graph::UserId user) const {
+  DOSN_CHECK(user < anchor_.size(), "social_dht: user out of range");
+  return anchor_[user];
+}
+
+std::uint32_t SocialDht::cluster_rank(graph::UserId user) const {
+  DOSN_CHECK(user < rank_.size(), "social_dht: user out of range");
+  return rank_[user];
+}
+
+RingId SocialDht::key_position(graph::UserId user) const {
+  DOSN_CHECK(user < key_pos_.size(), "social_dht: user out of range");
+  return key_pos_[user];
+}
+
+std::size_t SocialDht::owner_index(RingId key) const {
+  // The key's successor: first node position >= key, wrapping to the
+  // ring's smallest position — DhtRing::successor_position over a flat
+  // sorted array.
+  const auto it = std::lower_bound(positions_.begin(), positions_.end(), key);
+  return it == positions_.end()
+             ? 0
+             : static_cast<std::size_t>(it - positions_.begin());
+}
+
+graph::UserId SocialDht::owner_of(graph::UserId user) const {
+  return position_node_[owner_index(key_position(user))];
+}
+
+std::vector<graph::UserId> SocialDht::responsible_nodes(
+    graph::UserId user) const {
+  const std::size_t copies = std::min(config_.replication, positions_.size());
+  std::vector<graph::UserId> out;
+  out.reserve(copies);
+  std::size_t i = owner_index(key_position(user));
+  for (std::size_t r = 0; r < copies; ++r) {
+    out.push_back(position_node_[i]);
+    i = (i + 1) % positions_.size();
+  }
+  return out;
+}
+
+SocialLookup SocialDht::lookup_from(graph::UserId requester,
+                                    graph::UserId target) const {
+  DOSN_CHECK(requester < node_index_.size() && target < key_pos_.size(),
+             "social_dht: user out of range");
+  const RingId key = key_pos_[target];
+  const std::size_t n = positions_.size();
+  SocialLookup out;
+  std::size_t cur = node_index_[requester];
+  // Greedy closest-preceding-finger walk, DhtRing::lookup's route on the
+  // ideal (all-alive) ring. Finger k of the current node is the
+  // successor of position + 2^k, resolved by binary search instead of a
+  // materialized table. Each finger hop at least halves the remaining
+  // ring distance, so the walk takes at most 64 finger hops + 1.
+  for (std::size_t step = 0;; ++step) {
+    DOSN_CHECK(step <= 65, "social_dht: lookup failed to converge");
+    const RingId cur_pos = positions_[cur];
+    const std::size_t succ = (cur + 1) % n;
+    if (in_half_open(key, cur_pos, positions_[succ])) {
+      out.owner = position_node_[succ];
+      if (succ != cur) ++out.hops;  // final forward to the owner
+      return out;
+    }
+    // Only fingers strictly inside (cur_pos, key) qualify; targets at
+    // distance >= the key distance resolve outside the arc, so start at
+    // the highest power below the distance (identical to scanning k
+    // from 63 down — the skipped fingers always fail the in_open test).
+    const RingId distance = key - cur_pos;  // ring distance, wraps
+    std::size_t next = succ;
+    for (int k = std::bit_width(distance - 1) - 1; k >= 0; --k) {
+      const std::size_t f = owner_index(cur_pos + (RingId{1} << k));
+      if (in_open(positions_[f], cur_pos, key)) {
+        next = f;
+        break;
+      }
+    }
+    DOSN_CHECK(next != cur, "social_dht: lookup stuck");
+    ++out.hops;
+    cur = next;
+  }
+}
+
+namespace {
+
+/// Line-parsing scaffolding, net/scenario.cpp's grammar discipline.
+struct Fields {
+  std::size_t line_no;
+  std::vector<std::pair<std::string_view, std::string_view>> kv;
+  std::vector<bool> used;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw ParseError("social_dht line " + std::to_string(line_no) + ": " +
+                     why);
+  }
+
+  std::optional<std::string_view> find(std::string_view key) {
+    for (std::size_t i = 0; i < kv.size(); ++i)
+      if (kv[i].first == key) {
+        used[i] = true;
+        return kv[i].second;
+      }
+    return std::nullopt;
+  }
+
+  void finish() const {
+    for (std::size_t i = 0; i < kv.size(); ++i)
+      if (!used[i]) fail("unknown field '" + std::string(kv[i].first) + "'");
+  }
+};
+
+}  // namespace
+
+SocialDhtConfig parse_social_dht(std::string_view text) {
+  SocialDhtConfig config;
+  std::size_t line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = util::trim(text.substr(pos, eol - pos));
+    pos = eol + 1;
+    ++line_no;
+    if (line.empty() || line.front() == '#') continue;
+
+    const auto tokens = util::split_ws(line);
+    Fields f{line_no, {}, {}};
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+      const std::size_t eq = tokens[i].find('=');
+      if (eq == std::string_view::npos || eq == 0)
+        f.fail("expected key=value, got '" + std::string(tokens[i]) + "'");
+      f.kv.emplace_back(tokens[i].substr(0, eq), tokens[i].substr(eq + 1));
+    }
+    f.used.assign(f.kv.size(), false);
+
+    if (tokens[0] != "social_dht")
+      f.fail("unknown record '" + std::string(tokens[0]) + "'");
+    // Every field is optional; later lines override earlier ones.
+    if (const auto v = f.find("replication"))
+      config.replication = static_cast<std::size_t>(util::parse_i64(*v));
+    if (const auto v = f.find("socially_aware"))
+      config.socially_aware = util::parse_i64(*v) != 0;
+    if (const auto v = f.find("cluster_cap"))
+      config.cluster_cap = static_cast<std::size_t>(util::parse_i64(*v));
+    if (const auto v = f.find("hop_cost"))
+      config.hop_cost = static_cast<interval::Seconds>(util::parse_i64(*v));
+    f.finish();
+  }
+  validate(config);
+  return config;
+}
+
+std::string to_text(const SocialDhtConfig& config) {
+  return util::format(
+      "social_dht replication=%zu socially_aware=%d cluster_cap=%zu "
+      "hop_cost=%lld\n",
+      config.replication, config.socially_aware ? 1 : 0, config.cluster_cap,
+      static_cast<long long>(config.hop_cost));
+}
+
+}  // namespace dosn::net

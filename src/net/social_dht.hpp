@@ -1,0 +1,146 @@
+// Socially-aware DHT storage regime (Nasir et al., PAPERS.md).
+//
+// The Chord ring in net/dht.hpp is a faithful routing-structure
+// simulation — per-node finger tables and successor lists — and tops out
+// at a few thousand nodes. This module scales the same ring *semantics*
+// to every user of a million-user dataset: each user is a DHT node at
+// the position net/dht.cpp hashes node ids to (exposed here as
+// node_ring_position so small rings anchor bit-for-bit against DhtRing),
+// and each user's profile key is a ring position whose successor nodes
+// store the replicas. Fingers are never materialized: a lookup walks the
+// exact greedy closest-preceding-finger route of DhtRing::lookup, but
+// each finger is resolved analytically by binary search over the sorted
+// node positions, so the ring costs two flat arrays instead of O(64 n)
+// finger entries.
+//
+// The *socially-aware* part is a deterministic friend-clustering pass
+// over the social graph (users scanned in id order; an unassigned user
+// anchors a cluster and absorbs its not-yet-assigned contacts in
+// adjacency order, up to cluster_cap members). A member of rank r in the
+// cluster anchored at `a` stores its profile at key position
+// plain_key(a) + r: cluster members occupy consecutive ring positions,
+// so friends' replicas land on the same (or adjacent) successor nodes
+// and a feed fan-in resolves many friends through one already-contacted
+// owner — the replica-locality hits the serving layer counts. Two exact
+// degeneracies pin the construction: socially_aware=false and
+// cluster_cap=1 both reduce every key to its plain position, bit for bit.
+//
+// Determinism: the ring, the clustering and every lookup are pure
+// functions of (graph, config) — no RNG is consumed anywhere, so the
+// serving layer's per-user streams and zero-plan bit-identity are
+// untouched by the regime.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/social_graph.hpp"
+#include "interval/interval_set.hpp"
+#include "net/dht.hpp"
+
+namespace dosn::net {
+
+/// Knobs of the socially-aware DHT regime. The default-constructed
+/// config is the socially-aware ring at replication 3; plain_dht() is
+/// the unclustered baseline the hop ablation compares against.
+struct SocialDhtConfig {
+  /// Successive ring nodes storing each profile key (owner-side
+  /// replicas); the key's successor node is always the first.
+  std::size_t replication = 3;
+  /// Friend-clustered key remap on/off. Off = plain per-user key
+  /// positions (the baseline DHT).
+  bool socially_aware = true;
+  /// Maximum members per friend cluster; 1 degrades exactly to the
+  /// plain key map.
+  std::size_t cluster_cap = 16;
+  /// Per-lookup-hop latency tax on the serving path, in seconds
+  /// (0 = hops are reported but free).
+  interval::Seconds hop_cost = 0;
+
+  /// The unclustered baseline with otherwise identical knobs.
+  SocialDhtConfig plain() const {
+    SocialDhtConfig c = *this;
+    c.socially_aware = false;
+    return c;
+  }
+  friend bool operator==(const SocialDhtConfig&, const SocialDhtConfig&) =
+      default;
+};
+
+/// Throws ConfigError on out-of-range knobs.
+void validate(const SocialDhtConfig& config);
+
+/// Parses the line-based `social_dht key=value ...` text form (same
+/// grammar discipline as net/scenario.hpp: '#' comments, unknown or
+/// malformed fields throw ParseError with the line number, out-of-range
+/// values throw ConfigError). Later lines override earlier ones.
+SocialDhtConfig parse_social_dht(std::string_view text);
+
+/// Round-trips through parse_social_dht.
+std::string to_text(const SocialDhtConfig& config);
+
+/// Result of one simulated lookup.
+struct SocialLookup {
+  /// Node (user id) owning the key — the successor of the key position.
+  graph::UserId owner = 0;
+  /// Greedy finger-route length from the requester to the owner.
+  std::size_t hops = 0;
+};
+
+/// The scaled ring: every user of the graph is a node; profile keys are
+/// remapped by the friend clustering when socially_aware is set.
+/// Immutable after construction and therefore freely shared across
+/// serving workers.
+class SocialDht {
+ public:
+  SocialDht(const graph::SocialGraph& graph, const SocialDhtConfig& config);
+
+  /// Ring position of `user`'s *plain* (unclustered) profile key: the
+  /// ring_hash of the canonical application key "profile:<user>" — the
+  /// key string a DhtRing client would use, which is what lets the
+  /// anchor test compare responsible sets across the implementations.
+  static RingId plain_key_position(graph::UserId user);
+
+  const SocialDhtConfig& config() const { return config_; }
+  std::size_t num_nodes() const { return anchor_.size(); }
+  /// Clusters formed by the friend-clustering pass (== num_nodes() when
+  /// the remap is off or cluster_cap is 1).
+  std::size_t num_clusters() const { return num_clusters_; }
+
+  /// Anchor of `user`'s friend cluster (user itself when unclustered).
+  graph::UserId cluster_anchor(graph::UserId user) const;
+  /// Rank of `user` within its cluster (anchor = 0).
+  std::uint32_t cluster_rank(graph::UserId user) const;
+
+  /// Ring position of `user`'s profile key: plain_key(anchor) + rank.
+  RingId key_position(graph::UserId user) const;
+  /// Node owning `user`'s profile key (successor of key_position).
+  graph::UserId owner_of(graph::UserId user) const;
+
+  /// The `replication` distinct successor nodes storing `user`'s profile
+  /// (owner first), in ring order — capped at the ring size.
+  std::vector<graph::UserId> responsible_nodes(graph::UserId user) const;
+
+  /// Simulates the greedy Chord lookup of `target`'s profile key from
+  /// `requester`'s own node: the closest-preceding-finger walk of
+  /// DhtRing::lookup with every finger resolved over the ideal ring.
+  /// Pure function of (graph, config, requester, target) — no RNG.
+  SocialLookup lookup_from(graph::UserId requester,
+                           graph::UserId target) const;
+
+ private:
+  std::size_t owner_index(RingId key) const;
+
+  SocialDhtConfig config_;
+  std::size_t num_clusters_ = 0;
+  std::vector<graph::UserId> anchor_;   // per user: cluster anchor
+  std::vector<std::uint32_t> rank_;     // per user: rank within cluster
+  std::vector<RingId> key_pos_;         // per user: profile key position
+  std::vector<RingId> positions_;       // sorted node positions
+  std::vector<graph::UserId> position_node_;  // node at positions_[i]
+  std::vector<std::size_t> node_index_;  // per user: index into positions_
+};
+
+}  // namespace dosn::net

@@ -22,6 +22,15 @@ std::string to_string(Connectivity c) {
   return c == Connectivity::kConRep ? "ConRep" : "UnconRep";
 }
 
+std::string to_string(StorageRegime regime) {
+  switch (regime) {
+    case StorageRegime::kReplicaGroup: return "ReplicaGroup";
+    case StorageRegime::kSocialDht: return "SocialDht";
+    case StorageRegime::kSuperPeer: return "SuperPeer";
+  }
+  DOSN_UNREACHABLE("unknown StorageRegime");
+}
+
 std::string to_string(PolicyKind kind) {
   switch (kind) {
     case PolicyKind::kMaxAv: return "MaxAv";

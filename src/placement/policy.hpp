@@ -33,6 +33,17 @@ enum class Connectivity { kConRep, kUnconRep };
 
 std::string to_string(Connectivity c);
 
+/// Where a profile's replicas live — the storage-regime axis the serving
+/// layer dispatches on (DESIGN.md §16). kReplicaGroup is the paper's
+/// friend-replica regime (a ReplicaPolicy selection under ConRep or
+/// UnconRep); kSocialDht stores profiles on the successor nodes of a
+/// socially-remapped DHT ring (net/social_dht.hpp); kSuperPeer extends
+/// the policy selection with volunteer storekeepers for users whose
+/// replica group misses a target availability (placement/super_peer.hpp).
+enum class StorageRegime { kReplicaGroup, kSocialDht, kSuperPeer };
+
+std::string to_string(StorageRegime regime);
+
 /// Inputs for placing the replicas of one user's profile.
 struct PlacementContext {
   UserId user = 0;

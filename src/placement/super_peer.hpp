@@ -1,0 +1,106 @@
+// SuperNova-style super-peer storekeeper tier (Sharma & Datta,
+// PAPERS.md).
+//
+// In SuperNova, nodes with good uptime volunteer as *storekeepers*: they
+// host the data of users whose own friend-replica group cannot keep the
+// profile available. This module realizes that tier on top of any
+// ReplicaPolicy selection:
+//
+//   * the volunteer directory is global and deterministic — every user
+//     whose DaySchedule coverage() reaches volunteer_threshold
+//     volunteers, in id order;
+//   * a user whose group (owner + selected replicas) already meets
+//     target_availability gets no storekeepers — the tier only steps in
+//     for the poorly covered;
+//   * otherwise storekeepers are drawn from the per-user stream
+//     Rng(mix64(mix64(seed, kStorekeeperTag), user)): uniform picks over
+//     the directory, skipping the owner, group members, duplicates and
+//     crashed volunteers (the fault layer's churn — a crashed volunteer
+//     is skipped and the walk simply continues, which is the graceful
+//     re-assignment), until the union coverage reaches the target or the
+//     max_storekeepers budget / attempt bound runs out.
+//
+// Determinism and monotonicity: the walk for a lower target is an exact
+// prefix of the walk for a higher one (identical draws and skip
+// decisions; only the stop condition differs), so raising
+// target_availability only ever *adds* storekeepers — delivered
+// availability is monotone in the knob, not merely in expectation.
+// Setting volunteer_threshold to 1.0 empties the directory for any
+// realistic schedule population and the regime degrades bit-for-bit to
+// the plain replica-group path (the differential test's anchor).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "interval/day_schedule.hpp"
+#include "placement/policy.hpp"
+
+namespace dosn::placement {
+
+/// Knobs of the super-peer storekeeper tier.
+struct SuperPeerConfig {
+  /// Minimum daily coverage() for a node to volunteer as a storekeeper.
+  /// 1.0 admits only always-on nodes (none, under every synthetic
+  /// online-time model) — the exact ConRep degeneracy.
+  double volunteer_threshold = 0.5;
+  /// Daily group-union coverage a profile must reach; storekeepers are
+  /// assigned until it does (or the budget runs out).
+  double target_availability = 0.9;
+  /// Storekeeper budget per user.
+  std::size_t max_storekeepers = 8;
+
+  friend bool operator==(const SuperPeerConfig&, const SuperPeerConfig&) =
+      default;
+};
+
+/// Throws ConfigError on out-of-range knobs.
+void validate(const SuperPeerConfig& config);
+
+/// Parses the line-based `super_peer key=value ...` text form (scenario
+/// grammar discipline: '#' comments, ParseError with the line number on
+/// malformed fields, ConfigError on out-of-range values). Later lines
+/// override earlier ones.
+SuperPeerConfig parse_super_peer(std::string_view text);
+
+/// Round-trips through parse_super_peer.
+std::string to_text(const SuperPeerConfig& config);
+
+/// Stream tag of the per-user storekeeper-assignment streams.
+inline constexpr std::uint64_t kStorekeeperTag = 0x53544f52454b5052ULL;  // "STOREKPR"
+
+/// The global volunteer directory plus the deterministic storekeeper
+/// assignment. Immutable after construction; `schedules` must outlive
+/// the directory (the serving run owns both).
+class SuperPeerDirectory {
+ public:
+  SuperPeerDirectory(std::span<const interval::DaySchedule> schedules,
+                     const SuperPeerConfig& config);
+
+  const SuperPeerConfig& config() const { return config_; }
+  /// Volunteering users in id order.
+  std::span<const UserId> volunteers() const { return volunteers_; }
+  bool is_volunteer(UserId user) const;
+
+  /// Storekeepers for `user`'s profile, in assignment order. `group` is
+  /// the replica group (owner first, then the policy selection) whose
+  /// union coverage is tested against the target; `crashed` (optional)
+  /// marks volunteers the fault layer currently holds down — they are
+  /// skipped and assignment walks on (re-assignment under churn). Pure
+  /// function of (schedules, config, user, group, seed, crashed):
+  /// thread-safe and bit-identical for every thread count.
+  std::vector<UserId> assign_storekeepers(
+      UserId user, std::span<const UserId> group, std::uint64_t seed,
+      const std::function<bool(UserId)>& crashed = {}) const;
+
+ private:
+  SuperPeerConfig config_;
+  std::span<const interval::DaySchedule> schedules_;
+  std::vector<UserId> volunteers_;
+};
+
+}  // namespace dosn::placement

@@ -60,6 +60,14 @@ struct ServeMetrics {
       obs::Registry::global().counter("serve.resilience.stale_served");
   obs::Counter& degraded_feeds =
       obs::Registry::global().counter("serve.resilience.degraded_feeds");
+  obs::Counter& dht_lookups =
+      obs::Registry::global().counter("net.social_dht.lookups");
+  obs::Counter& dht_lookup_hops =
+      obs::Registry::global().counter("net.social_dht.lookup_hops");
+  obs::Counter& dht_locality_hits =
+      obs::Registry::global().counter("net.social_dht.locality_hits");
+  obs::Counter& storekeepers =
+      obs::Registry::global().counter("placement.super_peer.storekeepers");
 };
 
 ServeMetrics& serve_metrics() {
@@ -78,7 +86,14 @@ ServeMetrics& serve_metrics() {
 /// per-(day, piece) event structure).
 struct GroupTimeline {
   std::vector<graph::UserId> selection;
+  /// kSuperPeer only: volunteer storekeepers widening the read surface
+  /// (empty under every other regime — and under the threshold-1.0
+  /// degeneracy, which is what keeps that path bit-identical).
+  std::vector<graph::UserId> storekeepers;
   std::vector<Interval> online;
+  /// kSocialDht only: realized union of the non-owner responsible nodes —
+  /// the surface a DHT put must reach for durability.
+  std::vector<Interval> store;
   std::vector<Interval> ideal;
   std::vector<Interval> hedge;
 };
@@ -110,6 +125,7 @@ struct UserLoad {
   KindStats feed;
   KindStats write;
   ResilienceStats res;
+  RegimeStats regime;
   std::uint64_t digest = kFnvOffset;
 };
 
@@ -129,6 +145,16 @@ struct RunContext {
   /// Relay availability under UnconRep: canonical outage windows clipped
   /// to the horizon (explicit plan windows — identical for every user).
   std::vector<Interval> relay_outages;
+  /// Storage regime of the run (mirrors config.regime).
+  placement::StorageRegime regime = placement::StorageRegime::kReplicaGroup;
+  /// Scaled ring under kSocialDht; null otherwise.
+  const net::SocialDht* dht = nullptr;
+  /// Volunteer directory under kSuperPeer; null otherwise.
+  const placement::SuperPeerDirectory* directory = nullptr;
+  /// kSuperPeer churn predicate: dht_crashed over the *global* (unmixed)
+  /// plan seed, so every user's assignment walk sees the same volunteer
+  /// up/down state. Null outside the regime.
+  const net::FaultInjector* churn = nullptr;
 
   bool relay_exists() const {
     return config.connectivity == placement::Connectivity::kUnconRep;
@@ -156,27 +182,58 @@ struct RunContext {
   GroupTimeline realize_group(graph::UserId user) const {
     GroupTimeline g;
     util::Rng rng(util::mix64(placement_stream, user));
-    placement::PlacementContext ctx;
-    ctx.user = user;
-    ctx.candidates = dataset.graph.contacts(user);
-    ctx.schedules = schedules;
-    ctx.trace = &dataset.trace;
-    ctx.connectivity = config.connectivity;
-    ctx.max_replicas = config.replicas;
-    g.selection = policy.select(ctx, rng);
+    if (regime == placement::StorageRegime::kSocialDht) {
+      // The ring replaces the policy: the profile lives on the successor
+      // nodes of its (socially remapped) key. The owner's local copy
+      // always serves too, so the owner is dropped from the stored
+      // selection on the rare ring that picks it. No draw is consumed —
+      // the per-user placement stream simply goes unused.
+      for (const graph::UserId n : dht->responsible_nodes(user))
+        if (n != user) g.selection.push_back(n);
+    } else {
+      placement::PlacementContext ctx;
+      ctx.user = user;
+      ctx.candidates = dataset.graph.contacts(user);
+      ctx.schedules = schedules;
+      ctx.trace = &dataset.trace;
+      ctx.connectivity = config.connectivity;
+      ctx.max_replicas = config.replicas;
+      g.selection = policy.select(ctx, rng);
+    }
+    if (regime == placement::StorageRegime::kSuperPeer) {
+      // Volunteer storekeepers for a group that misses the availability
+      // target; crashed volunteers are skipped (graceful re-assignment).
+      // An empty directory (threshold 1.0) assigns nobody and the path
+      // below is bit-identical to kReplicaGroup.
+      std::vector<graph::UserId> group;
+      group.reserve(g.selection.size() + 1);
+      group.push_back(user);
+      group.insert(group.end(), g.selection.begin(), g.selection.end());
+      g.storekeepers = directory->assign_storekeepers(
+          user, group, seed, [this](graph::UserId v) {
+            return churn->dht_crashed(v);
+          });
+    }
 
     net::FaultInjector injector(plan_for(user));
     IntervalSet online;
+    IntervalSet store;  // kSocialDht write surface: non-owner holders
+    const bool dht_regime = regime == placement::StorageRegime::kSocialDht;
     const auto add_sessions = [&](std::size_t node_index,
                                   const DaySchedule& schedule) {
       for (const auto& iv :
-           injector.sessions(node_index, schedule, config.workload.horizon_days))
+           injector.sessions(node_index, schedule, config.workload.horizon_days)) {
         online.add(iv.start, iv.end);
+        if (dht_regime && node_index > 0) store.add(iv.start, iv.end);
+      }
     };
     add_sessions(0, schedules[user]);
     for (std::size_t i = 0; i < g.selection.size(); ++i)
       add_sessions(i + 1, schedules[g.selection[i]]);
+    for (std::size_t i = 0; i < g.storekeepers.size(); ++i)
+      add_sessions(g.selection.size() + 1 + i, schedules[g.storekeepers[i]]);
     g.online.assign(online.pieces().begin(), online.pieces().end());
+    if (dht_regime) g.store.assign(store.pieces().begin(), store.pieces().end());
 
     if (resilient) {
       // Advertised (unfaulted) surfaces for the resilience paths, built
@@ -184,9 +241,12 @@ struct RunContext {
       // event structure exactly — under the zero plan ideal == online.
       const auto member_schedule =
           [&](std::size_t m) -> const DaySchedule& {
-        return m == 0 ? schedules[user] : schedules[g.selection[m - 1]];
+        if (m == 0) return schedules[user];
+        if (m <= g.selection.size()) return schedules[g.selection[m - 1]];
+        return schedules[g.storekeepers[m - 1 - g.selection.size()]];
       };
-      const std::size_t members = g.selection.size() + 1;
+      const std::size_t members =
+          1 + g.selection.size() + g.storekeepers.size();
       net::FaultInjector unfaulted{net::FaultPlan{}};
       IntervalSet ideal;
       for (std::size_t m = 0; m < members; ++m)
@@ -361,6 +421,18 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
   const auto friend_group = [&](std::size_t i) -> const GroupTimeline& {
     return cache.get(contacts[i]);
   };
+  const bool dht_regime =
+      run.regime == placement::StorageRegime::kSocialDht;
+
+  // Regime axes of the served user's own profile (regime-independent —
+  // kReplicaGroup reports them too, which is what turns the degeneracy
+  // differentials into whole-report equalities).
+  load.regime.groups += 1;
+  load.regime.replica_holders +=
+      own.selection.size() + own.storekeepers.size();
+  load.regime.storekeepers += own.storekeepers.size();
+  for (const Interval& iv : own.online)
+    load.regime.online_seconds += static_cast<std::uint64_t>(iv.end - iv.start);
 
   // Post writes run through the event-driven replica simulator: the write
   // requests become UpdateSpecs (origin 0 = the owner) and ConRep
@@ -373,7 +445,7 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
       writes.push_back({r.time, 0});
   net::ReplicaSimReport write_report;
   const bool simulate_writes =
-      !writes.empty() && !own.selection.empty() &&
+      !writes.empty() && !own.selection.empty() && !dht_regime &&
       run.config.connectivity == placement::Connectivity::kConRep;
   if (simulate_writes) {
     std::vector<DaySchedule> nodes;
@@ -412,15 +484,27 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
     if (o.stale_win) ++load.res.stale_served;
   };
   std::vector<SimTime> arrivals;  // feed scratch, reused across requests
+  std::vector<graph::UserId> feed_owners;  // DHT fan-in scratch
   std::size_t write_index = 0;
   for (const auto& r : requests) {
     std::optional<Seconds> latency;
+    // Extra wait the storage regime itself charges this request (DHT
+    // routing hops at hop_cost each); 0 outside kSocialDht. Applied after
+    // the switch so every exit path of every kind pays it uniformly.
+    Seconds regime_tax = 0;
     switch (r.kind) {
       case RequestKind::kProfileRead: {
         if (contacts.empty()) {
           latency = 0;
         } else {
           const std::size_t target = r.target_index % contacts.size();
+          if (dht_regime) {
+            const auto l = run.dht->lookup_from(user, contacts[target]);
+            ++load.regime.lookups;
+            load.regime.lookup_hops += l.hops;
+            regime_tax = run.config.social_dht.hop_cost *
+                         static_cast<Seconds>(l.hops);
+          }
           if (!run.resilient) {
             latency = fetch_wait(run, friend_group(target), r.time);
           } else {
@@ -433,6 +517,29 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
         break;
       }
       case RequestKind::kFeedAssembly: {
+        if (dht_regime) {
+          // Fan-in resolution: every friend's key is resolved, but a
+          // friend whose owner node was already contacted by this feed is
+          // a replica-locality hit and routes for free — the payoff of
+          // the socially-aware remap (cluster-mates share owner arcs).
+          feed_owners.clear();
+          std::size_t route_hops = 0;
+          for (std::size_t i = 0; i < contacts.size(); ++i) {
+            const graph::UserId owner = run.dht->owner_of(contacts[i]);
+            ++load.regime.lookups;
+            if (std::find(feed_owners.begin(), feed_owners.end(), owner) !=
+                feed_owners.end()) {
+              ++load.regime.locality_hits;
+            } else {
+              feed_owners.push_back(owner);
+              const auto l = run.dht->lookup_from(user, contacts[i]);
+              load.regime.lookup_hops += l.hops;
+              route_hops += l.hops;
+            }
+          }
+          regime_tax = run.config.social_dht.hop_cost *
+                       static_cast<Seconds>(route_hops);
+        }
         const Seconds fan_crypto =
             crypto * static_cast<Seconds>(contacts.size());
         if (!run.resilient) {
@@ -520,7 +627,15 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
       }
       case RequestKind::kPostWrite: {
         const std::size_t index = write_index++;
-        if (run.relay_exists()) {
+        if (dht_regime) {
+          // A DHT put is durable once it reaches the first non-owner
+          // responsible node — the wait until the realized store surface
+          // next covers an instant. A ring too small to have one (the
+          // owner is the whole responsible set) stores locally.
+          latency = own.selection.empty()
+                        ? std::optional<Seconds>(0)
+                        : wait_within(own.store, r.time);
+        } else if (run.relay_exists()) {
           latency = wait_within(upload, r.time);
         } else if (!simulate_writes) {
           latency = 0;  // single-node group: local durability
@@ -534,6 +649,7 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
         break;
       }
     }
+    if (latency) *latency += regime_tax;
 
     KindStats& stats = r.kind == RequestKind::kProfileRead ? load.read
                        : r.kind == RequestKind::kFeedAssembly ? load.feed
@@ -570,6 +686,12 @@ void serve_user(const RunContext& run, GroupCache& cache, graph::UserId user,
     metrics.stale_served.add(load.res.stale_served);
     metrics.degraded_feeds.add(load.res.degraded_feeds);
   }
+  if (run.regime != placement::StorageRegime::kReplicaGroup) {
+    metrics.dht_lookups.add(load.regime.lookups);
+    metrics.dht_lookup_hops.add(load.regime.lookup_hops);
+    metrics.dht_locality_hits.add(load.regime.locality_hits);
+    metrics.storekeepers.add(load.regime.storekeepers);
+  }
 }
 
 void merge_kind(KindStats& into, const KindStats& from) {
@@ -587,6 +709,16 @@ void merge_res(ResilienceStats& into, const ResilienceStats& from) {
   into.degraded_feeds += from.degraded_feeds;
   into.feed_coverage_sum += from.feed_coverage_sum;
   into.feed_coverage_count += from.feed_coverage_count;
+}
+
+void merge_regime(RegimeStats& into, const RegimeStats& from) {
+  into.groups += from.groups;
+  into.replica_holders += from.replica_holders;
+  into.storekeepers += from.storekeepers;
+  into.online_seconds += from.online_seconds;
+  into.lookups += from.lookups;
+  into.lookup_hops += from.lookup_hops;
+  into.locality_hits += from.locality_hits;
 }
 
 }  // namespace
@@ -614,6 +746,12 @@ void validate(const ServingConfig& config) {
   validate(config.workload);
   net::validate(config.faults);
   validate(config.resilience);
+  net::validate(config.social_dht);
+  placement::validate(config.super_peer);
+  if (config.regime != placement::StorageRegime::kReplicaGroup &&
+      config.connectivity != placement::Connectivity::kConRep)
+    throw ConfigError(
+        "serving: DHT and super-peer regimes require ConRep connectivity");
   if (config.crypto_op_cost < 0)
     throw ConfigError("serving: crypto_op_cost must be >= 0");
   if (config.slo < 0)
@@ -637,6 +775,18 @@ ServingReport run_serving_study(const trace::Dataset& dataset,
 
   const auto policy =
       placement::make_policy(config.policy, config.policy_params);
+
+  // Regime substrates, built once and shared read-only by every worker.
+  std::optional<net::SocialDht> dht;
+  std::optional<placement::SuperPeerDirectory> directory;
+  std::optional<net::FaultInjector> churn;
+  if (config.regime == placement::StorageRegime::kSocialDht)
+    dht.emplace(dataset.graph, config.social_dht);
+  if (config.regime == placement::StorageRegime::kSuperPeer) {
+    directory.emplace(schedules, config.super_peer);
+    churn.emplace(config.faults);  // global seed: shared volunteer state
+  }
+
   RunContext run{
       .dataset = dataset,
       .schedules = schedules,
@@ -651,6 +801,10 @@ ServingReport run_serving_study(const trace::Dataset& dataset,
                            config.faults.scenario.flash_crowds.end(),
                            [](const net::FlashCrowd& c) { return c.active(); }),
       .relay_outages = {},
+      .regime = config.regime,
+      .dht = dht ? &*dht : nullptr,
+      .directory = directory ? &*directory : nullptr,
+      .churn = churn ? &*churn : nullptr,
   };
 
   if (run.relay_exists()) {
@@ -682,6 +836,7 @@ ServingReport run_serving_study(const trace::Dataset& dataset,
     merge_kind(report.feed, loads[i].feed);
     merge_kind(report.write, loads[i].write);
     merge_res(report.resilience, loads[i].res);
+    merge_regime(report.regime, loads[i].regime);
     fnv_mix(report.request_log_checksum,
             static_cast<std::uint64_t>(cohort[i]));
     fnv_mix(report.request_log_checksum, loads[i].digest);

@@ -44,7 +44,9 @@
 #include <span>
 
 #include "net/fault.hpp"
+#include "net/social_dht.hpp"
 #include "placement/policy.hpp"
+#include "placement/super_peer.hpp"
 #include "serve/latency_histogram.hpp"
 #include "serve/workload.hpp"
 #include "trace/dataset.hpp"
@@ -113,6 +115,26 @@ struct ServingConfig {
   placement::PolicyKind policy = placement::PolicyKind::kMaxAv;
   placement::PolicyParams policy_params;
   placement::Connectivity connectivity = placement::Connectivity::kConRep;
+  /// Storage regime profiles are served from (DESIGN.md §16):
+  ///   * kReplicaGroup — the paper's regime: the policy's selection
+  ///     under ConRep/UnconRep (every knob below applies unchanged);
+  ///   * kSocialDht    — profiles live on the successor nodes of the
+  ///     socially-remapped ring in `social_dht`; the policy is bypassed,
+  ///     reads pay lookup hops (taxed at social_dht.hop_cost), and a
+  ///     write waits for the first non-owner responsible node;
+  ///   * kSuperPeer    — the policy selection extended by volunteer
+  ///     storekeepers from `super_peer` for profiles whose group misses
+  ///     the availability target; storekeepers widen the read surface
+  ///     only (writes stay on the replica group, so volunteer_threshold
+  ///     = 1.0 — an empty directory — reproduces kReplicaGroup bit for
+  ///     bit).
+  /// DHT and super-peer regimes require ConRep connectivity: the regime
+  /// itself replaces the UnconRep relay.
+  placement::StorageRegime regime = placement::StorageRegime::kReplicaGroup;
+  /// Ring knobs of the kSocialDht regime (ignored otherwise).
+  net::SocialDhtConfig social_dht;
+  /// Storekeeper knobs of the kSuperPeer regime (ignored otherwise).
+  placement::SuperPeerConfig super_peer;
   /// Replica budget per profile (the sweep's k).
   std::size_t replicas = 5;
   /// Fault scenario; the zero plan serves ideal schedules. Realizations
@@ -169,11 +191,55 @@ struct ResilienceStats {
       default;
 };
 
+/// Storage-regime aggregates: the four comparison axes of the regime
+/// ablation (availability / access delay / replication degree / lookup
+/// hops — bench/ablation_storage_regimes). Accumulated per served user
+/// from that user's own realized group and the DHT resolutions of its
+/// read path, and reduced serially in cohort order — every field is
+/// integer math, bit-identical across thread counts and DOSN_OBS
+/// settings. All lookup fields stay zero outside kSocialDht; the
+/// group fields are regime-independent (kReplicaGroup reports them
+/// too, which is what makes the degeneracy differentials whole-report
+/// equalities).
+struct RegimeStats {
+  std::uint64_t groups = 0;          ///< served users' profiles realized
+  std::uint64_t replica_holders = 0; ///< group members beyond the owner
+  std::uint64_t storekeepers = 0;    ///< super-peer assignments among them
+  std::uint64_t online_seconds = 0;  ///< realized group-union online time
+  std::uint64_t lookups = 0;         ///< DHT profile-key resolutions
+  std::uint64_t lookup_hops = 0;     ///< greedy-route hops actually paid
+  std::uint64_t locality_hits = 0;   ///< fan-in hits on a contacted owner
+
+  /// Mean fraction of the horizon a served user's realized group union
+  /// is online — the regime ablation's availability axis.
+  double availability(Seconds horizon) const {
+    return groups == 0 || horizon <= 0
+               ? 0.0
+               : static_cast<double>(online_seconds) /
+                     (static_cast<double>(groups) *
+                      static_cast<double>(horizon));
+  }
+  /// Mean group members beyond the owner (storekeepers included).
+  double replication_degree() const {
+    return groups == 0 ? 0.0
+                       : static_cast<double>(replica_holders) /
+                             static_cast<double>(groups);
+  }
+  /// Mean greedy-route hops per resolution (locality hits pay none).
+  double mean_lookup_hops() const {
+    return lookups == 0 ? 0.0
+                        : static_cast<double>(lookup_hops) /
+                              static_cast<double>(lookups);
+  }
+  friend bool operator==(const RegimeStats&, const RegimeStats&) = default;
+};
+
 struct ServingReport {
   KindStats read;
   KindStats feed;
   KindStats write;
   ResilienceStats resilience;
+  RegimeStats regime;
   LatencyHistogram latency;  ///< all served requests
   std::uint64_t requests = 0;
   std::uint64_t served = 0;

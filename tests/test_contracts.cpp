@@ -13,8 +13,10 @@
 #include "interval/interval_set.hpp"
 #include "net/event_queue.hpp"
 #include "net/scenario.hpp"
+#include "net/social_dht.hpp"
 #include "onlinetime/model.hpp"
 #include "placement/policy.hpp"
+#include "placement/super_peer.hpp"
 #include "serve/serving.hpp"
 #include "sim/evaluate.hpp"
 #include "trace/dataset.hpp"
@@ -437,6 +439,76 @@ TEST(ResilienceContracts, OutOfRangeKnobsFire) {
 TEST(ResilienceContracts, ServingConfigValidateCoversThePolicy) {
   serve::ServingConfig config;
   config.resilience.feed_min_coverage = -0.5;
+  EXPECT_THROW(serve::validate(config), ConfigError);
+}
+
+// ------------------------------------------------------ storage regimes
+
+TEST(RegimeContracts, SocialDhtConfigBoundsFire) {
+  net::SocialDhtConfig config;
+  config.replication = 0;
+  EXPECT_THROW(net::validate(config), ConfigError);
+  config.replication = 65;
+  EXPECT_THROW(net::validate(config), ConfigError);
+  config = {};
+  config.cluster_cap = 0;
+  EXPECT_THROW(net::validate(config), ConfigError);
+  config.cluster_cap = 4097;
+  EXPECT_THROW(net::validate(config), ConfigError);
+  config = {};
+  config.hop_cost = -1;
+  EXPECT_THROW(net::validate(config), ConfigError);
+  EXPECT_NO_THROW(net::validate(net::SocialDhtConfig{}));
+}
+
+TEST(RegimeContracts, SocialDhtAccessorsRejectOutOfRangeUsers) {
+  graph::SocialGraphBuilder b(graph::GraphKind::kUndirected, 4);
+  b.add_edge(0, 1);
+  const auto g = std::move(b).build();
+  const net::SocialDht dht(g, net::SocialDhtConfig{});
+  EXPECT_THROW(dht.cluster_anchor(4), ContractError);
+  EXPECT_THROW(dht.cluster_rank(4), ContractError);
+  EXPECT_THROW(dht.key_position(4), ContractError);
+  EXPECT_THROW(dht.owner_of(4), ContractError);
+  EXPECT_THROW(dht.responsible_nodes(4), ContractError);
+  EXPECT_THROW(dht.lookup_from(0, 4), ContractError);
+  EXPECT_THROW(dht.lookup_from(4, 0), ContractError);
+}
+
+TEST(RegimeContracts, SuperPeerConfigBoundsFire) {
+  placement::SuperPeerConfig config;
+  config.volunteer_threshold = -0.1;
+  EXPECT_THROW(placement::validate(config), ConfigError);
+  config.volunteer_threshold = 1.1;
+  EXPECT_THROW(placement::validate(config), ConfigError);
+  config = {};
+  config.target_availability = -0.1;
+  EXPECT_THROW(placement::validate(config), ConfigError);
+  config.target_availability = 1.1;
+  EXPECT_THROW(placement::validate(config), ConfigError);
+  config = {};
+  config.max_storekeepers = 65;
+  EXPECT_THROW(placement::validate(config), ConfigError);
+  EXPECT_NO_THROW(placement::validate(placement::SuperPeerConfig{}));
+}
+
+TEST(RegimeContracts, ServingConfigRejectsRegimeUnderUnconRep) {
+  // The DHT and super-peer regimes replace the relay; combining them
+  // with UnconRep has no defined semantics and must be rejected.
+  serve::ServingConfig config;
+  config.connectivity = placement::Connectivity::kUnconRep;
+  config.regime = placement::StorageRegime::kSocialDht;
+  EXPECT_THROW(serve::validate(config), ConfigError);
+  config.regime = placement::StorageRegime::kSuperPeer;
+  EXPECT_THROW(serve::validate(config), ConfigError);
+  config.regime = placement::StorageRegime::kReplicaGroup;
+  EXPECT_NO_THROW(serve::validate(config));
+  // Regime sub-configs are validated through the serving config too.
+  config = {};
+  config.social_dht.replication = 0;
+  EXPECT_THROW(serve::validate(config), ConfigError);
+  config = {};
+  config.super_peer.max_storekeepers = 65;
   EXPECT_THROW(serve::validate(config), ConfigError);
 }
 

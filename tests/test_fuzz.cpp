@@ -15,6 +15,8 @@
 #include "interval/interval_set.hpp"
 #include "net/event_queue.hpp"
 #include "net/scenario.hpp"
+#include "net/social_dht.hpp"
+#include "placement/super_peer.hpp"
 #include "trace/parsers.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -336,6 +338,85 @@ TEST_P(ParserFuzz, ScenarioTruncationsParseOrThrow) {
         << e.what();
   }
   EXPECT_EQ(net::parse_scenario(net::to_text(reference)), reference);
+}
+
+// Storage-regime config parsing (net/social_dht.hpp,
+// placement/super_peer.hpp): the same grammar discipline as the
+// scenario parser — garbage parses or throws a line-numbered error, and
+// whatever parses round-trips through to_text.
+TEST_P(ParserFuzz, RegimeConfigGarbageParsesOrThrows) {
+  util::Rng rng(GetParam());
+  static constexpr char kRegimeAlphabet[] =
+      "0123456789. =_\t\n#social_dht super_peer replication "
+      "socially_aware cluster_cap hop_cost volunteer_threshold "
+      "target_availability max_storekeepers\x01\x00\x7f\xff-";
+  for (int round = 0; round < 60; ++round) {
+    std::string body;
+    const auto len = rng.below(400);
+    for (std::uint64_t i = 0; i < len; ++i)
+      body.push_back(kRegimeAlphabet[rng.below(sizeof(kRegimeAlphabet) - 1)]);
+    try {
+      const auto config = net::parse_social_dht(body);
+      EXPECT_EQ(net::parse_social_dht(net::to_text(config)), config);
+    } catch (const Error&) {
+      // Rejection is fine; anything else (crash, UB) is the bug.
+    }
+    try {
+      const auto config = placement::parse_super_peer(body);
+      EXPECT_EQ(placement::parse_super_peer(placement::to_text(config)),
+                config);
+    } catch (const Error&) {
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RegimeConfigTruncationsParseOrThrow) {
+  static constexpr char kSocialDht[] =
+      "# socially-aware ring\n"
+      "social_dht replication=5 socially_aware=1 cluster_cap=16 "
+      "hop_cost=11\n";
+  static constexpr char kSuperPeer[] =
+      "# storekeeper tier\n"
+      "super_peer volunteer_threshold=0.25 target_availability=0.75 "
+      "max_storekeepers=12\n";
+  const std::string_view dht_full(kSocialDht);
+  const std::string_view sp_full(kSuperPeer);
+  for (std::size_t cut = 0; cut <= dht_full.size(); ++cut) {
+    try {
+      // A truncated prefix either throws or yields a valid config that
+      // round-trips — never a silently mangled value.
+      const auto config = net::parse_social_dht(dht_full.substr(0, cut));
+      EXPECT_EQ(net::parse_social_dht(net::to_text(config)), config);
+    } catch (const Error&) {
+    }
+  }
+  for (std::size_t cut = 0; cut <= sp_full.size(); ++cut) {
+    try {
+      const auto config = placement::parse_super_peer(sp_full.substr(0, cut));
+      EXPECT_EQ(placement::parse_super_peer(placement::to_text(config)),
+                config);
+    } catch (const Error&) {
+    }
+  }
+  // An unknown record still names its line in both grammars.
+  try {
+    net::parse_social_dht("warp_ring radius=3");
+    FAIL() << "unknown record accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("social_dht line 1"),
+              std::string::npos)
+        << e.what();
+  }
+  try {
+    placement::parse_super_peer("mega_peer count=3");
+    FAIL() << "unknown record accepted";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("super_peer line 1"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_EQ(net::parse_social_dht(dht_full).replication, 5u);
+  EXPECT_EQ(placement::parse_super_peer(sp_full).max_storekeepers, 12u);
 }
 
 TEST_P(ParserFuzz, TruncatedNewOrleansActivitiesParseOrThrow) {
